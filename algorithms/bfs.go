@@ -1,0 +1,258 @@
+// Package algorithms implements graph algorithms on top of the graphblas
+// package: direction-optimized BFS (the paper's headline algorithm,
+// Algorithm 1, with each of the five optimizations individually
+// toggleable), parent-tracking BFS, SSSP, PageRank and its masked adaptive
+// variant, triangle counting via masked MxM, maximal independent set, and
+// betweenness centrality — the Section 5.6 generality set.
+package algorithms
+
+import (
+	"fmt"
+	"time"
+
+	"pushpull/graphblas"
+	"pushpull/internal/core"
+)
+
+// BFSOptions selects which of the paper's optimizations a BFS run uses.
+// The zero value is the full direction-optimized configuration (everything
+// on); the Table 2 experiment builds the cumulative stack by starting from
+// AllOff and enabling one field at a time.
+type BFSOptions struct {
+	// DisableDirectionOpt pins the traversal to push-only (the baseline
+	// behaviour of SuiteSparse '17 and the Yang-2015 GPU BFS).
+	DisableDirectionOpt bool
+	// ForcePull pins the traversal to pull-only (used by the Figure 6
+	// experiment's pull-only series). Takes precedence over
+	// DisableDirectionOpt.
+	ForcePull bool
+	// DisableMasking drops the ¬v mask from the mxv and filters the new
+	// frontier against the visited set afterwards, as a separate eWise
+	// step — Optimization 2 off.
+	DisableMasking bool
+	// DisableEarlyExit forbids the pull kernel's first-parent break —
+	// Optimization 3 off.
+	DisableEarlyExit bool
+	// DisableOperandReuse uses the frontier f (converted sparse→dense) as
+	// the pull input instead of the visited pattern — Optimization 4 off.
+	DisableOperandReuse bool
+	// DisableStructureOnly makes kernels read matrix/vector values —
+	// Optimization 5 off.
+	DisableStructureOnly bool
+	// DisableMaskAmortize stops maintaining the unvisited allow-list, so
+	// the masked pull pays an O(M) bitmap scan per iteration (the
+	// Section 3.2 amortization off).
+	DisableMaskAmortize bool
+	// SwitchPoint overrides the direction switch-point ratio (default
+	// 0.01, the paper's α = β).
+	SwitchPoint float64
+	// Merge selects the push-phase merge strategy.
+	Merge graphblas.MergeStrategy
+	// Trace, when non-nil, receives one record per BFS iteration.
+	Trace func(IterStats)
+}
+
+// AllOff returns options with every optimization disabled — the Table 2
+// baseline: push-only, unmasked, value-carrying, no early exit.
+func AllOff() BFSOptions {
+	return BFSOptions{
+		DisableDirectionOpt:  true,
+		DisableMasking:       true,
+		DisableEarlyExit:     true,
+		DisableOperandReuse:  true,
+		DisableStructureOnly: true,
+		DisableMaskAmortize:  true,
+	}
+}
+
+// IterStats records one BFS iteration for tracing and the Figure 5/6
+// experiments.
+type IterStats struct {
+	Iteration    int
+	Direction    core.Direction
+	FrontierNNZ  int
+	UnvisitedNNZ int
+	Duration     time.Duration
+}
+
+// BFSResult carries the outputs of a traversal.
+type BFSResult struct {
+	// Depths[i] is the BFS level of vertex i (source = 0), or -1 if
+	// unreached.
+	Depths []int32
+	// Visited is the number of reached vertices (including the source).
+	Visited int
+	// EdgesTraversed is the sum of out-degrees of reached vertices — the
+	// TEPS denominator's numerator, matching Gunrock's convention.
+	EdgesTraversed int64
+	// Iterations is the number of frontier expansions performed.
+	Iterations int
+}
+
+// MTEPS returns millions of traversed edges per second for the given
+// wall-clock duration.
+func (r BFSResult) MTEPS(d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.EdgesTraversed) / d.Seconds() / 1e6
+}
+
+// BFS runs Algorithm 1 — the single-formula direction-optimized BFS
+// f ← Aᵀf .* ¬v over the Boolean semiring — from the given source.
+//
+// The traversal keeps three pieces of state: the frontier f (dual-format
+// Boolean vector whose storage format *is* the push/pull decision), the
+// depth vector v (updated with masked scalar assign, Algorithm 1 Line 7),
+// and the visited pattern used as mask and, with operand reuse, as the
+// pull input. Direction choice follows the Section 6.3 heuristic with
+// hysteresis via core.SwitchState.
+func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, error) {
+	n := a.NRows()
+	if a.NCols() != n {
+		return BFSResult{}, fmt.Errorf("algorithms: BFS needs a square matrix, got %d×%d", a.NRows(), a.NCols())
+	}
+	if source < 0 || source >= n {
+		return BFSResult{}, fmt.Errorf("algorithms: BFS source %d out of range [0,%d)", source, n)
+	}
+	sr := graphblas.OrAndBool()
+
+	f := graphblas.NewVector[bool](n)
+	if err := f.SetElement(source, true); err != nil {
+		return BFSResult{}, err
+	}
+	visited := graphblas.NewVector[bool](n) // mask + operand-reuse input
+	visited.ToDense()
+	if err := visited.SetElement(source, true); err != nil {
+		return BFSResult{}, err
+	}
+	depths := make([]int32, n)
+	for i := range depths {
+		depths[i] = -1
+	}
+	depths[source] = 0
+
+	// Amortized unvisited list (Section 3.2): built once, shrunk in place
+	// each iteration as vertices get visited.
+	var unvisited []uint32
+	if !opt.DisableMaskAmortize && !opt.DisableMasking {
+		unvisited = make([]uint32, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i != source {
+				unvisited = append(unvisited, uint32(i))
+			}
+		}
+	}
+
+	var state core.SwitchState
+	dir := core.Push
+	depth := int32(0)
+	res := BFSResult{Visited: 1, EdgesTraversed: int64(len(firstRow(a, source)))}
+	sp := opt.SwitchPoint
+	if sp <= 0 {
+		sp = graphblas.DefaultSwitchPoint
+	}
+
+	for f.NVals() > 0 {
+		iterStart := time.Now()
+		depth++
+		res.Iterations++
+
+		switch {
+		case opt.ForcePull:
+			dir = core.Pull
+		case opt.DisableDirectionOpt:
+			dir = core.Push
+		default:
+			dir = state.Decide(f.NVals(), n, dir, sp)
+		}
+
+		desc := &graphblas.Descriptor{
+			Transpose:     true,
+			StructureOnly: !opt.DisableStructureOnly,
+			NoEarlyExit:   opt.DisableEarlyExit,
+			Merge:         opt.Merge,
+		}
+		if dir == core.Push {
+			desc.Direction = graphblas.ForcePush
+		} else {
+			desc.Direction = graphblas.ForcePull
+		}
+
+		input := f
+		if dir == core.Pull && !opt.DisableOperandReuse {
+			// Optimization 4: the visited set is a superset of the
+			// frontier, and with the ¬v mask the extra discoveries filter
+			// out — so the already-dense visited pattern replaces f,
+			// making the sparse→dense conversion of f unnecessary.
+			input = visited
+		}
+
+		var err error
+		if opt.DisableMasking {
+			// Unmasked mxv, then filter out already-visited vertices as a
+			// separate step (the pre-masking formulation).
+			if _, err = graphblas.MxV(f, (*graphblas.Vector[bool])(nil), nil, sr, a, input, desc); err != nil {
+				return res, err
+			}
+			_, visBits := visited.DenseView()
+			if err = graphblas.Select(f, func(i int, _ bool) bool { return !visBits[i] }, f); err != nil {
+				return res, err
+			}
+		} else {
+			if dir == core.Pull && unvisited != nil {
+				desc.MaskAllowList = unvisited
+			}
+			desc.StructuralComplement = true
+			if _, err = graphblas.MxV(f, visited, nil, sr, a, input, desc); err != nil {
+				return res, err
+			}
+		}
+
+		// Bookkeeping: v⟨f⟩ = depth (Algorithm 1 Line 7, split across the
+		// depth array and the visited pattern).
+		newly := 0
+		f.Iterate(func(i int, _ bool) bool {
+			if depths[i] < 0 {
+				depths[i] = depth
+				newly++
+				res.EdgesTraversed += int64(a.CSR().RowLen(i))
+			}
+			return true
+		})
+		if err := graphblas.AssignVector(visited, f); err != nil {
+			return res, err
+		}
+		res.Visited += newly
+
+		if unvisited != nil && newly > 0 {
+			_, visBits := visited.DenseView()
+			w := 0
+			for _, u := range unvisited {
+				if !visBits[u] {
+					unvisited[w] = u
+					w++
+				}
+			}
+			unvisited = unvisited[:w]
+		}
+
+		if opt.Trace != nil {
+			opt.Trace(IterStats{
+				Iteration:    res.Iterations,
+				Direction:    dir,
+				FrontierNNZ:  f.NVals(),
+				UnvisitedNNZ: n - res.Visited,
+				Duration:     time.Since(iterStart),
+			})
+		}
+	}
+	res.Depths = depths
+	return res, nil
+}
+
+// firstRow returns the source row's indices (edge count seed for TEPS).
+func firstRow(a *graphblas.Matrix[bool], i int) []uint32 {
+	ind, _ := a.RowView(i)
+	return ind
+}

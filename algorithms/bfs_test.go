@@ -1,0 +1,220 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pushpull/graphblas"
+	"pushpull/internal/core"
+)
+
+// optionMatrix enumerates meaningful optimization combinations: the full
+// stack, the Table 2 cumulative stack, and each optimization disabled
+// alone.
+func optionMatrix() map[string]BFSOptions {
+	return map[string]BFSOptions{
+		"all-on":            {},
+		"all-off":           AllOff(),
+		"push-only":         {DisableDirectionOpt: true},
+		"no-masking":        {DisableMasking: true},
+		"no-early-exit":     {DisableEarlyExit: true},
+		"no-operand-reuse":  {DisableOperandReuse: true},
+		"no-structure-only": {DisableStructureOnly: true},
+		"no-mask-amortize":  {DisableMaskAmortize: true},
+		"heap-merge":        {Merge: graphblas.MergeHeap},
+		"spa-merge":         {Merge: graphblas.MergeSPA},
+	}
+}
+
+func checkDepths(t *testing.T, ctx string, got, want []int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d depths, want %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: depth[%d]=%d want %d", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+func TestBFSAllOptionCombosMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	graphs := map[string]*graphblas.Matrix[bool]{
+		"random":     randUndirected(rng, 80, 0.06),
+		"path":       pathGraph(50),
+		"star":       starPlusClique(40, 10),
+		"disconnect": undirectedFromEdges(10, [][2]int{{0, 1}, {1, 2}, {4, 5}}),
+	}
+	for gname, g := range graphs {
+		for src := 0; src < g.NRows(); src += 7 {
+			want := refBFS(g, src)
+			for oname, opt := range optionMatrix() {
+				res, err := BFS(g, src, opt)
+				if err != nil {
+					t.Fatalf("%s/%s src=%d: %v", gname, oname, src, err)
+				}
+				checkDepths(t, gname+"/"+oname, res.Depths, want)
+			}
+		}
+	}
+}
+
+func TestBFSVisitedAndEdgesTraversed(t *testing.T) {
+	g := undirectedFromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {4, 5}})
+	res, err := BFS(g, 0, BFSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != 4 {
+		t.Fatalf("Visited=%d want 4", res.Visited)
+	}
+	// Component {0,1,2,3} has degrees 1,2,2,1 → 6 directed edges.
+	if res.EdgesTraversed != 6 {
+		t.Fatalf("EdgesTraversed=%d want 6", res.EdgesTraversed)
+	}
+	if res.Iterations < 3 {
+		t.Fatalf("Iterations=%d want >=3", res.Iterations)
+	}
+	if res.MTEPS(0) != 0 {
+		t.Fatal("MTEPS of zero duration should be 0")
+	}
+}
+
+func TestBFSDirectionSwitching(t *testing.T) {
+	// Star-plus-clique with a low switch-point: iteration 1 pushes (tiny
+	// frontier), iteration 2 sees the exploded frontier and pulls, and the
+	// shrunken tail returns to push — the three phases of Section 5.1.
+	g := starPlusClique(400, 20)
+	var dirs []core.Direction
+	opt := BFSOptions{
+		SwitchPoint: 0.05,
+		Trace: func(s IterStats) {
+			dirs = append(dirs, s.Direction)
+		},
+	}
+	res, err := BFS(g, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != g.NRows() {
+		t.Fatalf("Visited=%d want %d", res.Visited, g.NRows())
+	}
+	if len(dirs) < 2 {
+		t.Fatalf("expected >=2 iterations, got %v", dirs)
+	}
+	if dirs[0] != core.Push {
+		t.Fatalf("iteration 1 should push: %v", dirs)
+	}
+	sawPull := false
+	for _, d := range dirs {
+		if d == core.Pull {
+			sawPull = true
+		}
+	}
+	if !sawPull {
+		t.Fatalf("star explosion should trigger pull: %v", dirs)
+	}
+	// Push-only never pulls.
+	dirs = dirs[:0]
+	_, err = BFS(g, 0, BFSOptions{DisableDirectionOpt: true, Trace: func(s IterStats) { dirs = append(dirs, s.Direction) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if d != core.Push {
+			t.Fatalf("push-only BFS pulled: %v", dirs)
+		}
+	}
+}
+
+func TestBFSErrors(t *testing.T) {
+	g := pathGraph(5)
+	if _, err := BFS(g, -1, BFSOptions{}); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := BFS(g, 5, BFSOptions{}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	rect, err := graphblas.NewMatrixFromCOO(2, 3, []uint32{0}, []uint32{2}, []bool{true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BFS(rect, 0, BFSOptions{}); err == nil {
+		t.Fatal("rectangular matrix accepted")
+	}
+}
+
+func TestBFSSingleVertexAndIsolatedSource(t *testing.T) {
+	g := undirectedFromEdges(3, [][2]int{{1, 2}})
+	res, err := BFS(g, 0, BFSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != 1 || res.Depths[0] != 0 || res.Depths[1] != -1 {
+		t.Fatalf("isolated source: %+v", res)
+	}
+}
+
+func TestBFSPropertyRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		g := randUndirected(rng, n, 0.05+rng.Float64()*0.15)
+		src := rng.Intn(n)
+		want := refBFS(g, src)
+		res, err := BFS(g, src, BFSOptions{SwitchPoint: 0.001 + rng.Float64()*0.3})
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if res.Depths[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentBFSValidTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(50)
+		g := randUndirected(rng, n, 0.1)
+		src := rng.Intn(n)
+		parents, err := ParentBFS(g, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refBFS(g, src)
+		if parents[src] != int64(src) {
+			t.Fatalf("trial %d: source parent = %d", trial, parents[src])
+		}
+		for v := 0; v < n; v++ {
+			if want[v] < 0 {
+				if parents[v] != -1 {
+					t.Fatalf("trial %d: unreachable %d has parent %d", trial, v, parents[v])
+				}
+				continue
+			}
+			if parents[v] == -1 {
+				t.Fatalf("trial %d: reachable %d has no parent", trial, v)
+			}
+			if v == src {
+				continue
+			}
+			p := int(parents[v])
+			// Parent must be exactly one level shallower and adjacent.
+			if want[p] != want[v]-1 {
+				t.Fatalf("trial %d: parent %d of %d at depth %d, child at %d", trial, p, v, want[p], want[v])
+			}
+			if _, err := g.ExtractElement(p, v); err != nil {
+				t.Fatalf("trial %d: parent %d not adjacent to %d", trial, p, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package algorithms
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pushpull/graphblas"
+	"pushpull/internal/sparse"
+)
+
+// MIS computes a maximal independent set with Luby's algorithm expressed
+// in GraphBLAS operations — one of the paper's Section 5.6 masking
+// beneficiaries: each round's neighbour-max matvec is masked to the
+// still-undecided candidate set, whose shrinkage is known a priori.
+//
+// Per round: every candidate draws a random weight; a candidate whose
+// weight beats the maximum over its candidate neighbours joins the set;
+// winners and their neighbours leave the candidate pool. Expected O(log n)
+// rounds. The rng seed makes runs reproducible.
+func MIS(a *graphblas.Matrix[bool], seed int64) ([]bool, error) {
+	n := a.NRows()
+	if a.NCols() != n {
+		return nil, fmt.Errorf("algorithms: MIS needs a square matrix, got %d×%d", a.NRows(), a.NCols())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// (max, second) semiring: propagate each candidate's weight to its
+	// neighbours, keep the largest.
+	sr := graphblas.Semiring[float64]{
+		Add: graphblas.Monoid[float64]{
+			Op: func(x, y float64) float64 {
+				if x > y {
+					return x
+				}
+				return y
+			},
+			Identity: 0,
+		},
+		Mul: func(_, y float64) float64 { return y },
+		One: 1,
+	}
+	weighted := graphblas.NewMatrixFromCSR(sparse.Scale(a.CSR(), func(bool) float64 { return 1 }))
+
+	inSet := make([]bool, n)
+	candidate := make([]bool, n)
+	for i := range candidate {
+		candidate[i] = true
+	}
+	remaining := n
+	weights := graphblas.NewVector[float64](n)
+	nbrMax := graphblas.NewVector[float64](n)
+	csr := a.CSR()
+
+	for remaining > 0 {
+		// Draw weights for candidates; isolated candidates always win.
+		weights.Clear()
+		candMask := graphblas.NewVector[bool](n)
+		for i := 0; i < n; i++ {
+			if candidate[i] {
+				_ = weights.SetElement(i, 1+rng.Float64()) // strictly > identity
+				_ = candMask.SetElement(i, true)
+			}
+		}
+		// nbrMax⟨candidates⟩ = max over candidate neighbours' weights.
+		desc := &graphblas.Descriptor{Transpose: true}
+		if _, err := graphblas.MxV(nbrMax, candMask, nil, sr, weighted, weights, desc); err != nil {
+			return nil, err
+		}
+		// Winners: weight strictly greater than every candidate
+		// neighbour's weight (ties impossible w.p. 1; break by index).
+		var winners []int
+		for i := 0; i < n; i++ {
+			if !candidate[i] {
+				continue
+			}
+			w, _ := weights.ExtractElement(i)
+			m, err := nbrMax.ExtractElement(i)
+			if err != nil || w > m {
+				winners = append(winners, i)
+			}
+		}
+		if len(winners) == 0 {
+			// Degenerate tie round (vanishingly rare): deterministically
+			// promote the lowest-indexed candidate to guarantee progress.
+			for i := 0; i < n; i++ {
+				if candidate[i] {
+					winners = append(winners, i)
+					break
+				}
+			}
+		}
+		for _, i := range winners {
+			if !candidate[i] {
+				continue // removed as a neighbour of an earlier winner
+			}
+			inSet[i] = true
+			candidate[i] = false
+			remaining--
+			ind, _ := csr.RowSpan(i)
+			for _, j := range ind {
+				if candidate[j] {
+					candidate[j] = false
+					remaining--
+				}
+			}
+		}
+	}
+	return inSet, nil
+}

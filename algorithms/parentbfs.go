@@ -1,0 +1,91 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"pushpull/graphblas"
+	"pushpull/internal/sparse"
+)
+
+// ParentBFS runs a Graph500-style BFS that records, for every reached
+// vertex, the parent through which it was first discovered. It uses the
+// (min, second) semiring over vertex ids: each frontier vertex carries its
+// own id, the multiply forwards the carrier's id to its neighbours, and
+// min picks a deterministic winner among competing parents.
+//
+// Returned parents[i] is the parent of i, parents[source] == source, and
+// -1 marks unreached vertices.
+func ParentBFS(a *graphblas.Matrix[bool], source int) ([]int64, error) {
+	n := a.NRows()
+	if a.NCols() != n {
+		return nil, fmt.Errorf("algorithms: ParentBFS needs a square matrix, got %d×%d", a.NRows(), a.NCols())
+	}
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("algorithms: ParentBFS source %d out of range [0,%d)", source, n)
+	}
+	// The traversal multiplies over uint32 ids, so re-type the pattern.
+	ids := graphblas.NewMatrixFromCSR(boolToIDCSR(a))
+	sr := graphblas.MinSecondUint32()
+
+	parents := make([]int64, n)
+	for i := range parents {
+		parents[i] = -1
+	}
+	parents[source] = int64(source)
+
+	visited := graphblas.NewVector[bool](n)
+	visited.ToDense()
+	if err := visited.SetElement(source, true); err != nil {
+		return nil, err
+	}
+	f := graphblas.NewVector[uint32](n)
+	if err := f.SetElement(source, uint32(source)); err != nil {
+		return nil, err
+	}
+
+	for f.NVals() > 0 {
+		desc := &graphblas.Descriptor{Transpose: true, StructuralComplement: true}
+		if _, err := graphblas.MxV(f, visited, nil, sr, ids, f, desc); err != nil {
+			return nil, err
+		}
+		f.Iterate(func(i int, parent uint32) bool {
+			parents[i] = int64(parent)
+			return true
+		})
+		if err := graphblas.AssignVector(visited, boolFromPattern(f)); err != nil {
+			return nil, err
+		}
+		// Re-stamp each newly discovered vertex with its own id so the
+		// next hop forwards the right parent.
+		if err := graphblas.ApplyIndexed(f, func(i int, _ uint32) uint32 { return uint32(i) }, f); err != nil {
+			return nil, err
+		}
+	}
+	return parents, nil
+}
+
+// boolToIDCSR converts a Boolean pattern matrix into a uint32-valued one
+// (values unused by the min-second semiring's Mul, but the type must
+// match). Pointer and index arrays are shared with the source.
+func boolToIDCSR(a *graphblas.Matrix[bool]) *sparse.CSR[uint32] {
+	src := a.CSR()
+	return &sparse.CSR[uint32]{
+		Rows: src.Rows,
+		Cols: src.Cols,
+		Ptr:  src.Ptr,
+		Ind:  src.Ind,
+		Val:  make([]uint32, len(src.Ind)),
+	}
+}
+
+// boolFromPattern builds a Boolean vector with u's pattern.
+func boolFromPattern(u *graphblas.Vector[uint32]) *graphblas.Vector[bool] {
+	out := graphblas.NewVector[bool](u.Size())
+	ind, _ := u.SparseView()
+	vals := make([]bool, len(ind))
+	for i := range vals {
+		vals[i] = true
+	}
+	_ = out.Build(ind, vals, nil)
+	return out
+}

@@ -1,0 +1,109 @@
+package algorithms
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pushpull/graphblas"
+	"pushpull/internal/core"
+)
+
+// SSSPOptions configures the Bellman-Ford traversal.
+type SSSPOptions struct {
+	// PushOnly pins the relaxation to the column-based kernel, disabling
+	// the 2-phase direction optimization of Section 5.6.
+	PushOnly bool
+	// SwitchPoint overrides the direction switch-point ratio. The default
+	// is DefaultSSSPSwitchPoint, not the BFS value: SSSP's pull phase is
+	// *unmasked* (no a-priori output sparsity exists for relaxation), so
+	// its break-even against push sits near nnz(f)·log nnz(f) ≈ M rather
+	// than the 1% that masked BFS pull enjoys.
+	SwitchPoint float64
+	// Trace, when non-nil, receives one record per relaxation round.
+	Trace func(IterStats)
+}
+
+// DefaultSSSPSwitchPoint is the active-fraction threshold for the 2-phase
+// SSSP direction switch.
+const DefaultSSSPSwitchPoint = 0.10
+
+// SSSP computes single-source shortest paths on a non-negatively weighted
+// graph with frontier-driven Bellman-Ford over the (min, +) semiring.
+// Each round relaxes only the *active* vertices — those whose distance
+// improved last round — so the active set plays the role of the BFS
+// frontier and the same push-pull machinery applies. Following the
+// paper's Section 5.6, SSSP uses the 2-phase direction scheme: start
+// column-based, switch to row-based when the active set grows large (the
+// workfront of SSSP does not shrink back the way BFS's does, so there is
+// no third phase).
+//
+// Unreachable vertices get +Inf.
+func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64, error) {
+	n := a.NRows()
+	if a.NCols() != n {
+		return nil, fmt.Errorf("algorithms: SSSP needs a square matrix, got %d×%d", a.NRows(), a.NCols())
+	}
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("algorithms: SSSP source %d out of range [0,%d)", source, n)
+	}
+	sr := graphblas.MinPlusFloat64()
+
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[source] = 0
+
+	active := graphblas.NewVector[float64](n)
+	if err := active.SetElement(source, 0); err != nil {
+		return nil, err
+	}
+	cand := graphblas.NewVector[float64](n)
+
+	var state core.SwitchState
+	dir := core.Push
+	sp := opt.SwitchPoint
+	if sp <= 0 {
+		sp = DefaultSSSPSwitchPoint
+	}
+
+	for round := 0; round < n && active.NVals() > 0; round++ {
+		start := time.Now()
+		if opt.PushOnly {
+			dir = core.Push
+		} else if dir == core.Push {
+			// 2-phase: once pull, stay pull.
+			dir = state.Decide(active.NVals(), n, dir, sp)
+		}
+		desc := &graphblas.Descriptor{Transpose: true}
+		if dir == core.Push {
+			desc.Direction = graphblas.ForcePush
+		} else {
+			desc.Direction = graphblas.ForcePull
+		}
+		// cand = Aᵀ min.+ active: tentative distances through last round's
+		// improvements.
+		if _, err := graphblas.MxV(cand, (*graphblas.Vector[bool])(nil), nil, sr, a, active, desc); err != nil {
+			return nil, err
+		}
+		// active = positions where cand improves dist; fold improvements in.
+		active.Clear()
+		cand.Iterate(func(i int, d float64) bool {
+			if d < dist[i] {
+				dist[i] = d
+				_ = active.SetElement(i, d)
+			}
+			return true
+		})
+		if opt.Trace != nil {
+			opt.Trace(IterStats{
+				Iteration:   round + 1,
+				Direction:   dir,
+				FrontierNNZ: active.NVals(),
+				Duration:    time.Since(start),
+			})
+		}
+	}
+	return dist, nil
+}

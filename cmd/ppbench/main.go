@@ -1,0 +1,285 @@
+// Command ppbench regenerates every table and figure of the paper's
+// evaluation from the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	ppbench [flags] <experiment>
+//
+// Experiments:
+//
+//	table1    RAM-model access counts of the 4 matvec variants (validates Table 1)
+//	fig2      runtime sweep of the 4 matvec variants, random vectors (Figure 2)
+//	table2    cumulative optimization impact on kron (Table 2)
+//	table3    dataset description table (Table 3)
+//	fig5      per-iteration frontier counts and push/pull runtimes (Figure 5)
+//	fig6      per-iteration runtime vs size from many sources (Figure 6)
+//	table4    framework comparison: runtime and MTEPS (the table in Figure 7)
+//	fig7      slowdown vs Gunrock, derived from table4 (Figure 7 chart)
+//	ablation  design-choice ablation: merge strategy, mask amortization, α sweep
+//	all       everything above in order
+//
+// Flags:
+//
+//	-scale N    log2 of the base vertex count (default 14)
+//	-sources N  BFS roots per measurement (default 10, paper uses 10-1000)
+//	-runs N     timed repetitions per root (default 3)
+//	-points N   sweep points for table1/fig2 (default 8)
+//	-datasets s comma-separated dataset subset for table4/fig7
+//	-csv        emit CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pushpull/internal/harness"
+)
+
+func main() {
+	var (
+		scale    = flag.Int("scale", 14, "log2 of the base vertex count")
+		sources  = flag.Int("sources", 10, "BFS roots per measurement")
+		runs     = flag.Int("runs", 3, "timed repetitions per root")
+		points   = flag.Int("points", 8, "sweep points for table1/fig2")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset for table4/fig7")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ppbench [flags] <table1|fig2|table2|table3|fig5|fig6|table4|fig7|ablation|all>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	cfg := config{
+		scale:   *scale,
+		sources: *sources,
+		runs:    *runs,
+		points:  *points,
+		csv:     *csv,
+		out:     os.Stdout,
+	}
+	if *datasets != "" {
+		cfg.only = strings.Split(*datasets, ",")
+	}
+	if err := run(flag.Arg(0), cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	scale, sources, runs, points int
+	only                         []string
+	csv                          bool
+	out                          io.Writer
+}
+
+func run(experiment string, cfg config) error {
+	switch experiment {
+	case "table1":
+		return table1(cfg)
+	case "fig2":
+		return fig2(cfg)
+	case "table2":
+		return table2(cfg)
+	case "table3":
+		return table3(cfg)
+	case "fig5":
+		return fig5(cfg)
+	case "fig6":
+		return fig6(cfg)
+	case "table4":
+		return table4(cfg)
+	case "fig7":
+		return fig7(cfg)
+	case "ablation":
+		return ablation(cfg)
+	case "all":
+		for _, e := range []string{"table1", "fig2", "table2", "table3", "fig5", "fig6", "table4", "fig7", "ablation"} {
+			if err := run(e, cfg); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+}
+
+func emit(cfg config, title string, headers []string, rows [][]string) error {
+	if cfg.csv {
+		return harness.RenderCSV(cfg.out, headers, rows)
+	}
+	return harness.RenderTable(cfg.out, title, headers, rows)
+}
+
+func microRows(rep *harness.MicroReport) [][]string {
+	rows := make([][]string, 0, len(rep.Points))
+	for _, p := range rep.Points {
+		rows = append(rows, []string{
+			harness.I(p.NNZ),
+			harness.F(p.RowNoMask), harness.F(p.RowMask),
+			harness.F(p.ColNoMask), harness.F(p.ColMask),
+		})
+	}
+	return rows
+}
+
+func table1(cfg config) error {
+	rep, err := harness.MicroSweep(cfg.scale, cfg.points, true)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Table 1 validation — RAM-model accesses on %s\n"+
+		"(expected: row-nomask flat O(dM); row-mask O(d·nnz(m)); col O(d·nnz(f)·log nnz(f)))", rep.Matrix)
+	headers := []string{"nnz", "row-nomask", "row-mask", "col-nomask", "col-mask"}
+	if err := emit(cfg, title, headers, microRows(rep)); err != nil {
+		return err
+	}
+	growth := [][]string{}
+	for _, k := range []string{"row-nomask", "row-mask", "col-nomask", "col-mask"} {
+		growth = append(growth, []string{k, harness.F(rep.Growth[k])})
+	}
+	return emit(cfg, "Endpoint growth ratios (≈1 = flat)", []string{"variant", "growth"}, growth)
+}
+
+func fig2(cfg config) error {
+	rep, err := harness.MicroSweep(cfg.scale, cfg.points, false)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Figure 2 — matvec runtime (ms) vs nnz, random vectors, %s", rep.Matrix)
+	headers := []string{"nnz", "row-nomask-ms", "row-mask-ms", "col-nomask-ms", "col-mask-ms"}
+	return emit(cfg, title, headers, microRows(rep))
+}
+
+func table2(cfg config) error {
+	rows, err := harness.Table2(cfg.scale, cfg.sources, cfg.runs)
+	if err != nil {
+		return err
+	}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		speedup := "—"
+		if r.Speedup > 0 {
+			speedup = harness.F(r.Speedup) + "x"
+		}
+		out = append(out, []string{r.Optimization, harness.F(r.GTEPS), harness.F(r.MeanMS), speedup})
+	}
+	return emit(cfg, fmt.Sprintf("Table 2 — cumulative optimization impact (kron scale=%d, %d sources)", cfg.scale, cfg.sources),
+		[]string{"Optimization", "GTEPS", "mean ms", "speedup"}, out)
+}
+
+func table3(cfg config) error {
+	rows, err := harness.Table3(cfg.scale)
+	if err != nil {
+		return err
+	}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name, harness.I(r.Vertices), harness.I(r.Edges),
+			harness.I(r.MaxDegree), harness.F(r.AvgDegree), harness.I(r.Diameter), r.Kind,
+		})
+	}
+	return emit(cfg, fmt.Sprintf("Table 3 — dataset stand-ins (scale=%d)", cfg.scale),
+		[]string{"Dataset", "Vertices", "Edges", "MaxDeg", "AvgDeg", "Diameter", "Type"}, out)
+}
+
+func fig5(cfg config) error {
+	rows, err := harness.Fig5(cfg.scale)
+	if err != nil {
+		return err
+	}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			harness.I(r.Iteration), harness.I(r.FrontierNNZ), harness.I(r.UnvisitedNNZ),
+			harness.F(r.PushMS), harness.F(r.PullMS),
+		})
+	}
+	return emit(cfg, fmt.Sprintf("Figure 5 — per-iteration frontier counts and kernel runtimes (kron scale=%d)", cfg.scale),
+		[]string{"iter", "frontier", "unvisited", "push-ms", "pull-ms"}, out)
+}
+
+func fig6(cfg config) error {
+	pts, err := harness.Fig6(cfg.scale, cfg.sources)
+	if err != nil {
+		return err
+	}
+	out := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, []string{p.Mode, harness.I(p.Source), harness.I(p.Iteration), harness.I(p.NNZ), harness.F(p.MS)})
+	}
+	return emit(cfg, fmt.Sprintf("Figure 6 — per-iteration (size, runtime) scatter (kron scale=%d, %d sources)", cfg.scale, cfg.sources),
+		[]string{"mode", "source", "iter", "nnz", "ms"}, out)
+}
+
+func table4(cfg config) error {
+	rows, err := harness.Compare(cfg.scale, cfg.sources, cfg.runs, cfg.only)
+	if err != nil {
+		return err
+	}
+	headers := append([]string{"Dataset"}, harness.FrameworkOrder...)
+	msRows := [][]string{}
+	tepsRows := [][]string{}
+	for _, r := range rows {
+		msRow := []string{r.Dataset}
+		tepsRow := []string{r.Dataset}
+		for _, name := range harness.FrameworkOrder {
+			msRow = append(msRow, harness.F(r.Cells[name].RuntimeMS))
+			tepsRow = append(tepsRow, harness.F(r.Cells[name].MTEPS))
+		}
+		msRows = append(msRows, msRow)
+		tepsRows = append(tepsRows, tepsRow)
+	}
+	if err := emit(cfg, fmt.Sprintf("Figure 7 table — runtime ms, lower is better (scale=%d, %d sources)", cfg.scale, cfg.sources), headers, msRows); err != nil {
+		return err
+	}
+	if err := emit(cfg, "Figure 7 table — edge throughput MTEPS, higher is better", headers, tepsRows); err != nil {
+		return err
+	}
+	gm := harness.GeomeanSpeedups(rows)
+	var gmRows [][]string
+	for _, name := range harness.FrameworkOrder {
+		if name == "This Work" {
+			continue
+		}
+		gmRows = append(gmRows, []string{name, harness.F(gm[name]) + "x"})
+	}
+	return emit(cfg, "Geomean speedup of This Work over:", []string{"framework", "speedup"}, gmRows)
+}
+
+func fig7(cfg config) error {
+	rows, err := harness.Compare(cfg.scale, cfg.sources, cfg.runs, cfg.only)
+	if err != nil {
+		return err
+	}
+	slow := harness.Fig7(rows)
+	headers := append([]string{"Dataset"}, harness.FrameworkOrder...)
+	out := [][]string{}
+	for _, s := range slow {
+		row := []string{s.Dataset}
+		for _, name := range harness.FrameworkOrder {
+			row = append(row, harness.F(s.Slowdowns[name]))
+		}
+		out = append(out, row)
+	}
+	return emit(cfg, "Figure 7 chart — slowdown vs Gunrock (1.0 = Gunrock)", headers, out)
+}
+
+func ablation(cfg config) error {
+	rows, err := harness.Ablation(cfg.scale, cfg.sources, cfg.runs)
+	if err != nil {
+		return err
+	}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Config, harness.F(r.MeanMS)})
+	}
+	return emit(cfg, fmt.Sprintf("Ablation — design choices (kron scale=%d)", cfg.scale),
+		[]string{"config", "mean ms"}, out)
+}

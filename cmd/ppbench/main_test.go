@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// End-to-end CLI driver tests at a tiny scale: every experiment must
+// produce non-empty, well-formed output.
+
+func tinyConfig(buf *bytes.Buffer) config {
+	return config{scale: 9, sources: 1, runs: 1, points: 3, out: buf}
+}
+
+func TestRunAllExperiments(t *testing.T) {
+	for _, exp := range []string{"table1", "fig2", "table2", "table3", "fig5", "fig6", "ablation"} {
+		var buf bytes.Buffer
+		cfg := tinyConfig(&buf)
+		if err := run(exp, cfg); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s: empty output", exp)
+		}
+	}
+}
+
+func TestRunComparisonSubset(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.only = []string{"kron"}
+	if err := run("table4", cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, col := range []string{"SuiteSparse", "CuSha", "Baseline", "Ligra", "Gunrock", "This Work"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("missing column %s in:\n%s", col, out)
+		}
+	}
+	buf.Reset()
+	if err := run("fig7", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "slowdown") {
+		t.Fatalf("fig7 output:\n%s", buf.String())
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.csv = true
+	if err := run("table2", cfg); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.Contains(first, ",") {
+		t.Fatalf("csv header missing commas: %q", first)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("nope", tinyConfig(&buf)); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,67 @@
+// Command ppgen generates the synthetic stand-in datasets and writes them
+// as MatrixMarket files, so external tools (or repeated benchmark runs)
+// can reuse identical graphs.
+//
+// Usage:
+//
+//	ppgen -scale 14 -out /tmp/graphs            # all 11 datasets
+//	ppgen -scale 16 -dataset kron -out /tmp     # one dataset
+//	ppgen -stats -scale 14                      # print Table 3, write nothing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pushpull/generate"
+	"pushpull/generate/mmio"
+	"pushpull/internal/harness"
+)
+
+func main() {
+	var (
+		scale   = flag.Int("scale", 14, "log2 of the base vertex count")
+		out     = flag.String("out", ".", "output directory")
+		dataset = flag.String("dataset", "", "single dataset name (default: all)")
+		stats   = flag.Bool("stats", false, "print stats only, write nothing")
+	)
+	flag.Parse()
+	if err := run(*scale, *out, *dataset, *stats); err != nil {
+		fmt.Fprintf(os.Stderr, "ppgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale int, out, only string, statsOnly bool) error {
+	datasets := harness.Datasets(scale)
+	if only != "" {
+		ds, err := harness.FindDataset(scale, only)
+		if err != nil {
+			return err
+		}
+		datasets = []harness.Dataset{ds}
+	}
+	for _, ds := range datasets {
+		g, err := ds.Build()
+		if err != nil {
+			return fmt.Errorf("build %s: %w", ds.Name, err)
+		}
+		st, err := generate.Stats(ds.Name, g, ds.Kind, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %9d vertices %10d edges  maxdeg %7d  avgdeg %6.1f  diam %5d  (%s; paper: %s)\n",
+			st.Name, st.Vertices, st.Edges, st.MaxDegree, st.AvgDegree, st.Diameter, st.Kind, ds.Paper)
+		if statsOnly {
+			continue
+		}
+		path := filepath.Join(out, fmt.Sprintf("%s_s%d.mtx", ds.Name, scale))
+		if err := mmio.WritePatternFile(path, g); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		fmt.Printf("  wrote %s\n", path)
+	}
+	return nil
+}

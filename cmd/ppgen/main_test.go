@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pushpull/generate/mmio"
+)
+
+func TestGenerateSingleDataset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(9, dir, "kron", false); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "kron_s9.mtx")
+	g, err := mmio.ReadPatternFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NRows() != 512 {
+		t.Fatalf("NRows=%d want 512", g.NRows())
+	}
+}
+
+func TestStatsOnlyWritesNothing(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(9, dir, "roadnet", true); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("stats-only run wrote %d files", len(entries))
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	if err := run(9, t.TempDir(), "nope", true); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,16 @@
+// Package pushpull is a Go reproduction of "Implementing Push-Pull
+// Efficiently in GraphBLAS" (Yang, Buluç, Owens — ICPP 2018).
+//
+// The importable library lives in the subpackages:
+//
+//	graphblas   GraphBLAS-style sparse linear algebra with automatic
+//	            push-pull direction optimization in MxV
+//	algorithms  BFS (Algorithm 1), SSSP, PageRank, triangle counting,
+//	            MIS, betweenness centrality
+//	generate    RMAT/Kronecker, RGG, grid and Erdős–Rényi generators,
+//	            MatrixMarket I/O (generate/mmio)
+//
+// This root package only anchors the module and the top-level benchmark
+// suite (bench_test.go), which regenerates every table and figure of the
+// paper's evaluation; see also cmd/ppbench.
+package pushpull

@@ -1,0 +1,76 @@
+// Graph eccentricity estimation with bit-parallel multi-source BFS
+// (MS-BFS): 64 traversals share every matrix access, the batched execution
+// the paper's Section 5.6 motivates for betweenness centrality. Estimates
+// the diameter and radius of a scale-free graph from a 64-source sample
+// and compares the batched runtime against 64 sequential traversals.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"pushpull/algorithms"
+	"pushpull/generate"
+)
+
+func main() {
+	scale := flag.Int("scale", 14, "log2 of the vertex count")
+	flag.Parse()
+
+	g, err := generate.RMAT(generate.RMATConfig{
+		Scale: *scale, EdgeFactor: 16, Undirected: true, Seed: 31,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := g.NRows()
+	fmt.Printf("graph: %d vertices, %d edges\n\n", n, g.NVals())
+
+	sources := make([]int, 0, 64)
+	for v := 0; len(sources) < 64 && v < n; v += 1 + n/97 {
+		ind, _ := g.RowView(v)
+		if len(ind) > 0 {
+			sources = append(sources, v)
+		}
+	}
+
+	start := time.Now()
+	batched, err := algorithms.MultiBFS(g, sources)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batchedTime := time.Since(start)
+
+	start = time.Now()
+	for _, s := range sources {
+		if _, err := algorithms.BFS(g, s, algorithms.BFSOptions{}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sequentialTime := time.Since(start)
+
+	// Eccentricity of s = max finite depth; diameter ≥ max ecc, radius ≤
+	// min ecc over the sample.
+	maxEcc, minEcc := int32(0), int32(1<<30)
+	for si := range sources {
+		ecc := int32(0)
+		for _, d := range batched[si] {
+			if d > ecc {
+				ecc = d
+			}
+		}
+		if ecc > maxEcc {
+			maxEcc = ecc
+		}
+		if ecc < minEcc {
+			minEcc = ecc
+		}
+	}
+	fmt.Printf("64-source sample: diameter >= %d, radius <= %d\n\n", maxEcc, minEcc)
+	fmt.Printf("batched MS-BFS:      %v\n", batchedTime.Round(time.Microsecond))
+	fmt.Printf("64 sequential BFS:   %v\n", sequentialTime.Round(time.Microsecond))
+	fmt.Printf("batching speedup:    %.1fx (every matrix access amortized across 64 lanes)\n",
+		float64(sequentialTime)/float64(batchedTime))
+}

@@ -1,0 +1,65 @@
+// Triangle counting with masked SpGEMM: the output pattern of L·Lᵀ is
+// known a priori (it is the edge set itself), so the masked multiply
+// computes only wedge closures that can be triangles — output-sparsity
+// masking applied to matrix-matrix multiplication (paper Section 5.6).
+// Clustering coefficients fall out for free.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"pushpull/algorithms"
+	"pushpull/generate"
+)
+
+func main() {
+	scale := flag.Int("scale", 13, "log2 of the vertex count")
+	flag.Parse()
+
+	// A scale-free graph has many triangles around its hubs; a grid has
+	// none; a random geometric graph sits in between.
+	graphs := []struct {
+		name  string
+		build func() (g generate.PatternMatrix, err error)
+	}{
+		{"rmat (social)", func() (generate.PatternMatrix, error) {
+			return generate.RMAT(generate.RMATConfig{Scale: *scale, EdgeFactor: 8, Undirected: true, Seed: 9})
+		}},
+		{"rgg (mesh-ish)", func() (generate.PatternMatrix, error) {
+			return generate.RGG(1<<*scale, 0.004*32, 10)
+		}},
+		{"grid (roads)", func() (generate.PatternMatrix, error) {
+			side := 1 << (*scale / 2)
+			return generate.Grid2D(side, side)
+		}},
+	}
+	for _, spec := range graphs {
+		g, err := spec.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		count, err := algorithms.TriangleCount(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		edges := int64(g.NVals()) / 2 // undirected edges stored twice
+		// Global clustering coefficient: 3·triangles / #wedges.
+		wedges := int64(0)
+		for i := 0; i < g.NRows(); i++ {
+			ind, _ := g.RowView(i)
+			d := int64(len(ind))
+			wedges += d * (d - 1) / 2
+		}
+		cc := 0.0
+		if wedges > 0 {
+			cc = 3 * float64(count) / float64(wedges)
+		}
+		fmt.Printf("%-15s %8d vertices %9d edges: %9d triangles, clustering %.4f  (%v)\n",
+			spec.name, g.NRows(), edges, count, cc, elapsed.Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,304 @@
+// Package generate builds the synthetic graphs the experiments run on.
+// The paper's datasets (Table 3) fall into two classes — scale-free graphs
+// with supervertices (soc-*, hollywood, indochina, kron_g500, rmat_*) and
+// bounded-degree high-diameter meshes (rgg, roadNet, road_usa) — and this
+// package provides a generator for each: RMAT/Kronecker (the same family
+// as kron_g500 and the rmat_* graphs), random geometric graphs, 2-D grids
+// (road stand-ins), and Erdős–Rényi for tests.
+//
+// All generators are deterministic for a given seed, remove self-loops,
+// fold duplicate edges, and (when undirected) store both edge directions,
+// matching the paper's dataset preparation.
+package generate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pushpull/graphblas"
+)
+
+// PatternMatrix is the Boolean adjacency matrix type every generator
+// returns, aliased for readability in caller signatures.
+type PatternMatrix = *graphblas.Matrix[bool]
+
+// Graph500 RMAT partition probabilities (a, b, c; d is the remainder) —
+// the parameters behind kron_g500-logn21.
+const (
+	Graph500A = 0.57
+	Graph500B = 0.19
+	Graph500C = 0.19
+)
+
+// RMATConfig parameterizes the recursive-matrix generator.
+type RMATConfig struct {
+	// Scale gives 2^Scale vertices.
+	Scale int
+	// EdgeFactor is the number of generated edges per vertex (before
+	// dedup); Graph500 uses 16.
+	EdgeFactor int
+	// A, B, C are the quadrant probabilities (D = 1-A-B-C). Zero values
+	// default to the Graph500 constants.
+	A, B, C float64
+	// Undirected mirrors every edge, producing a symmetric matrix.
+	Undirected bool
+	// Seed fixes the random stream.
+	Seed int64
+}
+
+func (c RMATConfig) withDefaults() RMATConfig {
+	if c.A == 0 && c.B == 0 && c.C == 0 {
+		c.A, c.B, c.C = Graph500A, Graph500B, Graph500C
+	}
+	if c.EdgeFactor <= 0 {
+		c.EdgeFactor = 16
+	}
+	return c
+}
+
+// RMAT generates a Kronecker/RMAT graph: each edge picks one of four
+// quadrants per scale level with probabilities (A, B, C, D), producing the
+// power-law degree distribution with supervertices that drives the paper's
+// Figure 6 analysis. Self-loops are dropped and duplicates folded.
+func RMAT(cfg RMATConfig) (*graphblas.Matrix[bool], error) {
+	cfg = cfg.withDefaults()
+	if cfg.Scale < 1 || cfg.Scale > 30 {
+		return nil, fmt.Errorf("generate: RMAT scale %d out of range [1,30]", cfg.Scale)
+	}
+	if cfg.A < 0 || cfg.B < 0 || cfg.C < 0 || cfg.A+cfg.B+cfg.C >= 1 {
+		return nil, fmt.Errorf("generate: RMAT probabilities (%g,%g,%g) invalid", cfg.A, cfg.B, cfg.C)
+	}
+	n := 1 << cfg.Scale
+	m := n * cfg.EdgeFactor
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rows := make([]uint32, 0, 2*m)
+	cols := make([]uint32, 0, 2*m)
+	ab := cfg.A + cfg.B
+	abc := ab + cfg.C
+	for e := 0; e < m; e++ {
+		var r, c uint32
+		for level := 0; level < cfg.Scale; level++ {
+			p := rng.Float64()
+			switch {
+			case p < cfg.A:
+				// top-left: no bits set
+			case p < ab:
+				c |= 1 << level
+			case p < abc:
+				r |= 1 << level
+			default:
+				r |= 1 << level
+				c |= 1 << level
+			}
+		}
+		if r == c {
+			continue // self-loop
+		}
+		rows = append(rows, r)
+		cols = append(cols, c)
+		if cfg.Undirected {
+			rows = append(rows, c)
+			cols = append(cols, r)
+		}
+	}
+	return patternMatrix(n, n, rows, cols)
+}
+
+// RGG generates a random geometric graph: n points uniform in the unit
+// square, edges between pairs within the given radius — the rgg_n_24
+// stand-in: bounded degree, huge diameter. Always undirected.
+func RGG(n int, radius float64, seed int64) (*graphblas.Matrix[bool], error) {
+	if n < 1 {
+		return nil, fmt.Errorf("generate: RGG size %d invalid", n)
+	}
+	if radius <= 0 || radius > 1 {
+		return nil, fmt.Errorf("generate: RGG radius %g out of (0,1]", radius)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	// Bucket points into radius-sized cells; only neighbouring cells can
+	// hold edges.
+	cells := int(1 / radius)
+	if cells < 1 {
+		cells = 1
+	}
+	grid := make(map[int][]int)
+	cellOf := func(i int) int {
+		cx := int(xs[i] * float64(cells))
+		cy := int(ys[i] * float64(cells))
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cy*cells + cx
+	}
+	for i := 0; i < n; i++ {
+		grid[cellOf(i)] = append(grid[cellOf(i)], i)
+	}
+	r2 := radius * radius
+	var rows, cols []uint32
+	for i := 0; i < n; i++ {
+		cx := int(xs[i] * float64(cells))
+		cy := int(ys[i] * float64(cells))
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := cx+dx, cy+dy
+				if nx < 0 || ny < 0 || nx >= cells || ny >= cells {
+					continue
+				}
+				for _, j := range grid[ny*cells+nx] {
+					if j <= i {
+						continue
+					}
+					ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+					if ddx*ddx+ddy*ddy <= r2 {
+						rows = append(rows, uint32(i), uint32(j))
+						cols = append(cols, uint32(j), uint32(i))
+					}
+				}
+			}
+		}
+	}
+	return patternMatrix(n, n, rows, cols)
+}
+
+// Grid2D generates a rows×cols 4-neighbour mesh — the road-network
+// stand-in (roadNet_CA, road_usa): degree ≤ 4, diameter rows+cols.
+func Grid2D(rows, cols int) (*graphblas.Matrix[bool], error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("generate: grid %d×%d invalid", rows, cols)
+	}
+	n := rows * cols
+	var r, c []uint32
+	id := func(y, x int) uint32 { return uint32(y*cols + x) }
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			if x+1 < cols {
+				r = append(r, id(y, x), id(y, x+1))
+				c = append(c, id(y, x+1), id(y, x))
+			}
+			if y+1 < rows {
+				r = append(r, id(y, x), id(y+1, x))
+				c = append(c, id(y+1, x), id(y, x))
+			}
+		}
+	}
+	return patternMatrix(n, n, r, c)
+}
+
+// ErdosRenyi generates G(n, p) as an undirected simple graph using the
+// geometric skipping method, O(E) regardless of p.
+func ErdosRenyi(n int, p float64, seed int64) (*graphblas.Matrix[bool], error) {
+	if n < 1 {
+		return nil, fmt.Errorf("generate: ER size %d invalid", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("generate: ER probability %g out of [0,1]", p)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var rows, cols []uint32
+	if p > 0 {
+		logq := math.Log(1 - p)
+		// Iterate potential edges (i<j) with geometric jumps.
+		v, w := 1, -1
+		for v < n {
+			step := 1
+			if p < 1 {
+				step = 1 + int(math.Log(1-rng.Float64())/logq)
+			}
+			w += step
+			for w >= v && v < n {
+				w -= v
+				v++
+			}
+			if v < n {
+				rows = append(rows, uint32(v), uint32(w))
+				cols = append(cols, uint32(w), uint32(v))
+			}
+		}
+	}
+	return patternMatrix(n, n, rows, cols)
+}
+
+// Path generates the path graph 0-1-…-n-1 (maximum diameter; exercises
+// push-only regimes).
+func Path(n int) (*graphblas.Matrix[bool], error) {
+	if n < 1 {
+		return nil, fmt.Errorf("generate: path size %d invalid", n)
+	}
+	var r, c []uint32
+	for i := 0; i+1 < n; i++ {
+		r = append(r, uint32(i), uint32(i+1))
+		c = append(c, uint32(i+1), uint32(i))
+	}
+	return patternMatrix(n, n, r, c)
+}
+
+// Star generates a hub-and-leaves star with n vertices (vertex 0 is the
+// hub) — the minimal frontier-explosion graph.
+func Star(n int) (*graphblas.Matrix[bool], error) {
+	if n < 1 {
+		return nil, fmt.Errorf("generate: star size %d invalid", n)
+	}
+	var r, c []uint32
+	for i := 1; i < n; i++ {
+		r = append(r, 0, uint32(i))
+		c = append(c, uint32(i), 0)
+	}
+	return patternMatrix(n, n, r, c)
+}
+
+// WeightedCopy re-types a Boolean pattern as a float64 matrix with
+// deterministic pseudo-random edge weights in [minW, maxW), symmetric for
+// symmetric patterns (the SSSP experiment input).
+func WeightedCopy(a *graphblas.Matrix[bool], minW, maxW float64, seed int64) (*graphblas.Matrix[float64], error) {
+	if maxW <= minW {
+		return nil, fmt.Errorf("generate: weight range [%g,%g) empty", minW, maxW)
+	}
+	n := a.NRows()
+	csr := a.CSR()
+	var r, c []uint32
+	var v []float64
+	span := maxW - minW
+	for i := 0; i < n; i++ {
+		ind, _ := csr.RowSpan(i)
+		for _, j := range ind {
+			lo, hi := uint32(i), j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			// Hash the undirected edge with the seed so both directions
+			// agree.
+			h := uint64(lo)*0x9E3779B97F4A7C15 ^ uint64(hi)*0xC2B2AE3D27D4EB4F ^ uint64(seed)
+			h ^= h >> 33
+			h *= 0xFF51AFD7ED558CCD
+			h ^= h >> 33
+			w := minW + span*float64(h%(1<<52))/float64(int64(1)<<52)
+			r = append(r, uint32(i))
+			c = append(c, j)
+			v = append(v, w)
+		}
+	}
+	m, err := graphblas.NewMatrixFromCOO(a.NRows(), a.NCols(), r, c, v, nil)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// patternMatrix builds a Boolean matrix from parallel index slices.
+func patternMatrix(nr, nc int, rows, cols []uint32) (*graphblas.Matrix[bool], error) {
+	vals := make([]bool, len(rows))
+	for i := range vals {
+		vals[i] = true
+	}
+	return graphblas.NewMatrixFromCOO(nr, nc, rows, cols, vals, func(a, b bool) bool { return a })
+}

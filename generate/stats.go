@@ -1,0 +1,75 @@
+package generate
+
+import (
+	"fmt"
+
+	"pushpull/algorithms"
+	"pushpull/graphblas"
+)
+
+// GraphStats is the Table 3 row for a dataset: vertex/edge counts, degree
+// extremes, and an estimated diameter.
+type GraphStats struct {
+	Name string
+	// Vertices is the number of rows.
+	Vertices int
+	// Edges is the number of stored entries (both directions counted for
+	// undirected graphs, matching the paper's edge counts).
+	Edges int
+	// MaxDegree is the largest row population.
+	MaxDegree int
+	// AvgDegree is Edges/Vertices.
+	AvgDegree float64
+	// Diameter is a pseudo-diameter estimate (double-sweep BFS lower
+	// bound).
+	Diameter int
+	// Kind is the paper's type tag: r/g (real/generated) + s/m
+	// (scale-free/mesh-like).
+	Kind string
+}
+
+// Stats computes a GraphStats row. The diameter estimate runs `sweeps`
+// rounds of the double-sweep heuristic (2 is the usual choice): BFS from a
+// start vertex, restart from the deepest vertex found, keep the maximum
+// depth seen.
+func Stats(name string, a *graphblas.Matrix[bool], kind string, sweeps int) (GraphStats, error) {
+	if sweeps < 1 {
+		sweeps = 2
+	}
+	s := GraphStats{
+		Name:      name,
+		Vertices:  a.NRows(),
+		Edges:     a.NVals(),
+		MaxDegree: a.MaxDegree(),
+		AvgDegree: a.AvgDegree(),
+		Kind:      kind,
+	}
+	// Start from the highest-degree vertex (certain to sit in the big
+	// component of our generators).
+	start, best := 0, -1
+	csr := a.CSR()
+	for i := 0; i < a.NRows(); i++ {
+		if d := csr.RowLen(i); d > best {
+			best = d
+			start = i
+		}
+	}
+	for sweep := 0; sweep < sweeps; sweep++ {
+		res, err := algorithms.BFS(a, start, algorithms.BFSOptions{})
+		if err != nil {
+			return s, fmt.Errorf("generate: diameter sweep: %w", err)
+		}
+		deepest, depth := start, int32(-1)
+		for v, d := range res.Depths {
+			if d > depth {
+				depth = d
+				deepest = v
+			}
+		}
+		if int(depth) > s.Diameter {
+			s.Diameter = int(depth)
+		}
+		start = deepest
+	}
+	return s, nil
+}

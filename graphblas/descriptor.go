@@ -1,0 +1,124 @@
+package graphblas
+
+import "pushpull/internal/core"
+
+// DefaultSwitchPoint is the paper's α = β = 0.01 sparse/dense (push/pull)
+// switch-point: once ~1% of vertices are in the frontier of a scale-free
+// graph, a supervertex has almost surely been hit and pull wins.
+const DefaultSwitchPoint = core.DefaultSwitchPoint
+
+// TraversalDirection is the kernel orientation an operation reports having
+// chosen (the second return of MxV and the Direction field of BFS traces).
+// It aliases the internal kernel type so callers can name and compare it
+// without importing internal packages.
+type TraversalDirection = core.Direction
+
+// The two traversal directions.
+const (
+	PushDirection TraversalDirection = core.Push
+	PullDirection TraversalDirection = core.Pull
+)
+
+// Direction optionally pins MxV to one kernel.
+type Direction int
+
+const (
+	// Auto lets MxV dispatch on the input vector's storage format after
+	// applying the conversion heuristic (the paper's Optimization 1).
+	Auto Direction = iota
+	// ForcePush always uses the column-based (SpMSpV) kernel.
+	ForcePush
+	// ForcePull always uses the row-based (SpMV) kernel.
+	ForcePull
+)
+
+// MergeStrategy selects the push-phase multiway-merge implementation —
+// exposed for the ablation study; the default radix pipeline is the
+// paper's choice.
+type MergeStrategy int
+
+const (
+	// MergeRadix concatenates gathered lists, radix-sorts, and
+	// segment-reduces (Algorithm 3).
+	MergeRadix MergeStrategy = iota
+	// MergeHeap uses a k-way heap merge (the Table 1 cost model's
+	// formulation).
+	MergeHeap
+	// MergeSPA scatters through a dense sparse-accumulator.
+	MergeSPA
+)
+
+// Descriptor modifies an operation's behaviour, mirroring GrB_Descriptor.
+// The zero value is the default configuration; descriptors are plain data
+// and may be shared between calls.
+type Descriptor struct {
+	// StructuralComplement uses ¬mask instead of mask (GrB_SCMP): indices
+	// where the mask is *empty* pass. This is how BFS expresses "only
+	// unvisited vertices" from the visited vector.
+	StructuralComplement bool
+
+	// Transpose multiplies by Aᵀ instead of A (GrB_INP0/GrB_TRAN). Because
+	// the matrix stores both orientations this costs nothing — it swaps
+	// which view each kernel reads, exactly the isomorphism the paper uses
+	// to express push-pull as one formula.
+	Transpose bool
+
+	// Direction optionally forces push or pull (Optimization 1 override).
+	Direction Direction
+
+	// SwitchPoint overrides the sparse↔dense conversion ratio; zero means
+	// DefaultSwitchPoint. This is the paper's "user can select this
+	// sparse/dense switching point by passing a floating-point value
+	// through the Descriptor".
+	SwitchPoint float64
+
+	// NoAutoConvert disables the conversion heuristic on the input vector,
+	// leaving its current format (and hence the kernel choice) untouched.
+	// The microbenchmarks use it to measure a fixed kernel across sweeps.
+	NoAutoConvert bool
+
+	// StructureOnly runs kernels in pattern mode (Optimization 5): matrix
+	// and vector values are never read and discovered outputs get the
+	// semiring's One. Only meaningful for semirings whose ⊕ is idempotent
+	// on {One}, such as Boolean OR.
+	StructureOnly bool
+
+	// NoEarlyExit suppresses the early-exit break even when the semiring
+	// has an additive terminal (Optimization 3 override, for ablation).
+	NoEarlyExit bool
+
+	// Merge selects the push-phase merge implementation.
+	Merge MergeStrategy
+
+	// MaskAllowList, when non-nil, enumerates (sorted ascending) exactly
+	// the output indices the effective mask allows, letting the masked
+	// pull kernel skip the O(M) bitmap scan. This realizes the paper's
+	// Section 3.2 amortization: BFS maintains the unvisited list across
+	// iterations, paying O(M) once instead of per iteration. The caller
+	// must keep the list consistent with the mask and complement flag.
+	MaskAllowList []uint32
+
+	// Sequential forces single-threaded kernels (profiling/debugging).
+	Sequential bool
+}
+
+// effSwitchPoint returns the switch-point honouring the zero default.
+func (d *Descriptor) effSwitchPoint() float64 {
+	if d == nil || d.SwitchPoint <= 0 {
+		return DefaultSwitchPoint
+	}
+	return d.SwitchPoint
+}
+
+// coreOpts translates the descriptor into kernel options.
+func (d *Descriptor) coreOpts() core.Opts {
+	if d == nil {
+		return core.Opts{EarlyExit: true}
+	}
+	return core.Opts{
+		StructureOnly: d.StructureOnly,
+		EarlyExit:     !d.NoEarlyExit,
+		Merge:         core.MergeKind(d.Merge),
+		Sequential:    d.Sequential,
+	}
+}

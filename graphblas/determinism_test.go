@@ -1,0 +1,91 @@
+package graphblas
+
+import (
+	"math/rand"
+	"testing"
+
+	"pushpull/internal/par"
+)
+
+// Parallel kernels must be bitwise-deterministic for order-insensitive
+// semirings and independent of the worker count: results with 1 worker
+// and with the full pool have to match exactly.
+
+func TestMxVDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	n := 300
+	a := randMatrix(rng, n, n, 0.05)
+	u := randVec(rng, n, 0.3)
+	mask := NewVector[bool](n)
+	for i := 0; i < n; i += 3 {
+		_ = mask.SetElement(i, true)
+	}
+	mask.ToDense()
+	s := PlusTimesFloat64()
+
+	type result struct {
+		ind []uint32
+		val []float64
+	}
+	capture := func(v *Vector[float64]) result {
+		ind, val := v.SparseView()
+		return result{append([]uint32(nil), ind...), append([]float64(nil), val...)}
+	}
+	run := func(workers int, dir Direction, masked bool) result {
+		prev := par.SetMaxWorkers(workers)
+		defer par.SetMaxWorkers(prev)
+		w := NewVector[float64](n)
+		desc := &Descriptor{Direction: dir, StructuralComplement: true}
+		var err error
+		if masked {
+			_, err = MxV(w, mask, nil, s, a, u.Dup(), desc)
+		} else {
+			_, err = MxV(w, (*Vector[bool])(nil), nil, s, a, u.Dup(), desc)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return capture(w)
+	}
+	for _, dir := range []Direction{ForcePush, ForcePull} {
+		for _, masked := range []bool{false, true} {
+			one := run(1, dir, masked)
+			many := run(8, dir, masked)
+			if len(one.ind) != len(many.ind) {
+				t.Fatalf("dir=%v masked=%v: nnz %d vs %d", dir, masked, len(one.ind), len(many.ind))
+			}
+			for i := range one.ind {
+				if one.ind[i] != many.ind[i] || one.val[i] != many.val[i] {
+					t.Fatalf("dir=%v masked=%v: entry %d differs", dir, masked, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMxMDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	n := 60
+	a := randMatrix(rng, n, n, 0.15)
+	b := randMatrix(rng, n, n, 0.15)
+	s := PlusTimesFloat64()
+	run := func(workers int) *Matrix[float64] {
+		prev := par.SetMaxWorkers(workers)
+		defer par.SetMaxWorkers(prev)
+		out, err := MxM(a, s, a, b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	one := run(1).CSR()
+	many := run(8).CSR()
+	if len(one.Ind) != len(many.Ind) {
+		t.Fatalf("nnz %d vs %d", len(one.Ind), len(many.Ind))
+	}
+	for i := range one.Ind {
+		if one.Ind[i] != many.Ind[i] || one.Val[i] != many.Val[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Package graphblas is a GraphBLAS-style sparse linear algebra library
+// whose matrix-vector multiply implements the push-pull (direction-
+// optimized) technique of Yang, Buluç and Owens, "Implementing Push-Pull
+// Efficiently in GraphBLAS" (ICPP 2018).
+//
+// The key idea: push and pull graph traversals are the same mathematical
+// operation, w⟨¬v⟩ = Aᵀ·u over a semiring, differing only in how the
+// multiply is scheduled. A sparse input vector favours the column-based
+// kernel (push, SpMSpV); a dense input with a sparse output mask favours
+// the row-based kernel (pull, masked SpMV). MxV dispatches on the input
+// vector's storage format, and Vector conversion follows the paper's
+// switch-point heuristic with hysteresis, so a BFS written as a plain loop
+// of MxV calls direction-optimizes automatically.
+//
+// The paper's five optimizations map onto the API as follows.
+//
+//	Change of direction — automatic in MxV; force with Descriptor.Direction.
+//	Masking            — the mask argument of MxV/AssignScalar, with
+//	                     Descriptor.StructuralComplement for ¬m; the
+//	                     amortized unvisited-list of Section 3.2 plugs in
+//	                     through Descriptor.MaskAllowList.
+//	Early-exit         — automatic whenever the semiring's additive monoid
+//	                     declares a Terminal (e.g. Boolean OR saturates at
+//	                     true); disable with Descriptor.NoEarlyExit.
+//	Operand reuse      — an algorithm-level choice (pass the visited vector
+//	                     as the input); see algorithms.BFS.
+//	Structure-only     — Descriptor.StructureOnly treats the matrix as a
+//	                     pattern, halving push-phase sort traffic.
+//
+// Types are generic over the stored element type. Semirings are ordinary
+// values (see OrAndBool, PlusTimesFloat64, MinPlusFloat64, ...), so users
+// can express BFS, SSSP, PageRank and friends by choosing (⊕, ⊗, I) — the
+// generalized-semiring mechanism of the GraphBLAS C API.
+package graphblas

@@ -1,0 +1,20 @@
+package graphblas
+
+import "errors"
+
+// Error values mirror the GraphBLAS C API's error codes that are relevant
+// to this implementation. Operations return wrapped versions carrying
+// context; match with errors.Is.
+var (
+	// ErrDimensionMismatch corresponds to GrB_DIMENSION_MISMATCH: operand
+	// shapes do not conform.
+	ErrDimensionMismatch = errors.New("graphblas: dimension mismatch")
+	// ErrIndexOutOfBounds corresponds to GrB_INDEX_OUT_OF_BOUNDS.
+	ErrIndexOutOfBounds = errors.New("graphblas: index out of bounds")
+	// ErrInvalidValue corresponds to GrB_INVALID_VALUE: a malformed
+	// argument such as unsorted build input or a nil operand.
+	ErrInvalidValue = errors.New("graphblas: invalid value")
+	// ErrNoValue corresponds to GrB_NO_VALUE: element lookup at an empty
+	// position.
+	ErrNoValue = errors.New("graphblas: no value")
+)

@@ -1,0 +1,253 @@
+package graphblas
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Algebraic identities the library must satisfy — property tests over
+// random matrices and vectors.
+
+// TestMxVIdentityVector: multiplying the all-ones vector by a 0/1 matrix
+// over plus-times yields each row's degree.
+func TestMxVIdentityVector(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		var r, c []uint32
+		var v []float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.2 {
+					r = append(r, uint32(i))
+					c = append(c, uint32(j))
+					v = append(v, 1)
+				}
+			}
+		}
+		a, err := NewMatrixFromCOO(n, n, r, c, v, nil)
+		if err != nil {
+			return false
+		}
+		ones := NewVector[float64](n)
+		for i := 0; i < n; i++ {
+			_ = ones.SetElement(i, 1)
+		}
+		w := NewVector[float64](n)
+		if _, err := MxV(w, (*Vector[bool])(nil), nil, PlusTimesFloat64(), a, ones, nil); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			ind, _ := a.RowView(i)
+			deg := float64(len(ind))
+			x, err := w.ExtractElement(i)
+			if len(ind) == 0 {
+				if err == nil {
+					return false
+				}
+				continue
+			}
+			if err != nil || x != deg {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMxVLinearity: A(x ⊕ y) == Ax ⊕ Ay for plus-times when x and y have
+// disjoint support (so eWiseAdd is exact concatenation).
+func TestMxVLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		a := randMatrix(rng, n, n, 0.25)
+		x := NewVector[float64](n)
+		y := NewVector[float64](n)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				_ = x.SetElement(i, rng.Float64())
+			case 1:
+				_ = y.SetElement(i, rng.Float64())
+			}
+		}
+		s := PlusTimesFloat64()
+		add := s.Add.Op
+		sum := NewVector[float64](n)
+		if EWiseAdd(sum, add, x, y) != nil {
+			return false
+		}
+		lhs := NewVector[float64](n)
+		if _, err := MxV(lhs, (*Vector[bool])(nil), nil, s, a, sum, nil); err != nil {
+			return false
+		}
+		ax := NewVector[float64](n)
+		ay := NewVector[float64](n)
+		if _, err := MxV(ax, (*Vector[bool])(nil), nil, s, a, x, nil); err != nil {
+			return false
+		}
+		if _, err := MxV(ay, (*Vector[bool])(nil), nil, s, a, y, nil); err != nil {
+			return false
+		}
+		rhs := NewVector[float64](n)
+		if EWiseAdd(rhs, add, ax, ay) != nil {
+			return false
+		}
+		if lhs.NVals() != rhs.NVals() {
+			return false
+		}
+		ok := true
+		lhs.Iterate(func(i int, v float64) bool {
+			u, err := rhs.ExtractElement(i)
+			if err != nil || !approx(u, v) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+// TestTransposeInvolutionAndMxVDuality: (Aᵀ)ᵀ = A, and MxV(Aᵀ, x) equals
+// MxV with the Transpose descriptor.
+func TestTransposeInvolutionAndMxVDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 20; trial++ {
+		nr, nc := 1+rng.Intn(20), 1+rng.Intn(20)
+		a := randMatrix(rng, nr, nc, 0.3)
+		at := Transpose(a)
+		att := Transpose(at)
+		if att.NRows() != a.NRows() || att.NVals() != a.NVals() {
+			t.Fatal("double transpose changed shape")
+		}
+		x := randVec(rng, nr, 0.5)
+		s := PlusTimesFloat64()
+		w1 := NewVector[float64](nc)
+		if _, err := MxV(w1, (*Vector[bool])(nil), nil, s, at, x.Dup(), nil); err != nil {
+			t.Fatal(err)
+		}
+		w2 := NewVector[float64](nc)
+		if _, err := MxV(w2, (*Vector[bool])(nil), nil, s, a, x.Dup(), &Descriptor{Transpose: true}); err != nil {
+			t.Fatal(err)
+		}
+		if w1.NVals() != w2.NVals() {
+			t.Fatalf("trial %d: transpose duality nnz %d vs %d", trial, w1.NVals(), w2.NVals())
+		}
+		w1.Iterate(func(i int, v float64) bool {
+			u, err := w2.ExtractElement(i)
+			if err != nil || !approx(u, v) {
+				t.Fatalf("trial %d: duality mismatch at %d", trial, i)
+			}
+			return true
+		})
+	}
+	// Symmetric matrices transpose to themselves.
+	sym, err := NewMatrixFromCOO(2, 2, []uint32{0, 1}, []uint32{1, 0}, []float64{3, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Transpose(sym) != sym {
+		t.Fatal("symmetric transpose should be identity")
+	}
+}
+
+// TestMaskDeMorgan: the structural complement partitions the output — the
+// masked result and the complement-masked result are disjoint and their
+// union is the unmasked result.
+func TestMaskDeMorgan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		a := randMatrix(rng, n, n, 0.25)
+		u := randVec(rng, n, 0.5)
+		mask := NewVector[bool](n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				_ = mask.SetElement(i, true)
+			}
+		}
+		s := PlusTimesFloat64()
+		full := NewVector[float64](n)
+		pos := NewVector[float64](n)
+		neg := NewVector[float64](n)
+		if _, err := MxV(full, (*Vector[bool])(nil), nil, s, a, u.Dup(), nil); err != nil {
+			return false
+		}
+		if _, err := MxV(pos, mask, nil, s, a, u.Dup(), nil); err != nil {
+			return false
+		}
+		if _, err := MxV(neg, mask, nil, s, a, u.Dup(), &Descriptor{StructuralComplement: true}); err != nil {
+			return false
+		}
+		if pos.NVals()+neg.NVals() != full.NVals() {
+			return false
+		}
+		ok := true
+		full.Iterate(func(i int, v float64) bool {
+			p, perr := pos.ExtractElement(i)
+			q, qerr := neg.ExtractElement(i)
+			if (perr == nil) == (qerr == nil) { // exactly one side must hold i
+				ok = false
+				return false
+			}
+			got := p
+			if perr != nil {
+				got = q
+			}
+			if !approx(got, v) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtract(t *testing.T) {
+	u := NewVector[float64](6)
+	_ = u.SetElement(1, 10)
+	_ = u.SetElement(4, 40)
+	w := NewVector[float64](3)
+	if err := Extract(w, u, []uint32{4, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if w.NVals() != 2 {
+		t.Fatalf("NVals=%d want 2", w.NVals())
+	}
+	if x, _ := w.ExtractElement(0); x != 40 {
+		t.Fatalf("w[0]=%g want 40", x)
+	}
+	if x, _ := w.ExtractElement(2); x != 10 {
+		t.Fatalf("w[2]=%g want 10", x)
+	}
+	if _, err := w.ExtractElement(1); err == nil {
+		t.Fatal("empty slot extracted")
+	}
+	if err := Extract(w, u, []uint32{0, 1}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if err := Extract(w, u, []uint32{0, 1, 99}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if err := Extract(nil, u, nil); err == nil {
+		t.Fatal("nil output accepted")
+	}
+}

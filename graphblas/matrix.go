@@ -1,0 +1,123 @@
+package graphblas
+
+import (
+	"fmt"
+
+	"pushpull/internal/sparse"
+)
+
+// Matrix is a GraphBLAS matrix over element type T. It keeps the matrix in
+// both row-major (CSR) and column-major (CSC) compressed form, because the
+// push direction gathers columns while the pull direction scans rows — the
+// paper's function-signature table in Section 6.3 requires both
+// orientations to be available to the runtime. For pattern-symmetric
+// matrices (undirected graphs) the two views share storage.
+type Matrix[T comparable] struct {
+	csr *sparse.CSR[T]
+	csc *sparse.CSR[T] // csr of the transpose; may alias csr
+}
+
+// NewMatrixFromCOO builds a matrix from coordinate triples, folding
+// duplicates with dup (last write wins if nil).
+func NewMatrixFromCOO[T comparable](nrows, ncols int, rows, cols []uint32, vals []T, dup BinaryOp[T]) (*Matrix[T], error) {
+	var dupFn func(T, T) T
+	if dup != nil {
+		dupFn = dup
+	}
+	csr, err := sparse.FromCOO(nrows, ncols, rows, cols, vals, dupFn)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidValue, err)
+	}
+	return NewMatrixFromCSR(csr), nil
+}
+
+// NewMatrixFromCSR wraps an existing CSR structure (taking ownership). The
+// CSC view is built eagerly; if the pattern is symmetric and values match
+// their transposed positions, the CSR is shared instead.
+func NewMatrixFromCSR[T comparable](csr *sparse.CSR[T]) *Matrix[T] {
+	m := &Matrix[T]{csr: csr}
+	csc := sparse.Transpose(csr)
+	if sameCSR(csr, csc) {
+		m.csc = csr
+	} else {
+		m.csc = csc
+	}
+	return m
+}
+
+// sameCSR reports whether two CSRs are element-for-element identical
+// (pattern and values), in which case one can stand in for the other.
+func sameCSR[T comparable](a, b *sparse.CSR[T]) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.Ptr {
+		if a.Ptr[i] != b.Ptr[i] {
+			return false
+		}
+	}
+	for i := range a.Ind {
+		if a.Ind[i] != b.Ind[i] || a.Val[i] != b.Val[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NRows returns the number of rows.
+func (m *Matrix[T]) NRows() int { return m.csr.Rows }
+
+// NCols returns the number of columns.
+func (m *Matrix[T]) NCols() int { return m.csr.Cols }
+
+// NVals returns the number of stored entries.
+func (m *Matrix[T]) NVals() int { return m.csr.NNZ() }
+
+// Symmetric reports whether the CSR and CSC views share storage, i.e. the
+// matrix equals its transpose.
+func (m *Matrix[T]) Symmetric() bool { return m.csc == m.csr }
+
+// AvgDegree returns the mean number of stored entries per row — the d of
+// the paper's cost model and direction heuristic.
+func (m *Matrix[T]) AvgDegree() float64 { return sparse.AvgRowLen(m.csr) }
+
+// MaxDegree returns the largest row population.
+func (m *Matrix[T]) MaxDegree() int { return sparse.MaxRowLen(m.csr) }
+
+// ExtractElement returns A(i, j), or ErrNoValue if that position is empty.
+func (m *Matrix[T]) ExtractElement(i, j int) (T, error) {
+	var zero T
+	if i < 0 || i >= m.NRows() || j < 0 || j >= m.NCols() {
+		return zero, fmt.Errorf("%w: (%d,%d) in %d×%d matrix", ErrIndexOutOfBounds, i, j, m.NRows(), m.NCols())
+	}
+	ind, val := m.csr.RowSpan(i)
+	lo, hi := 0, len(ind)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ind[mid] < uint32(j) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ind) && ind[lo] == uint32(j) {
+		return val[lo], nil
+	}
+	return zero, ErrNoValue
+}
+
+// RowView exposes row i of the CSR view (indices and values). The returned
+// slices alias internal storage and must not be modified.
+func (m *Matrix[T]) RowView(i int) ([]uint32, []T) { return m.csr.RowSpan(i) }
+
+// ColView exposes column j via the CSC view. The returned slices alias
+// internal storage and must not be modified.
+func (m *Matrix[T]) ColView(j int) ([]uint32, []T) { return m.csc.RowSpan(j) }
+
+// CSR exposes the underlying row-major structure for internal consumers
+// (kernels, the experiment harness). Treat as read-only.
+func (m *Matrix[T]) CSR() *sparse.CSR[T] { return m.csr }
+
+// CSC exposes the underlying column-major structure (the CSR of Aᵀ).
+// Treat as read-only.
+func (m *Matrix[T]) CSC() *sparse.CSR[T] { return m.csc }

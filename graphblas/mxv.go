@@ -1,0 +1,195 @@
+package graphblas
+
+import (
+	"fmt"
+
+	"pushpull/internal/core"
+	"pushpull/internal/sparse"
+)
+
+// MxV computes w⟨mask⟩ = A ⊕.⊗ u (GrB_mxv): the masked matrix-vector
+// product over semiring s, written into w. Pass a nil mask for the
+// unmasked variant and a nil accum for replace semantics; with accum, the
+// product t is merged into the existing w by w(i) = accum(w(i), t(i))
+// where both are present.
+//
+// Direction optimization happens here. With Descriptor.Direction == Auto,
+// the input u is first run through the sparse↔dense conversion heuristic
+// (Section 6.3) and the kernel follows the storage format: dense input →
+// row-based pull, sparse input → column-based push. The chosen direction
+// is returned so callers can trace switching behaviour.
+//
+// w may alias u and/or mask; the product is computed into fresh storage
+// and installed afterwards when aliasing requires it.
+func MxV[T, M comparable](w *Vector[T], mask *Vector[M], accum BinaryOp[T], s Semiring[T], a *Matrix[T], u *Vector[T], desc *Descriptor) (core.Direction, error) {
+	if w == nil || a == nil || u == nil {
+		return core.Push, fmt.Errorf("%w: nil operand", ErrInvalidValue)
+	}
+	transpose := desc != nil && desc.Transpose
+	inDim, outDim := a.NCols(), a.NRows()
+	if transpose {
+		inDim, outDim = outDim, inDim
+	}
+	if u.Size() != inDim {
+		return core.Push, fmt.Errorf("%w: input vector size %d, matrix wants %d", ErrDimensionMismatch, u.Size(), inDim)
+	}
+	if w.Size() != outDim {
+		return core.Push, fmt.Errorf("%w: output vector size %d, matrix yields %d", ErrDimensionMismatch, w.Size(), outDim)
+	}
+	if mask != nil && mask.Size() != outDim {
+		return core.Push, fmt.Errorf("%w: mask size %d, output is %d", ErrDimensionMismatch, mask.Size(), outDim)
+	}
+
+	// Orient the matrix: the pull kernel scans rows of G (= CSR of A, or
+	// CSC when multiplying by Aᵀ); the push kernel gathers columns of G.
+	rowG, colG := a.CSR(), a.CSC()
+	if transpose {
+		rowG, colG = colG, rowG
+	}
+
+	dir := chooseDirection(u, desc)
+	sr := toCoreSR(s)
+	opts := desc.coreOpts()
+
+	var mv core.MaskView
+	useMask := mask != nil
+	if useMask {
+		mv = core.MaskView{Bits: mask.maskBits()}
+		if desc != nil {
+			mv.Scmp = desc.StructuralComplement
+			mv.List = desc.MaskAllowList
+		}
+	}
+
+	if accum != nil {
+		// Compute the product into a scratch vector, then merge.
+		t := NewVector[T](outDim)
+		if err := mxvInto(t, u, mask, useMask, mv, rowG, colG, dir, sr, opts); err != nil {
+			return dir, err
+		}
+		return dir, mergeAccum(w, t, accum)
+	}
+	return dir, mxvInto(w, u, mask, useMask, mv, rowG, colG, dir, sr, opts)
+}
+
+// VxM computes w⟨mask⟩ = uᵀ·A (GrB_vxm), which equals Aᵀ·u; it simply
+// flips the descriptor's transpose flag and calls MxV.
+func VxM[T, M comparable](w *Vector[T], mask *Vector[M], accum BinaryOp[T], s Semiring[T], u *Vector[T], a *Matrix[T], desc *Descriptor) (core.Direction, error) {
+	var flipped Descriptor
+	if desc != nil {
+		flipped = *desc
+	}
+	flipped.Transpose = !flipped.Transpose
+	return MxV(w, mask, accum, s, a, u, &flipped)
+}
+
+// chooseDirection applies Optimization 1: honour a forced direction, else
+// convert u by the switch-point heuristic and follow its format.
+func chooseDirection[T comparable](u *Vector[T], desc *Descriptor) core.Direction {
+	if desc != nil {
+		switch desc.Direction {
+		case ForcePush:
+			return core.Push
+		case ForcePull:
+			return core.Pull
+		}
+		if !desc.NoAutoConvert {
+			u.convertAuto(desc.effSwitchPoint())
+		}
+	} else {
+		u.convertAuto(DefaultSwitchPoint)
+	}
+	if u.Format() == Dense {
+		return core.Pull
+	}
+	return core.Push
+}
+
+// mxvInto runs the chosen kernel, writing the product into dst. When dst
+// aliases the kernel inputs (pull writing over its own input) a scratch
+// vector is used and swapped in afterwards.
+func mxvInto[T, M comparable](dst *Vector[T], u *Vector[T], mask *Vector[M], useMask bool, mv core.MaskView, rowG, colG *sparse.CSR[T], dir core.Direction, sr core.SR[T], opts core.Opts) error {
+	switch dir {
+	case core.Pull:
+		uVal, uPresent := u.denseView()
+		target := dst
+		// The pull kernel writes dense buffers in place; if the output
+		// aliases the input vector (f ← Aᵀf) or the mask's bitmap, write
+		// into a scratch vector and swap storage afterwards.
+		aliased := sameVector(dst, u) || (useMask && sharesBits(dst, mv.Bits))
+		if aliased {
+			target = NewVector[T](dst.Size())
+		}
+		wVal, wPresent := target.ensureDenseBuffers()
+		if useMask {
+			core.RowMaskedMxv(wVal, wPresent, rowG, uVal, uPresent, mv, sr, opts)
+		} else {
+			core.RowMxv(wVal, wPresent, rowG, uVal, uPresent, sr, opts)
+		}
+		target.recountDense()
+		if aliased {
+			swapStorage(dst, target)
+		}
+	case core.Push:
+		uInd, uVal := u.sparseView()
+		var ind []uint32
+		var val []T
+		if useMask {
+			ind, val = core.ColMaskedMxv(colG, uInd, uVal, mv, sr, opts)
+		} else {
+			ind, val = core.ColMxv(colG, uInd, uVal, sr, opts)
+		}
+		dst.setSparseResult(ind, val)
+	}
+	return nil
+}
+
+// sameVector reports pointer identity.
+func sameVector[T comparable](a, b *Vector[T]) bool { return a == b }
+
+// sharesBits reports whether v's dense presence array is the exact slice
+// handed out as mask bits (zero-copy masks from dense vectors).
+func sharesBits[T comparable](v *Vector[T], bits []bool) bool {
+	return v.dpresent != nil && len(bits) > 0 && len(v.dpresent) > 0 && &v.dpresent[0] == &bits[0]
+}
+
+// swapStorage moves src's contents into dst (constant time).
+func swapStorage[T comparable](dst, src *Vector[T]) {
+	dst.format = src.format
+	dst.ind, src.ind = src.ind, dst.ind
+	dst.val, src.val = src.val, dst.val
+	dst.dval, src.dval = src.dval, dst.dval
+	dst.dpresent, src.dpresent = src.dpresent, dst.dpresent
+	dst.nvals = src.nvals
+}
+
+// mergeAccum folds t into w: w(i) = accum(w(i), t(i)) where both present,
+// copy where only t is present, keep where only w is.
+func mergeAccum[T comparable](w, t *Vector[T], accum BinaryOp[T]) error {
+	if t.NVals() == 0 {
+		return nil
+	}
+	wVal, wPresent := w.denseView()
+	t.Iterate(func(i int, x T) bool {
+		if wPresent[i] {
+			wVal[i] = accum(wVal[i], x)
+		} else {
+			wVal[i] = x
+			wPresent[i] = true
+			w.nvals++
+		}
+		return true
+	})
+	return nil
+}
+
+// toCoreSR lowers a public semiring to the kernel representation.
+func toCoreSR[T comparable](s Semiring[T]) core.SR[T] {
+	return core.SR[T]{
+		Add:      s.Add.Op,
+		Id:       s.Add.Identity,
+		Terminal: s.Add.Terminal,
+		Mul:      s.Mul,
+		One:      s.One,
+	}
+}

@@ -1,0 +1,298 @@
+package graphblas
+
+import (
+	"fmt"
+
+	"pushpull/internal/core"
+)
+
+// EWiseMult computes w = u .⊗ v on the *intersection* of the operand
+// patterns (GrB_eWiseMult). The output is written in sparse form.
+func EWiseMult[T comparable](w *Vector[T], op BinaryOp[T], u, v *Vector[T]) error {
+	if err := conformEWise(w, u, v); err != nil {
+		return err
+	}
+	uInd, uVal := u.sparseView()
+	vInd, vVal := v.sparseView()
+	var ind []uint32
+	var val []T
+	i, j := 0, 0
+	for i < len(uInd) && j < len(vInd) {
+		switch {
+		case uInd[i] < vInd[j]:
+			i++
+		case uInd[i] > vInd[j]:
+			j++
+		default:
+			ind = append(ind, uInd[i])
+			val = append(val, op(uVal[i], vVal[j]))
+			i++
+			j++
+		}
+	}
+	w.setSparseResult(ind, val)
+	return nil
+}
+
+// EWiseAdd computes w = u ⊕ v on the *union* of the operand patterns
+// (GrB_eWiseAdd): positions present in only one operand pass through.
+func EWiseAdd[T comparable](w *Vector[T], op BinaryOp[T], u, v *Vector[T]) error {
+	if err := conformEWise(w, u, v); err != nil {
+		return err
+	}
+	uInd, uVal := u.sparseView()
+	vInd, vVal := v.sparseView()
+	var ind []uint32
+	var val []T
+	i, j := 0, 0
+	for i < len(uInd) || j < len(vInd) {
+		switch {
+		case j >= len(vInd) || (i < len(uInd) && uInd[i] < vInd[j]):
+			ind = append(ind, uInd[i])
+			val = append(val, uVal[i])
+			i++
+		case i >= len(uInd) || vInd[j] < uInd[i]:
+			ind = append(ind, vInd[j])
+			val = append(val, vVal[j])
+			j++
+		default:
+			ind = append(ind, uInd[i])
+			val = append(val, op(uVal[i], vVal[j]))
+			i++
+			j++
+		}
+	}
+	w.setSparseResult(ind, val)
+	return nil
+}
+
+func conformEWise[T comparable](w, u, v *Vector[T]) error {
+	if w == nil || u == nil || v == nil {
+		return fmt.Errorf("%w: nil operand", ErrInvalidValue)
+	}
+	if u.Size() != v.Size() || w.Size() != u.Size() {
+		return fmt.Errorf("%w: eWise sizes %d, %d, %d", ErrDimensionMismatch, w.Size(), u.Size(), v.Size())
+	}
+	return nil
+}
+
+// Apply computes w = f(u) elementwise over u's pattern (GrB_apply). w may
+// alias u.
+func Apply[T comparable](w *Vector[T], f func(T) T, u *Vector[T]) error {
+	if w == nil || u == nil {
+		return fmt.Errorf("%w: nil operand", ErrInvalidValue)
+	}
+	if w.Size() != u.Size() {
+		return fmt.Errorf("%w: apply sizes %d, %d", ErrDimensionMismatch, w.Size(), u.Size())
+	}
+	if w == u {
+		if u.format == Sparse {
+			for i := range u.val {
+				u.val[i] = f(u.val[i])
+			}
+			return nil
+		}
+		for i := 0; i < u.n; i++ {
+			if u.dpresent[i] {
+				u.dval[i] = f(u.dval[i])
+			}
+		}
+		return nil
+	}
+	uInd, uVal := u.sparseView()
+	ind := append([]uint32(nil), uInd...)
+	val := make([]T, len(uVal))
+	for i, x := range uVal {
+		val[i] = f(x)
+	}
+	w.setSparseResult(ind, val)
+	return nil
+}
+
+// ApplyIndexed computes w = f(i, u(i)) elementwise over u's pattern, the
+// index-aware variant of Apply (GrB_apply with an index-unary operator).
+// Parent-tracking BFS uses it to stamp each frontier vertex with its own
+// id. w may alias u.
+func ApplyIndexed[T comparable](w *Vector[T], f func(i int, x T) T, u *Vector[T]) error {
+	if w == nil || u == nil {
+		return fmt.Errorf("%w: nil operand", ErrInvalidValue)
+	}
+	if w.Size() != u.Size() {
+		return fmt.Errorf("%w: apply sizes %d, %d", ErrDimensionMismatch, w.Size(), u.Size())
+	}
+	if w == u {
+		if u.format == Sparse {
+			for k := range u.val {
+				u.val[k] = f(int(u.ind[k]), u.val[k])
+			}
+			return nil
+		}
+		for i := 0; i < u.n; i++ {
+			if u.dpresent[i] {
+				u.dval[i] = f(i, u.dval[i])
+			}
+		}
+		return nil
+	}
+	uInd, uVal := u.sparseView()
+	ind := append([]uint32(nil), uInd...)
+	val := make([]T, len(uVal))
+	for k, x := range uVal {
+		val[k] = f(int(ind[k]), x)
+	}
+	w.setSparseResult(ind, val)
+	return nil
+}
+
+// AssignVector merges u's stored elements into w: w(i) = u(i) wherever u
+// has an element, leaving the rest of w intact (GrB_assign with a vector
+// and replace=false).
+func AssignVector[T comparable](w *Vector[T], u *Vector[T]) error {
+	if w == nil || u == nil {
+		return fmt.Errorf("%w: nil operand", ErrInvalidValue)
+	}
+	if w.Size() != u.Size() {
+		return fmt.Errorf("%w: assign sizes %d, %d", ErrDimensionMismatch, w.Size(), u.Size())
+	}
+	if w == u {
+		return nil
+	}
+	wVal, wPresent := w.denseView()
+	u.Iterate(func(i int, x T) bool {
+		if !wPresent[i] {
+			wPresent[i] = true
+			w.nvals++
+		}
+		wVal[i] = x
+		return true
+	})
+	return nil
+}
+
+// Select keeps the elements of u for which pred(i, value) is true
+// (GxB_select). w may alias u.
+func Select[T comparable](w *Vector[T], pred func(i int, value T) bool, u *Vector[T]) error {
+	if w == nil || u == nil {
+		return fmt.Errorf("%w: nil operand", ErrInvalidValue)
+	}
+	if w.Size() != u.Size() {
+		return fmt.Errorf("%w: select sizes %d, %d", ErrDimensionMismatch, w.Size(), u.Size())
+	}
+	uInd, uVal := u.sparseView()
+	var ind []uint32
+	var val []T
+	for k, idx := range uInd {
+		if pred(int(idx), uVal[k]) {
+			ind = append(ind, idx)
+			val = append(val, uVal[k])
+		}
+	}
+	w.setSparseResult(ind, val)
+	return nil
+}
+
+// Extract copies the elements of u at the given indices into w, compacted:
+// w(k) = u(indices[k]) where present (GrB_extract with an index list).
+// Indices must be in range; duplicates are allowed.
+func Extract[T comparable](w *Vector[T], u *Vector[T], indices []uint32) error {
+	if w == nil || u == nil {
+		return fmt.Errorf("%w: nil operand", ErrInvalidValue)
+	}
+	if w.Size() != len(indices) {
+		return fmt.Errorf("%w: extract output size %d, %d indices", ErrDimensionMismatch, w.Size(), len(indices))
+	}
+	for _, idx := range indices {
+		if int(idx) >= u.Size() {
+			return fmt.Errorf("%w: extract index %d in vector of size %d", ErrIndexOutOfBounds, idx, u.Size())
+		}
+	}
+	uVal, uPresent := u.denseView()
+	var ind []uint32
+	var val []T
+	for k, idx := range indices {
+		if uPresent[idx] {
+			ind = append(ind, uint32(k))
+			val = append(val, uVal[idx])
+		}
+	}
+	w.setSparseResult(ind, val)
+	return nil
+}
+
+// Transpose returns Aᵀ as a new matrix. Because Matrix already stores both
+// orientations this is O(1): the views swap.
+func Transpose[T comparable](a *Matrix[T]) *Matrix[T] {
+	if a.Symmetric() {
+		return a
+	}
+	return &Matrix[T]{csr: a.csc, csc: a.csr}
+}
+
+// Reduce folds u's stored values with the monoid (GrB_reduce to scalar).
+func Reduce[T comparable](m Monoid[T], u *Vector[T]) T {
+	acc := m.Identity
+	u.Iterate(func(_ int, x T) bool {
+		acc = m.Op(acc, x)
+		return m.Terminal == nil || acc != *m.Terminal
+	})
+	return acc
+}
+
+// AssignScalar implements the masked scalar assign of Algorithm 1 Line 7
+// (GrB_assign with a scalar): for every index the effective mask allows,
+// set w(i) = value; all other positions keep their current contents
+// (replace=false semantics). BFS uses it as v⟨f⟩ = depth.
+func AssignScalar[T, M comparable](w *Vector[T], mask *Vector[M], value T, desc *Descriptor) error {
+	if w == nil || mask == nil {
+		return fmt.Errorf("%w: nil operand", ErrInvalidValue)
+	}
+	if w.Size() != mask.Size() {
+		return fmt.Errorf("%w: assign sizes %d, %d", ErrDimensionMismatch, w.Size(), mask.Size())
+	}
+	scmp := desc != nil && desc.StructuralComplement
+	wVal, wPresent := w.denseView()
+	if !scmp && mask.Format() == Sparse {
+		// Fast path: walk the mask's nonzero list directly.
+		for _, idx := range mask.ind {
+			if !wPresent[idx] {
+				wPresent[idx] = true
+				w.nvals++
+			}
+			wVal[idx] = value
+		}
+		return nil
+	}
+	bits := mask.maskBits()
+	for i := 0; i < w.Size(); i++ {
+		if bits[i] != scmp {
+			if !wPresent[i] {
+				wPresent[i] = true
+				w.nvals++
+			}
+			wVal[i] = value
+		}
+	}
+	return nil
+}
+
+// MxM computes the masked matrix-matrix product C⟨M⟩ = A ⊕.⊗ B with the
+// output pattern restricted to the mask matrix's pattern — the paper's
+// generalization of output-sparsity masking beyond matvec (Section 5.6),
+// as used by triangle counting. The unmasked product is deliberately not
+// offered: computing C = A·B without an output mask is exactly the
+// asymptotic blow-up masking exists to avoid.
+func MxM[T comparable](maskPattern *Matrix[T], s Semiring[T], a, b *Matrix[T], desc *Descriptor) (*Matrix[T], error) {
+	if maskPattern == nil || a == nil || b == nil {
+		return nil, fmt.Errorf("%w: nil operand", ErrInvalidValue)
+	}
+	if a.NCols() != b.NRows() {
+		return nil, fmt.Errorf("%w: %d×%d times %d×%d", ErrDimensionMismatch, a.NRows(), a.NCols(), b.NRows(), b.NCols())
+	}
+	if maskPattern.NRows() != a.NRows() || maskPattern.NCols() != b.NCols() {
+		return nil, fmt.Errorf("%w: mask %d×%d for %d×%d product", ErrDimensionMismatch,
+			maskPattern.NRows(), maskPattern.NCols(), a.NRows(), b.NCols())
+	}
+	mc := maskPattern.CSR()
+	prod := core.MxMMasked(a.CSR(), b.CSR(), mc.Ptr, mc.Ind, toCoreSR(s), desc.coreOpts())
+	return NewMatrixFromCSR(prod), nil
+}

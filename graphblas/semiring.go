@@ -1,0 +1,133 @@
+package graphblas
+
+import "math"
+
+// BinaryOp is a binary operator on the element domain, the ⊗ (or accum) of
+// a GraphBLAS call.
+type BinaryOp[T any] func(T, T) T
+
+// Monoid is an associative BinaryOp with identity, the ⊕ of a semiring.
+//
+// Terminal, when non-nil, declares an annihilator: Op(*Terminal, x) ==
+// *Terminal for every x. Kernels use it for the paper's early-exit
+// optimization — once an accumulation reaches the terminal no further
+// terms can change it, so the row scan may stop. Boolean OR's terminal is
+// true; MIN's is the domain minimum; PLUS has none.
+type Monoid[T any] struct {
+	Op       BinaryOp[T]
+	Identity T
+	Terminal *T
+}
+
+// Reduce folds xs with the monoid.
+func (m Monoid[T]) Reduce(xs []T) T {
+	acc := m.Identity
+	for _, x := range xs {
+		acc = m.Op(acc, x)
+	}
+	return acc
+}
+
+// Semiring is the generalized (D, ⊗, ⊕, I) of the GraphBLAS spec: Add is
+// the additive monoid, Mul the multiplicative operator, and One the
+// multiplicative identity (the value structure-only mode substitutes for
+// stored entries).
+type Semiring[T any] struct {
+	Add Monoid[T]
+	Mul BinaryOp[T]
+	One T
+}
+
+// Standard semirings. Each is a constructor rather than a variable so
+// callers cannot alias and mutate shared state.
+
+// OrAndBool returns the Boolean semiring ({false,true}, AND, OR, false)
+// used by BFS and reachability. Its additive terminal (true) enables
+// early-exit, and idempotence makes it safe for structure-only mode.
+func OrAndBool() Semiring[bool] {
+	t := true
+	return Semiring[bool]{
+		Add: Monoid[bool]{
+			Op:       func(a, b bool) bool { return a || b },
+			Identity: false,
+			Terminal: &t,
+		},
+		Mul: func(a, b bool) bool { return a && b },
+		One: true,
+	}
+}
+
+// PlusTimesFloat64 returns the conventional arithmetic semiring, used by
+// PageRank and triangle counting.
+func PlusTimesFloat64() Semiring[float64] {
+	return Semiring[float64]{
+		Add: Monoid[float64]{
+			Op:       func(a, b float64) float64 { return a + b },
+			Identity: 0,
+		},
+		Mul: func(a, b float64) float64 { return a * b },
+		One: 1,
+	}
+}
+
+// PlusTimesInt64 is the integer arithmetic semiring.
+func PlusTimesInt64() Semiring[int64] {
+	return Semiring[int64]{
+		Add: Monoid[int64]{
+			Op:       func(a, b int64) int64 { return a + b },
+			Identity: 0,
+		},
+		Mul: func(a, b int64) int64 { return a * b },
+		One: 1,
+	}
+}
+
+// MinPlusFloat64 returns the tropical semiring (min, +) with identity +∞,
+// used by SSSP (Bellman-Ford). Its terminal is -∞; since edge relaxations
+// never produce -∞ the early-exit path stays dormant, matching the paper's
+// observation that early-exit is specific to Boolean-like semirings.
+func MinPlusFloat64() Semiring[float64] {
+	neg := math.Inf(-1)
+	return Semiring[float64]{
+		Add: Monoid[float64]{
+			Op:       math.Min,
+			Identity: math.Inf(1),
+			Terminal: &neg,
+		},
+		Mul: func(a, b float64) float64 { return a + b },
+		One: 0,
+	}
+}
+
+// MinSecondUint32 returns the (min, second) semiring over vertex ids used
+// by parent-tracking BFS: the product of A(i,j) and u(j) is the *parent
+// id* carried by u(j) (the "second" operand), and min picks a
+// deterministic winner among candidate parents.
+func MinSecondUint32() Semiring[uint32] {
+	return Semiring[uint32]{
+		Add: Monoid[uint32]{
+			Op: func(a, b uint32) uint32 {
+				if a < b {
+					return a
+				}
+				return b
+			},
+			Identity: ^uint32(0),
+		},
+		Mul: func(a, b uint32) uint32 { return b },
+		One: ^uint32(0),
+	}
+}
+
+// MaxTimesFloat64 returns the (max, ×) semiring, used e.g. for widest-path
+// style propagation and as an extra semiring for property tests.
+func MaxTimesFloat64() Semiring[float64] {
+	return Semiring[float64]{
+		Add: Monoid[float64]{
+			Op:       math.Max,
+			Identity: math.Inf(-1),
+		},
+		Mul: func(a, b float64) float64 { return a * b },
+		One: 1,
+	}
+}

@@ -1,0 +1,401 @@
+package graphblas
+
+import (
+	"fmt"
+	"sort"
+
+	"pushpull/internal/merge"
+)
+
+// Format names a Vector's current storage representation.
+type Format int
+
+const (
+	// Sparse stores sorted (index, value) pairs — the natural frontier
+	// representation for the push phase.
+	Sparse Format = iota
+	// Dense stores a value array plus a presence bitmap (the SPA layout of
+	// Gilbert, Moler and Schreiber) — the natural representation for the
+	// pull phase and for masks.
+	Dense
+)
+
+// String returns "sparse" or "dense".
+func (f Format) String() string {
+	if f == Sparse {
+		return "sparse"
+	}
+	return "dense"
+}
+
+// Vector is a GraphBLAS vector of length n over element type T. It keeps
+// either a sparse or a dense representation and converts between them
+// following the paper's Section 6.3 heuristic: the ratio nnz/n is compared
+// to the descriptor's switch-point (default 0.01), and a conversion
+// additionally requires nnz to be moving in the right direction since the
+// last check (increasing to densify, decreasing to sparsify). Because MxV
+// dispatches push vs pull on this format, the conversion heuristic *is*
+// the direction-optimization heuristic.
+//
+// A Vector is not safe for concurrent mutation.
+type Vector[T comparable] struct {
+	n int
+
+	format Format
+	// Sparse representation: parallel slices, ind sorted ascending, unique.
+	ind []uint32
+	val []T
+	// Dense representation: value + presence arrays of length n.
+	dval     []T
+	dpresent []bool
+	nvals    int
+
+	// Conversion hysteresis (Section 6.3): nnz at the previous convert
+	// check, valid once primed.
+	prevNNZ int
+	primed  bool
+}
+
+// NewVector returns an empty sparse vector of length n.
+func NewVector[T comparable](n int) *Vector[T] {
+	if n < 0 {
+		panic("graphblas: negative vector length")
+	}
+	return &Vector[T]{n: n, format: Sparse}
+}
+
+// Size returns the vector's length (the GraphBLAS "size").
+func (v *Vector[T]) Size() int { return v.n }
+
+// NVals returns the number of stored elements.
+func (v *Vector[T]) NVals() int {
+	if v.format == Sparse {
+		return len(v.ind)
+	}
+	return v.nvals
+}
+
+// Format reports the current storage representation.
+func (v *Vector[T]) Format() Format { return v.format }
+
+// Clear removes all stored elements, keeping capacity where possible, and
+// resets the vector to sparse format with cleared hysteresis.
+func (v *Vector[T]) Clear() {
+	v.ind = v.ind[:0]
+	v.val = v.val[:0]
+	if v.dpresent != nil {
+		clearBools(v.dpresent)
+	}
+	v.nvals = 0
+	v.format = Sparse
+	v.prevNNZ = 0
+	v.primed = false
+}
+
+func clearBools(b []bool) {
+	for i := range b {
+		b[i] = false
+	}
+}
+
+// Build initializes the vector from (index, value) pairs, replacing any
+// existing contents. Indices need not be sorted but must be in range;
+// duplicates are folded with dup (last write wins when dup is nil).
+func (v *Vector[T]) Build(indices []uint32, values []T, dup BinaryOp[T]) error {
+	if len(indices) != len(values) {
+		return fmt.Errorf("%w: %d indices, %d values", ErrInvalidValue, len(indices), len(values))
+	}
+	for _, i := range indices {
+		if int(i) >= v.n {
+			return fmt.Errorf("%w: index %d in vector of size %d", ErrIndexOutOfBounds, i, v.n)
+		}
+	}
+	v.Clear()
+	ind := append([]uint32(nil), indices...)
+	val := append([]T(nil), values...)
+	if v.n > 0 {
+		merge.SortPairs(ind, val, uint32(v.n-1))
+	}
+	w := 0
+	for i := range ind {
+		if w > 0 && ind[w-1] == ind[i] {
+			if dup != nil {
+				val[w-1] = dup(val[w-1], val[i])
+			} else {
+				val[w-1] = val[i]
+			}
+			continue
+		}
+		ind[w] = ind[i]
+		val[w] = val[i]
+		w++
+	}
+	v.ind = ind[:w]
+	v.val = val[:w]
+	return nil
+}
+
+// SetElement stores value at index i, overwriting any existing element.
+func (v *Vector[T]) SetElement(i int, value T) error {
+	if i < 0 || i >= v.n {
+		return fmt.Errorf("%w: index %d in vector of size %d", ErrIndexOutOfBounds, i, v.n)
+	}
+	if v.format == Dense {
+		if !v.dpresent[i] {
+			v.dpresent[i] = true
+			v.nvals++
+		}
+		v.dval[i] = value
+		return nil
+	}
+	pos := sort.Search(len(v.ind), func(k int) bool { return v.ind[k] >= uint32(i) })
+	if pos < len(v.ind) && v.ind[pos] == uint32(i) {
+		v.val[pos] = value
+		return nil
+	}
+	v.ind = append(v.ind, 0)
+	v.val = append(v.val, value)
+	copy(v.ind[pos+1:], v.ind[pos:])
+	copy(v.val[pos+1:], v.val[pos:])
+	v.ind[pos] = uint32(i)
+	v.val[pos] = value
+	return nil
+}
+
+// RemoveElement deletes the element at index i if present.
+func (v *Vector[T]) RemoveElement(i int) error {
+	if i < 0 || i >= v.n {
+		return fmt.Errorf("%w: index %d in vector of size %d", ErrIndexOutOfBounds, i, v.n)
+	}
+	if v.format == Dense {
+		if v.dpresent[i] {
+			v.dpresent[i] = false
+			v.nvals--
+		}
+		return nil
+	}
+	pos := sort.Search(len(v.ind), func(k int) bool { return v.ind[k] >= uint32(i) })
+	if pos < len(v.ind) && v.ind[pos] == uint32(i) {
+		copy(v.ind[pos:], v.ind[pos+1:])
+		copy(v.val[pos:], v.val[pos+1:])
+		v.ind = v.ind[:len(v.ind)-1]
+		v.val = v.val[:len(v.val)-1]
+	}
+	return nil
+}
+
+// ExtractElement returns the element at index i, or ErrNoValue if absent.
+func (v *Vector[T]) ExtractElement(i int) (T, error) {
+	var zero T
+	if i < 0 || i >= v.n {
+		return zero, fmt.Errorf("%w: index %d in vector of size %d", ErrIndexOutOfBounds, i, v.n)
+	}
+	if v.format == Dense {
+		if v.dpresent[i] {
+			return v.dval[i], nil
+		}
+		return zero, ErrNoValue
+	}
+	pos := sort.Search(len(v.ind), func(k int) bool { return v.ind[k] >= uint32(i) })
+	if pos < len(v.ind) && v.ind[pos] == uint32(i) {
+		return v.val[pos], nil
+	}
+	return zero, ErrNoValue
+}
+
+// Dup returns a deep copy.
+func (v *Vector[T]) Dup() *Vector[T] {
+	out := &Vector[T]{
+		n:       v.n,
+		format:  v.format,
+		nvals:   v.nvals,
+		prevNNZ: v.prevNNZ,
+		primed:  v.primed,
+	}
+	out.ind = append([]uint32(nil), v.ind...)
+	out.val = append([]T(nil), v.val...)
+	if v.dval != nil {
+		out.dval = append([]T(nil), v.dval...)
+		out.dpresent = append([]bool(nil), v.dpresent...)
+	}
+	return out
+}
+
+// Iterate calls fn for every stored element in ascending index order,
+// stopping early if fn returns false.
+func (v *Vector[T]) Iterate(fn func(i int, value T) bool) {
+	if v.format == Sparse {
+		for k, idx := range v.ind {
+			if !fn(int(idx), v.val[k]) {
+				return
+			}
+		}
+		return
+	}
+	for i := 0; i < v.n; i++ {
+		if v.dpresent[i] {
+			if !fn(i, v.dval[i]) {
+				return
+			}
+		}
+	}
+}
+
+// ToDense converts to the dense representation (sparse2dense). No-op if
+// already dense.
+func (v *Vector[T]) ToDense() {
+	if v.format == Dense {
+		return
+	}
+	if v.dval == nil {
+		v.dval = make([]T, v.n)
+		v.dpresent = make([]bool, v.n)
+	} else {
+		clearBools(v.dpresent)
+	}
+	for k, idx := range v.ind {
+		v.dval[idx] = v.val[k]
+		v.dpresent[idx] = true
+	}
+	v.nvals = len(v.ind)
+	v.format = Dense
+	v.ind = v.ind[:0]
+	v.val = v.val[:0]
+}
+
+// ToSparse converts to the sparse representation (dense2sparse). No-op if
+// already sparse.
+func (v *Vector[T]) ToSparse() {
+	if v.format == Sparse {
+		return
+	}
+	v.ind = v.ind[:0]
+	v.val = v.val[:0]
+	for i := 0; i < v.n; i++ {
+		if v.dpresent[i] {
+			v.ind = append(v.ind, uint32(i))
+			v.val = append(v.val, v.dval[i])
+		}
+	}
+	clearBools(v.dpresent)
+	v.nvals = 0
+	v.format = Sparse
+}
+
+// convertAuto applies the Section 6.3 format-switch heuristic: densify
+// when nnz/n has grown past the switch-point, sparsify when it has shrunk
+// below it. It returns the (possibly new) format.
+func (v *Vector[T]) convertAuto(switchPoint float64) Format {
+	if switchPoint <= 0 {
+		switchPoint = DefaultSwitchPoint
+	}
+	nnz := v.NVals()
+	increasing := !v.primed || nnz >= v.prevNNZ
+	decreasing := !v.primed || nnz <= v.prevNNZ
+	v.prevNNZ = nnz
+	v.primed = true
+	if v.n == 0 {
+		return v.format
+	}
+	r := float64(nnz) / float64(v.n)
+	switch v.format {
+	case Sparse:
+		if r > switchPoint && increasing {
+			v.ToDense()
+		}
+	case Dense:
+		if r < switchPoint && decreasing {
+			v.ToSparse()
+		}
+	}
+	return v.format
+}
+
+// sparseView returns the sparse arrays, converting if needed.
+func (v *Vector[T]) sparseView() ([]uint32, []T) {
+	v.ToSparse()
+	return v.ind, v.val
+}
+
+// denseView returns the dense arrays, converting if needed.
+func (v *Vector[T]) denseView() ([]T, []bool) {
+	v.ToDense()
+	return v.dval, v.dpresent
+}
+
+// DenseView densifies the vector if needed and exposes its raw value and
+// presence arrays. The slices alias internal storage: callers may read
+// them freely but must not grow them, and writes bypass NVals bookkeeping.
+// Algorithm layers use this to probe bitmaps without per-element calls.
+func (v *Vector[T]) DenseView() (values []T, present []bool) {
+	return v.denseView()
+}
+
+// SparseView sparsifies the vector if needed and exposes its raw index and
+// value slices (sorted ascending). The slices alias internal storage and
+// must be treated as read-only.
+func (v *Vector[T]) SparseView() (indices []uint32, values []T) {
+	return v.sparseView()
+}
+
+// RecountDense refreshes NVals after a caller wrote the presence array
+// exposed by DenseView directly. It is a no-op for sparse vectors.
+func (v *Vector[T]) RecountDense() {
+	if v.format == Dense {
+		v.recountDense()
+	}
+}
+
+// maskBits returns a presence bitmap for use as a kernel mask. Dense
+// vectors hand out their presence array zero-copy; sparse vectors
+// materialize a scratch bitmap (O(n) once — callers that probe masks every
+// iteration keep them dense).
+func (v *Vector[T]) maskBits() []bool {
+	if v.format == Dense {
+		return v.dpresent
+	}
+	bits := make([]bool, v.n)
+	for _, idx := range v.ind {
+		bits[idx] = true
+	}
+	return bits
+}
+
+// setSparseResult installs kernel output (sorted unique indices) as the
+// vector's contents, leaving it in sparse format.
+func (v *Vector[T]) setSparseResult(ind []uint32, val []T) {
+	v.ind = ind
+	v.val = val
+	if v.dpresent != nil {
+		clearBools(v.dpresent)
+	}
+	v.nvals = 0
+	v.format = Sparse
+}
+
+// ensureDenseBuffers readies zeroed dense arrays for a kernel to write
+// into, leaving the vector in dense format with no stored elements.
+func (v *Vector[T]) ensureDenseBuffers() ([]T, []bool) {
+	if v.dval == nil {
+		v.dval = make([]T, v.n)
+		v.dpresent = make([]bool, v.n)
+	} else {
+		clearBools(v.dpresent)
+	}
+	v.ind = v.ind[:0]
+	v.val = v.val[:0]
+	v.format = Dense
+	v.nvals = 0
+	return v.dval, v.dpresent
+}
+
+// recountDense refreshes nvals after a kernel wrote the dense buffers.
+func (v *Vector[T]) recountDense() {
+	c := 0
+	for _, p := range v.dpresent {
+		if p {
+			c++
+		}
+	}
+	v.nvals = c
+}

@@ -1,0 +1,261 @@
+package graphblas
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorBasicOps(t *testing.T) {
+	v := NewVector[float64](10)
+	if v.Size() != 10 || v.NVals() != 0 || v.Format() != Sparse {
+		t.Fatal("fresh vector state wrong")
+	}
+	if err := v.SetElement(3, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetElement(7, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetElement(3, 9.5); err != nil {
+		t.Fatal(err)
+	}
+	if v.NVals() != 2 {
+		t.Fatalf("NVals=%d want 2", v.NVals())
+	}
+	got, err := v.ExtractElement(3)
+	if err != nil || got != 9.5 {
+		t.Fatalf("ExtractElement(3)=%g,%v", got, err)
+	}
+	if _, err := v.ExtractElement(4); !errors.Is(err, ErrNoValue) {
+		t.Fatalf("missing element: %v", err)
+	}
+	if err := v.RemoveElement(3); err != nil {
+		t.Fatal(err)
+	}
+	if v.NVals() != 1 {
+		t.Fatalf("NVals after remove=%d", v.NVals())
+	}
+	if err := v.SetElement(10, 1); !errors.Is(err, ErrIndexOutOfBounds) {
+		t.Fatalf("out of bounds set: %v", err)
+	}
+	if _, err := v.ExtractElement(-1); !errors.Is(err, ErrIndexOutOfBounds) {
+		t.Fatalf("out of bounds extract: %v", err)
+	}
+}
+
+func TestVectorDenseOps(t *testing.T) {
+	v := NewVector[int64](5)
+	v.ToDense()
+	if v.Format() != Dense {
+		t.Fatal("ToDense did not switch format")
+	}
+	if err := v.SetElement(2, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v.NVals() != 1 {
+		t.Fatalf("dense NVals=%d", v.NVals())
+	}
+	got, err := v.ExtractElement(2)
+	if err != nil || got != 42 {
+		t.Fatalf("dense extract=%d,%v", got, err)
+	}
+	if err := v.RemoveElement(2); err != nil || v.NVals() != 0 {
+		t.Fatal("dense remove failed")
+	}
+	// Removing an absent element is fine.
+	if err := v.RemoveElement(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorBuild(t *testing.T) {
+	v := NewVector[int64](8)
+	err := v.Build([]uint32{5, 1, 5, 3}, []int64{10, 20, 30, 40}, func(a, b int64) int64 { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NVals() != 3 {
+		t.Fatalf("NVals=%d want 3", v.NVals())
+	}
+	if x, _ := v.ExtractElement(5); x != 40 {
+		t.Fatalf("dup fold=%d want 40", x)
+	}
+	// Last write wins without dup.
+	v2 := NewVector[int64](8)
+	if err := v2.Build([]uint32{5, 5}, []int64{1, 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if x, _ := v2.ExtractElement(5); x != 2 {
+		t.Fatalf("last write=%d want 2", x)
+	}
+	if err := v2.Build([]uint32{9}, []int64{1}, nil); !errors.Is(err, ErrIndexOutOfBounds) {
+		t.Fatalf("bad index: %v", err)
+	}
+	if err := v2.Build([]uint32{1, 2}, []int64{1}, nil); !errors.Is(err, ErrInvalidValue) {
+		t.Fatalf("len mismatch: %v", err)
+	}
+}
+
+func TestVectorConversionRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		v := NewVector[float64](n)
+		ref := map[int]float64{}
+		for k := 0; k < rng.Intn(60); k++ {
+			i := rng.Intn(n)
+			x := rng.Float64()
+			ref[i] = x
+			if v.SetElement(i, x) != nil {
+				return false
+			}
+		}
+		check := func() bool {
+			if v.NVals() != len(ref) {
+				return false
+			}
+			ok := true
+			v.Iterate(func(i int, x float64) bool {
+				if ref[i] != x {
+					ok = false
+					return false
+				}
+				return true
+			})
+			return ok
+		}
+		v.ToDense()
+		if !check() {
+			return false
+		}
+		v.ToSparse()
+		if !check() {
+			return false
+		}
+		v.ToDense()
+		v.ToDense() // idempotent
+		return check()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorIterateOrderAndEarlyStop(t *testing.T) {
+	v := NewVector[int64](10)
+	for _, i := range []int{7, 2, 5} {
+		if err := v.SetElement(i, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []int
+	v.Iterate(func(i int, _ int64) bool {
+		seen = append(seen, i)
+		return true
+	})
+	if len(seen) != 3 || seen[0] != 2 || seen[1] != 5 || seen[2] != 7 {
+		t.Fatalf("iterate order = %v", seen)
+	}
+	count := 0
+	v.Iterate(func(int, int64) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	// Dense iteration hits the same elements.
+	v.ToDense()
+	seen = seen[:0]
+	v.Iterate(func(i int, _ int64) bool {
+		seen = append(seen, i)
+		return true
+	})
+	if len(seen) != 3 || seen[0] != 2 {
+		t.Fatalf("dense iterate = %v", seen)
+	}
+}
+
+func TestVectorDup(t *testing.T) {
+	v := NewVector[float64](6)
+	_ = v.SetElement(1, 1.5)
+	v.ToDense()
+	d := v.Dup()
+	_ = d.SetElement(2, 2.5)
+	if v.NVals() != 1 || d.NVals() != 2 {
+		t.Fatal("Dup is not independent")
+	}
+	if d.Format() != Dense {
+		t.Fatal("Dup lost format")
+	}
+}
+
+func TestVectorClear(t *testing.T) {
+	v := NewVector[bool](4)
+	_ = v.SetElement(0, true)
+	v.ToDense()
+	v.Clear()
+	if v.NVals() != 0 || v.Format() != Sparse {
+		t.Fatal("Clear did not reset")
+	}
+	if _, err := v.ExtractElement(0); !errors.Is(err, ErrNoValue) {
+		t.Fatal("element survived Clear")
+	}
+}
+
+func TestConvertAutoHysteresis(t *testing.T) {
+	// Mirrors the Section 6.3 heuristic: densify only past the
+	// switch-point while growing; sparsify only below it while shrinking.
+	n := 1000
+	v := NewVector[bool](n)
+	fill := func(k int) {
+		v.Clear()
+		for i := 0; i < k; i++ {
+			_ = v.SetElement(i, true)
+		}
+	}
+	fill(5)
+	if v.convertAuto(0.01) != Sparse {
+		t.Fatal("0.5% full should stay sparse")
+	}
+	// Grow past 1%: densify (nnz increased).
+	for i := 5; i < 50; i++ {
+		_ = v.SetElement(i, true)
+	}
+	if v.convertAuto(0.01) != Dense {
+		t.Fatal("5% full and growing should densify")
+	}
+	// Shrink below 1%: sparsify (nnz decreased).
+	for i := 2; i < 50; i++ {
+		_ = v.RemoveElement(i)
+	}
+	if v.convertAuto(0.01) != Sparse {
+		t.Fatal("0.2% full and shrinking should sparsify")
+	}
+	// Growing but still below the switch-point: stay sparse.
+	_ = v.SetElement(2, true)
+	if v.convertAuto(0.01) != Sparse {
+		t.Fatal("growing below switch-point must stay sparse")
+	}
+	// A dense vector that *grows* above the point stays dense even if a
+	// later check sees it shrinking while still above the point.
+	v.ToDense()
+	for i := 0; i < 500; i++ {
+		_ = v.SetElement(i, true)
+	}
+	_ = v.convertAuto(0.01)
+	for i := 400; i < 500; i++ {
+		_ = v.RemoveElement(i)
+	}
+	if v.convertAuto(0.01) != Dense {
+		t.Fatal("shrinking but above switch-point must stay dense")
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if Sparse.String() != "sparse" || Dense.String() != "dense" {
+		t.Fatal("Format.String mismatch")
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"pushpull/internal/merge"
+	"pushpull/internal/par"
+	"pushpull/internal/sparse"
+)
+
+// ColMxv computes the unmasked column-based matvec w = G·u (the paper's
+// SpMSpV): w = ⊕_{i : u(i)≠0} G(:,i) ⊗ u(i). cscG is the CSC of G — a CSR
+// whose row i stores column i of G. The input is sparse (sorted unique
+// indices uInd with values uVal); the output is sparse, sorted and
+// duplicate-free.
+//
+// Cost (Table 1 row 3): only columns selected by the input frontier are
+// touched — O(d·nnz(f)·log nnz(f)) with the heap merge, O(d·nnz(f)·logM)
+// with the radix strategy the paper uses on the GPU.
+func ColMxv[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr SR[T], opts Opts) ([]uint32, []T) {
+	return colMxv(cscG, uInd, uVal, MaskView{}, false, sr, opts)
+}
+
+// ColMaskedMxv computes the masked column-based matvec w = m .⊙ (G·u). As
+// the paper observes (Section 3.2), the mask cannot reduce the work of the
+// push phase — it is applied as a post-filter after the merge, so the cost
+// matches the unmasked variant (Table 1 row 4).
+func ColMaskedMxv[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, mask MaskView, sr SR[T], opts Opts) ([]uint32, []T) {
+	return colMxv(cscG, uInd, uVal, mask, true, sr, opts)
+}
+
+func colMxv[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, mask MaskView, masked bool, sr SR[T], opts Opts) ([]uint32, []T) {
+	var wInd []uint32
+	var wVal []T
+	switch opts.Merge {
+	case MergeHeap:
+		wInd, wVal = colMxvHeap(cscG, uInd, uVal, sr, opts)
+	case MergeSPA:
+		wInd, wVal = colMxvSPA(cscG, uInd, uVal, sr, opts)
+	default:
+		wInd, wVal = colMxvRadix(cscG, uInd, uVal, sr, opts)
+	}
+	if !masked {
+		return wInd, wVal
+	}
+	// Post-filter by the effective mask (Algorithm 3 Lines 17-24).
+	out := 0
+	for k, ind := range wInd {
+		if mask.Allows(int(ind)) {
+			wInd[out] = ind
+			wVal[out] = wVal[k]
+			out++
+		}
+	}
+	return wInd[:out], wVal[:out]
+}
+
+// colMxvRadix is the paper's GPU strategy (Algorithm 3) transplanted to the
+// CPU worker pool: size each selected column, exclusive-scan the lengths,
+// gather index/value pairs at their scanned offsets in parallel, radix-sort
+// the concatenation, and segment-reduce equal keys. Structure-only mode
+// gathers keys alone — the paper's halving of the sort traffic.
+func colMxvRadix[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr SR[T], opts Opts) ([]uint32, []T) {
+	k := len(uInd)
+	if k == 0 {
+		return nil, nil
+	}
+	lengths := make([]int, k)
+	sizeBody := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			lengths[i] = cscG.RowLen(int(uInd[i]))
+		}
+	}
+	if opts.Sequential {
+		sizeBody(0, k)
+	} else {
+		par.For(k, rowGrain, sizeBody)
+	}
+	total := par.ExclusiveScan(lengths)
+	if total == 0 {
+		return nil, nil
+	}
+	maxKey := uint32(cscG.Cols - 1)
+	keys := make([]uint32, total)
+	if opts.StructureOnly {
+		gather := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ind, _ := cscG.RowSpan(int(uInd[i]))
+				copy(keys[lengths[i]:], ind)
+			}
+		}
+		if opts.Sequential {
+			gather(0, k)
+		} else {
+			par.For(k, rowGrain, gather)
+		}
+		if opts.Sequential {
+			merge.SortKeysSequential(keys, maxKey)
+		} else {
+			merge.SortKeys(keys, maxKey)
+		}
+		keys = merge.DedupeSortedKeys(keys)
+		vals := make([]T, len(keys))
+		for i := range vals {
+			vals[i] = sr.One
+		}
+		return keys, vals
+	}
+	vals := make([]T, total)
+	gather := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ind, val := cscG.RowSpan(int(uInd[i]))
+			off := lengths[i]
+			x := uVal[i]
+			for j := range ind {
+				keys[off+j] = ind[j]
+				vals[off+j] = sr.Mul(val[j], x)
+			}
+		}
+	}
+	if opts.Sequential {
+		gather(0, k)
+	} else {
+		par.For(k, rowGrain, gather)
+	}
+	if opts.Sequential {
+		merge.SortPairsSequential(keys, vals, maxKey)
+	} else {
+		merge.SortPairs(keys, vals, maxKey)
+	}
+	return merge.SegmentedReducePairs(keys, vals, sr.Add)
+}
+
+// colMxvHeap gathers the selected columns and k-way merges them with a
+// binary heap — the O(n log k) formulation the Section 3.1 analysis uses.
+// It runs sequentially; its role is the cost-model validation and the
+// merge-strategy ablation, not peak throughput.
+func colMxvHeap[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr SR[T], opts Opts) ([]uint32, []T) {
+	k := len(uInd)
+	if k == 0 {
+		return nil, nil
+	}
+	offsets := make([]int, k+1)
+	for i, col := range uInd {
+		offsets[i+1] = offsets[i] + cscG.RowLen(int(col))
+	}
+	total := offsets[k]
+	if total == 0 {
+		return nil, nil
+	}
+	keys := make([]uint32, total)
+	vals := make([]T, total)
+	for i, col := range uInd {
+		ind, val := cscG.RowSpan(int(col))
+		off := offsets[i]
+		copy(keys[off:], ind)
+		if opts.StructureOnly {
+			for j := range ind {
+				vals[off+j] = sr.One
+			}
+		} else {
+			x := uVal[i]
+			for j := range ind {
+				vals[off+j] = sr.Mul(val[j], x)
+			}
+		}
+	}
+	return merge.MultiwayMergePairs(keys, vals, offsets, sr.Add)
+}
+
+// colMxvSPA accumulates into a dense scratch (sparse accumulator) indexed
+// by output position, then compacts and sorts the touched set. O(n) merge
+// work at the price of an M-sized scratch per call.
+func colMxvSPA[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr SR[T], opts Opts) ([]uint32, []T) {
+	if len(uInd) == 0 {
+		return nil, nil
+	}
+	acc := make([]T, cscG.Cols)
+	seen := make([]bool, cscG.Cols)
+	touched := make([]uint32, 0, 64)
+	for i, col := range uInd {
+		ind, val := cscG.RowSpan(int(col))
+		for j := range ind {
+			out := ind[j]
+			var product T
+			if opts.StructureOnly {
+				product = sr.One
+			} else {
+				product = sr.Mul(val[j], uVal[i])
+			}
+			if seen[out] {
+				acc[out] = sr.Add(acc[out], product)
+			} else {
+				seen[out] = true
+				acc[out] = sr.Add(sr.Id, product)
+				touched = append(touched, out)
+			}
+		}
+	}
+	merge.SortKeys(touched, uint32(cscG.Cols-1))
+	vals := make([]T, len(touched))
+	for i, idx := range touched {
+		vals[i] = acc[idx]
+	}
+	return touched, vals
+}

@@ -1,0 +1,123 @@
+// Package core implements the paper's primary contribution: the four
+// sparse matrix-vector multiply variants of Table 1 — row-based and
+// column-based matvec, each in masked and unmasked form — over generalized
+// semirings, together with the early-exit, structure-only and
+// direction-switching machinery that makes push-pull expressible as a
+// single GraphBLAS mxv.
+//
+// Orientation convention: every kernel computes w = G·u for a traversal
+// matrix G. The row kernels take CSR(G) and iterate output rows (the pull
+// direction); the column kernels take CSC(G) — represented as a CSR whose
+// row i holds column i of G — and fetch columns for the nonzeroes of u
+// (the push direction). For BFS, G = Aᵀ, so CSR(G) is the CSC of the
+// adjacency matrix and CSC(G) its CSR; the matrix layer stores both.
+//
+// The public graphblas package wraps these kernels in the GraphBLAS object
+// model; algorithms build on that. Only tests and the experiment harness
+// call core directly.
+package core
+
+// SR is a generalized semiring (D, ⊗, ⊕, I) in the paper's Section 3.2
+// sense, plus the two extra elements the optimizations need:
+//
+//   - Terminal: an annihilator z of the additive monoid (z ⊕ x = z for all
+//     x). When present, a row accumulation may stop the moment the
+//     accumulator reaches z — the paper's Optimization 3 (early-exit),
+//     legal exactly because further ⊕ terms cannot change the result. For
+//     the Boolean semiring ({0,1}, AND, OR, 0), z = 1 ("true").
+//   - One: the multiplicative identity, used as the pattern value by the
+//     structure-only mode (Optimization 5), which treats every stored
+//     matrix entry as One and never touches the value arrays.
+type SR[T comparable] struct {
+	Add      func(T, T) T
+	Id       T
+	Terminal *T
+	Mul      func(T, T) T
+	One      T
+}
+
+// Saturated reports whether v equals the additive terminal, meaning
+// accumulation can stop.
+func (s SR[T]) Saturated(v T) bool { return s.Terminal != nil && v == *s.Terminal }
+
+// MergeKind selects how the column (push) kernel solves the multiway-merge
+// problem of Section 3.1.
+type MergeKind int
+
+const (
+	// MergeRadix concatenates gathered lists and radix-sorts them — the
+	// paper's GPU strategy (Algorithm 3): O(nnz(m⁺f)·logM) with better
+	// constants on wide machines.
+	MergeRadix MergeKind = iota
+	// MergeHeap is the textbook k-way merge: O(nnz(m⁺f)·log nnz(f)),
+	// matching the Table 1 cost expression literally.
+	MergeHeap
+	// MergeSPA scatters into a dense sparse-accumulator and compacts:
+	// O(nnz(m⁺f)) plus a sort of the output; the classic CPU SpMSpV choice.
+	MergeSPA
+)
+
+// Opts toggles the paper's separable optimizations on a per-call basis so
+// the harness can measure each one's contribution (Table 2).
+type Opts struct {
+	// StructureOnly makes kernels ignore matrix and input values and
+	// produce SR.One for every discovered output (Optimization 5). Only
+	// sound for semirings where ⊕ is idempotent over {One}, e.g. Boolean
+	// OR; in the push phase it downgrades the key-value sort to key-only.
+	StructureOnly bool
+	// EarlyExit permits the row kernels to stop a row once the accumulator
+	// is saturated (Optimization 3). Ignored unless the semiring has a
+	// Terminal.
+	EarlyExit bool
+	// Merge picks the push-phase multiway-merge implementation.
+	Merge MergeKind
+	// Sequential forces single-threaded execution (used by instrumented
+	// runs and tiny inputs).
+	Sequential bool
+}
+
+// MaskView is the kernel-level mask: a dense presence bitmap plus the
+// structural-complement flag (the paper's scmp), and optionally a
+// precomputed list of rows the effective mask allows. Maintaining that list
+// across BFS iterations is how the paper amortizes the O(M) cost of
+// locating mask zeroes (Section 3.2's SPA-like structure).
+type MaskView struct {
+	// Bits[i] reports whether the mask vector stores a nonzero at i.
+	Bits []bool
+	// Scmp complements the test: when true, rows with Bits[i]==false pass.
+	Scmp bool
+	// List, when non-nil, enumerates exactly the rows that pass the
+	// effective test, sorted ascending. Kernels then skip the bitmap scan.
+	List []uint32
+}
+
+// Allows reports whether the effective mask passes row i.
+func (m MaskView) Allows(i int) bool { return m.Bits[i] != m.Scmp }
+
+// Counter accumulates the RAM-model cost the paper's Table 1 is stated in:
+// random accesses into the matrix, plus bookkeeping for the merge. The
+// instrumented (sequential) kernels fill it; parallel kernels do not count.
+type Counter struct {
+	// MatrixAccesses counts loads of matrix index/value entries.
+	MatrixAccesses int64
+	// VectorAccesses counts loads of input-vector entries.
+	VectorAccesses int64
+	// MaskAccesses counts mask-bitmap probes.
+	MaskAccesses int64
+	// MergeOps counts comparisons/moves spent merging in the push phase.
+	MergeOps int64
+}
+
+// Add accumulates other into c.
+func (c *Counter) Add(other Counter) {
+	c.MatrixAccesses += other.MatrixAccesses
+	c.VectorAccesses += other.VectorAccesses
+	c.MaskAccesses += other.MaskAccesses
+	c.MergeOps += other.MergeOps
+}
+
+// Total returns the summed access count — the y-axis of the Table 1
+// validation experiment.
+func (c Counter) Total() int64 {
+	return c.MatrixAccesses + c.VectorAccesses + c.MaskAccesses + c.MergeOps
+}

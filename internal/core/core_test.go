@@ -1,0 +1,604 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pushpull/internal/sparse"
+)
+
+// boolSR is the paper's Boolean semiring ({0,1}, AND, OR, 0) with terminal
+// "true" — the BFS semiring.
+func boolSR() SR[bool] {
+	tr := true
+	return SR[bool]{
+		Add:      func(a, b bool) bool { return a || b },
+		Id:       false,
+		Terminal: &tr,
+		Mul:      func(a, b bool) bool { return a && b },
+		One:      true,
+	}
+}
+
+// plusTimes is the standard arithmetic semiring; no terminal, so early-exit
+// must be a no-op.
+func plusTimes() SR[float64] {
+	return SR[float64]{
+		Add: func(a, b float64) float64 { return a + b },
+		Id:  0,
+		Mul: func(a, b float64) float64 { return a * b },
+		One: 1,
+	}
+}
+
+// minPlus is the tropical semiring used by SSSP.
+func minPlus() SR[float64] {
+	const inf = 1e300
+	return SR[float64]{
+		Add: func(a, b float64) float64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		Id:  inf,
+		Mul: func(a, b float64) float64 { return a + b },
+		One: 0,
+	}
+}
+
+func randCSR(rng *rand.Rand, rows, cols int, density float64) *sparse.CSR[float64] {
+	var r, c []uint32
+	var v []float64
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				r = append(r, uint32(i))
+				c = append(c, uint32(j))
+				v = append(v, 1+rng.Float64())
+			}
+		}
+	}
+	a, err := sparse.FromCOO(rows, cols, r, c, v, nil)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// denseMxv is the oracle: plain dense row-based multiply over the semiring.
+func denseMxv(g *sparse.CSR[float64], uVal []float64, uPresent []bool, sr SR[float64]) ([]float64, []bool) {
+	w := make([]float64, g.Rows)
+	present := make([]bool, g.Rows)
+	for i := 0; i < g.Rows; i++ {
+		acc := sr.Id
+		any := false
+		ind, val := g.RowSpan(i)
+		for k := range ind {
+			if uPresent[ind[k]] {
+				acc = sr.Add(acc, sr.Mul(val[k], uVal[ind[k]]))
+				any = true
+			}
+		}
+		if any {
+			w[i] = acc
+			present[i] = true
+		}
+	}
+	return w, present
+}
+
+func sparseToDense(n int, ind []uint32, val []float64) ([]float64, []bool) {
+	v := make([]float64, n)
+	p := make([]bool, n)
+	for i, idx := range ind {
+		v[idx] = val[i]
+		p[idx] = true
+	}
+	return v, p
+}
+
+func denseToSparse(val []float64, present []bool) ([]uint32, []float64) {
+	var ind []uint32
+	var out []float64
+	for i := range val {
+		if present[i] {
+			ind = append(ind, uint32(i))
+			out = append(out, val[i])
+		}
+	}
+	return ind, out
+}
+
+func randVector(rng *rand.Rand, n int, density float64) ([]float64, []bool) {
+	v := make([]float64, n)
+	p := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			v[i] = 1 + rng.Float64()
+			p[i] = true
+		}
+	}
+	return v, p
+}
+
+func TestRowMxvMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randCSR(rng, n, n, 0.15)
+		uVal, uPresent := randVector(rng, n, 0.4)
+		for _, sr := range []SR[float64]{plusTimes(), minPlus()} {
+			wantV, wantP := denseMxv(g, uVal, uPresent, sr)
+			w := make([]float64, n)
+			p := make([]bool, n)
+			RowMxv(w, p, g, uVal, uPresent, sr, Opts{})
+			for i := 0; i < n; i++ {
+				if p[i] != wantP[i] {
+					t.Fatalf("trial %d: presence[%d]=%v want %v", trial, i, p[i], wantP[i])
+				}
+				if p[i] && !close(w[i], wantV[i]) {
+					t.Fatalf("trial %d: w[%d]=%g want %g", trial, i, w[i], wantV[i])
+				}
+			}
+		}
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestColMxvAllMergeStrategiesMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randCSR(rng, n, n, 0.15)
+		cscG := sparse.Transpose(g)
+		uVal, uPresent := randVector(rng, n, 0.3)
+		uInd, uSparse := denseToSparse(uVal, uPresent)
+		sr := plusTimes()
+		wantV, wantP := denseMxv(g, uVal, uPresent, sr)
+		for _, mk := range []MergeKind{MergeRadix, MergeHeap, MergeSPA} {
+			wInd, wVal := ColMxv(cscG, uInd, uSparse, sr, Opts{Merge: mk})
+			gotV, gotP := sparseToDense(n, wInd, wVal)
+			for i := 0; i < n; i++ {
+				if gotP[i] != wantP[i] {
+					t.Fatalf("trial %d merge %d: presence[%d]=%v want %v", trial, mk, i, gotP[i], wantP[i])
+				}
+				if gotP[i] && !close(gotV[i], wantV[i]) {
+					t.Fatalf("trial %d merge %d: w[%d]=%g want %g", trial, mk, i, gotV[i], wantV[i])
+				}
+			}
+			for k := 1; k < len(wInd); k++ {
+				if wInd[k-1] >= wInd[k] {
+					t.Fatalf("trial %d merge %d: output indices unsorted", trial, mk)
+				}
+			}
+		}
+	}
+}
+
+func TestMaskedVariantsRespectMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randCSR(rng, n, n, 0.2)
+		cscG := sparse.Transpose(g)
+		uVal, uPresent := randVector(rng, n, 0.5)
+		uInd, uSparse := denseToSparse(uVal, uPresent)
+		maskBits := make([]bool, n)
+		for i := range maskBits {
+			maskBits[i] = rng.Intn(2) == 0
+		}
+		for _, scmp := range []bool{false, true} {
+			mask := MaskView{Bits: maskBits, Scmp: scmp}
+			sr := plusTimes()
+			wantV, wantP := denseMxv(g, uVal, uPresent, sr)
+			for i := 0; i < n; i++ {
+				if !mask.Allows(i) {
+					wantP[i] = false
+				}
+			}
+			// Row masked.
+			w := make([]float64, n)
+			p := make([]bool, n)
+			RowMaskedMxv(w, p, g, uVal, uPresent, mask, sr, Opts{})
+			for i := 0; i < n; i++ {
+				if p[i] != wantP[i] || (p[i] && !close(w[i], wantV[i])) {
+					t.Fatalf("trial %d scmp=%v row: mismatch at %d", trial, scmp, i)
+				}
+			}
+			// Row masked via list.
+			var list []uint32
+			for i := 0; i < n; i++ {
+				if mask.Allows(i) {
+					list = append(list, uint32(i))
+				}
+			}
+			w2 := make([]float64, n)
+			p2 := make([]bool, n)
+			RowMaskedMxv(w2, p2, g, uVal, uPresent, MaskView{Bits: maskBits, Scmp: scmp, List: list}, sr, Opts{})
+			for i := 0; i < n; i++ {
+				if p2[i] != wantP[i] || (p2[i] && !close(w2[i], wantV[i])) {
+					t.Fatalf("trial %d scmp=%v row-list: mismatch at %d", trial, scmp, i)
+				}
+			}
+			// Column masked.
+			wInd, wVal := ColMaskedMxv(cscG, uInd, uSparse, mask, sr, Opts{})
+			gotV, gotP := sparseToDense(n, wInd, wVal)
+			for i := 0; i < n; i++ {
+				if gotP[i] != wantP[i] || (gotP[i] && !close(gotV[i], wantV[i])) {
+					t.Fatalf("trial %d scmp=%v col: mismatch at %d", trial, scmp, i)
+				}
+			}
+		}
+	}
+}
+
+func TestEarlyExitPreservesBooleanResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	sr := boolSR()
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(50)
+		gf := randCSR(rng, n, n, 0.2)
+		g := sparse.Scale(gf, func(float64) bool { return true })
+		uPresent := make([]bool, n)
+		uVal := make([]bool, n)
+		for i := range uPresent {
+			if rng.Intn(3) == 0 {
+				uPresent[i] = true
+				uVal[i] = true
+			}
+		}
+		maskBits := make([]bool, n)
+		for i := range maskBits {
+			maskBits[i] = rng.Intn(2) == 0
+		}
+		mask := MaskView{Bits: maskBits, Scmp: true}
+		run := func(opts Opts) ([]bool, []bool) {
+			w := make([]bool, n)
+			p := make([]bool, n)
+			RowMaskedMxv(w, p, g, uVal, uPresent, mask, sr, opts)
+			return w, p
+		}
+		baseW, baseP := run(Opts{})
+		for _, opts := range []Opts{
+			{EarlyExit: true},
+			{StructureOnly: true},
+			{EarlyExit: true, StructureOnly: true},
+			{EarlyExit: true, StructureOnly: true, Sequential: true},
+		} {
+			w, p := run(opts)
+			for i := 0; i < n; i++ {
+				if p[i] != baseP[i] || (p[i] && w[i] != baseW[i]) {
+					t.Fatalf("trial %d opts %+v: diverges at %d", trial, opts, i)
+				}
+			}
+		}
+	}
+}
+
+func TestEarlyExitIgnoredWithoutTerminal(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	n := 30
+	g := randCSR(rng, n, n, 0.3)
+	uVal, uPresent := randVector(rng, n, 0.8)
+	sr := plusTimes() // no terminal
+	w1 := make([]float64, n)
+	p1 := make([]bool, n)
+	RowMxv(w1, p1, g, uVal, uPresent, sr, Opts{})
+	w2 := make([]float64, n)
+	p2 := make([]bool, n)
+	RowMxv(w2, p2, g, uVal, uPresent, sr, Opts{EarlyExit: true})
+	for i := 0; i < n; i++ {
+		if p1[i] != p2[i] || (p1[i] && !close(w1[i], w2[i])) {
+			t.Fatalf("early-exit changed plus-times result at %d", i)
+		}
+	}
+}
+
+func TestStructureOnlyColumnEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	sr := boolSR()
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		gf := randCSR(rng, n, n, 0.2)
+		g := sparse.Scale(gf, func(float64) bool { return true })
+		cscG := sparse.Transpose(g)
+		var uInd []uint32
+		var uVal []bool
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				uInd = append(uInd, uint32(i))
+				uVal = append(uVal, true)
+			}
+		}
+		for _, mk := range []MergeKind{MergeRadix, MergeHeap, MergeSPA} {
+			aInd, aVal := ColMxv(cscG, uInd, uVal, sr, Opts{Merge: mk})
+			bInd, bVal := ColMxv(cscG, uInd, uVal, sr, Opts{Merge: mk, StructureOnly: true})
+			if len(aInd) != len(bInd) {
+				t.Fatalf("trial %d merge %d: nnz %d vs %d", trial, mk, len(aInd), len(bInd))
+			}
+			for i := range aInd {
+				if aInd[i] != bInd[i] || aVal[i] != bVal[i] {
+					t.Fatalf("trial %d merge %d: entry %d differs", trial, mk, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCountedKernelsMatchUncounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randCSR(rng, n, n, 0.2)
+		cscG := sparse.Transpose(g)
+		uVal, uPresent := randVector(rng, n, 0.4)
+		uInd, uSparse := denseToSparse(uVal, uPresent)
+		sr := plusTimes()
+		var c Counter
+
+		w1 := make([]float64, n)
+		p1 := make([]bool, n)
+		RowMxv(w1, p1, g, uVal, uPresent, sr, Opts{})
+		w2 := make([]float64, n)
+		p2 := make([]bool, n)
+		RowMxvCounted(w2, p2, g, uVal, uPresent, sr, Opts{}, &c)
+		for i := range w1 {
+			if p1[i] != p2[i] || (p1[i] && !close(w1[i], w2[i])) {
+				t.Fatalf("trial %d: counted row kernel diverges at %d", trial, i)
+			}
+		}
+		if c.MatrixAccesses == 0 && g.NNZ() > 0 {
+			t.Fatal("counted kernel recorded no matrix accesses")
+		}
+
+		i1, v1 := ColMxv(cscG, uInd, uSparse, sr, Opts{Merge: MergeHeap})
+		var c2 Counter
+		i2, v2 := ColMxvCounted(cscG, uInd, uSparse, sr, Opts{}, &c2)
+		if len(i1) != len(i2) {
+			t.Fatalf("trial %d: counted col kernel nnz %d vs %d", trial, len(i2), len(i1))
+		}
+		for k := range i1 {
+			if i1[k] != i2[k] || !close(v1[k], v2[k]) {
+				t.Fatalf("trial %d: counted col kernel diverges at %d", trial, k)
+			}
+		}
+	}
+}
+
+func TestCounterScaling(t *testing.T) {
+	// The RAM-model counts must reproduce Table 1's shape: row unmasked
+	// flat in nnz(f); row masked linear in nnz(m); column linear in nnz(f).
+	rng := rand.New(rand.NewSource(27))
+	n := 2000
+	g := randCSR(rng, n, n, 0.01)
+	cscG := sparse.Transpose(g)
+	sr := plusTimes()
+
+	countRow := func(density float64) int64 {
+		uVal, uPresent := randVector(rng, n, density)
+		var c Counter
+		w := make([]float64, n)
+		p := make([]bool, n)
+		RowMxvCounted(w, p, g, uVal, uPresent, sr, Opts{}, &c)
+		return c.MatrixAccesses
+	}
+	lo, hi := countRow(0.01), countRow(0.9)
+	if lo != hi {
+		t.Fatalf("row unmasked matrix accesses vary with input sparsity: %d vs %d", lo, hi)
+	}
+
+	countCol := func(density float64) int64 {
+		uVal, uPresent := randVector(rng, n, density)
+		uInd, uSparse := denseToSparse(uVal, uPresent)
+		var c Counter
+		ColMxvCounted(cscG, uInd, uSparse, sr, Opts{}, &c)
+		return c.MatrixAccesses
+	}
+	if c1, c9 := countCol(0.1), countCol(0.9); c9 < 5*c1 {
+		t.Fatalf("column accesses should scale with nnz(f): %d vs %d", c1, c9)
+	}
+
+	countMaskedRow := func(density float64) int64 {
+		uVal, uPresent := randVector(rng, n, 1.0)
+		maskBits := make([]bool, n)
+		var list []uint32
+		for i := range maskBits {
+			if rng.Float64() < density {
+				maskBits[i] = true
+				list = append(list, uint32(i))
+			}
+		}
+		var c Counter
+		w := make([]float64, n)
+		p := make([]bool, n)
+		RowMaskedMxvCounted(w, p, g, uVal, uPresent, MaskView{Bits: maskBits, List: list}, sr, Opts{}, &c)
+		return c.MatrixAccesses
+	}
+	if m1, m9 := countMaskedRow(0.1), countMaskedRow(0.9); m9 < 5*m1 {
+		t.Fatalf("masked row accesses should scale with nnz(m): %d vs %d", m1, m9)
+	}
+}
+
+func TestSwitchStateHysteresis(t *testing.T) {
+	var s SwitchState
+	n := 1000
+	d := Push
+	// Growing frontier crosses the switch-point: push → pull.
+	d = s.Decide(5, n, d, 0.01)
+	if d != Push {
+		t.Fatal("tiny frontier should stay push")
+	}
+	d = s.Decide(50, n, d, 0.01)
+	if d != Pull {
+		t.Fatal("growing past switch-point should go pull")
+	}
+	// Still large: stay pull.
+	d = s.Decide(400, n, d, 0.01)
+	if d != Pull {
+		t.Fatal("large frontier should stay pull")
+	}
+	// Shrinking below switch-point: pull → push.
+	d = s.Decide(5, n, d, 0.01)
+	if d != Push {
+		t.Fatal("shrinking below switch-point should go push")
+	}
+	// A *rising* frontier below the switch-point must not bounce to pull...
+	s.Reset()
+	d = Pull
+	d = s.Decide(3, n, d, 0.01)
+	if d != Push {
+		t.Fatal("first decision has no history; falling ratio goes push")
+	}
+	// ...and a *falling* frontier above the switch-point stays put.
+	s.Reset()
+	s.Decide(900, n, Pull, 0.01)
+	d = s.Decide(500, n, Push, 0.01)
+	if d != Push {
+		t.Fatal("falling frontier must not switch push→pull even above sp")
+	}
+}
+
+func TestSwitchStateDefaults(t *testing.T) {
+	var s SwitchState
+	if d := s.Decide(500, 1000, Push, 0); d != Pull {
+		t.Fatal("sp<=0 should fall back to the default switch-point")
+	}
+	if d := s.Decide(0, 0, Pull, 0.01); d != Pull {
+		t.Fatal("n==0 should keep the current direction")
+	}
+}
+
+func TestMxMMaskedTriangleOracle(t *testing.T) {
+	// C⟨A⟩ = A·A over plus-times on a known graph: a 4-clique has 4
+	// triangles; sum of C equals 6·#triangles for undirected A.
+	var r, c []uint32
+	var v []float64
+	add := func(i, j uint32) { r = append(r, i, j); c = append(c, j, i); v = append(v, 1, 1) }
+	add(0, 1)
+	add(0, 2)
+	add(0, 3)
+	add(1, 2)
+	add(1, 3)
+	add(2, 3)
+	a, err := sparse.FromCOO(4, 4, r, c, v, func(x, y float64) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := plusTimes()
+	prod := MxMMasked(a, a, a.Ptr, a.Ind, sr, Opts{})
+	sum := 0.0
+	for _, x := range prod.Val {
+		sum += x
+	}
+	if sum != 24 { // 6 × 4 triangles
+		t.Fatalf("masked A·A sum = %g, want 24", sum)
+	}
+	// The output pattern must be a subset of the mask pattern.
+	for i := 0; i < 4; i++ {
+		mInd, _ := a.RowSpan(i)
+		allowed := map[uint32]bool{}
+		for _, j := range mInd {
+			allowed[j] = true
+		}
+		pInd, _ := prod.RowSpan(i)
+		for _, j := range pInd {
+			if !allowed[j] {
+				t.Fatalf("row %d: output column %d outside mask", i, j)
+			}
+		}
+	}
+}
+
+func TestMxMMaskedMatchesDenseOracleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		a := randCSR(rng, n, n, 0.25)
+		b := randCSR(rng, n, n, 0.25)
+		m := randCSR(rng, n, n, 0.5)
+		sr := plusTimes()
+		got := MxMMasked(a, b, m.Ptr, m.Ind, sr, Opts{Sequential: seed%2 == 0})
+		// Dense oracle.
+		for i := 0; i < n; i++ {
+			allowed := map[uint32]bool{}
+			mi, _ := m.RowSpan(i)
+			for _, j := range mi {
+				allowed[j] = true
+			}
+			want := make([]float64, n)
+			hit := make([]bool, n)
+			ai, av := a.RowSpan(i)
+			for t := range ai {
+				bi, bv := b.RowSpan(int(ai[t]))
+				for u := range bi {
+					if allowed[bi[u]] {
+						want[bi[u]] += av[t] * bv[u]
+						hit[bi[u]] = true
+					}
+				}
+			}
+			gi, gv := got.RowSpan(i)
+			cnt := 0
+			for j := 0; j < n; j++ {
+				if hit[j] {
+					cnt++
+				}
+			}
+			if len(gi) != cnt {
+				return false
+			}
+			for k := range gi {
+				if !hit[gi[k]] || !close(gv[k], want[gi[k]]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColMxvEmptyInput(t *testing.T) {
+	g := randCSR(rand.New(rand.NewSource(28)), 10, 10, 0.3)
+	cscG := sparse.Transpose(g)
+	for _, mk := range []MergeKind{MergeRadix, MergeHeap, MergeSPA} {
+		ind, val := ColMxv(cscG, nil, nil, plusTimes(), Opts{Merge: mk})
+		if len(ind) != 0 || len(val) != 0 {
+			t.Fatalf("merge %d: empty input produced output", mk)
+		}
+	}
+}
+
+func TestSRSaturated(t *testing.T) {
+	sr := boolSR()
+	if !sr.Saturated(true) || sr.Saturated(false) {
+		t.Fatal("bool semiring saturation wrong")
+	}
+	pt := plusTimes()
+	if pt.Saturated(1) {
+		t.Fatal("plus-times has no terminal")
+	}
+}
+
+func TestCounterAddTotal(t *testing.T) {
+	a := Counter{MatrixAccesses: 1, VectorAccesses: 2, MaskAccesses: 3, MergeOps: 4}
+	b := Counter{MatrixAccesses: 10, VectorAccesses: 20, MaskAccesses: 30, MergeOps: 40}
+	a.Add(b)
+	if a.Total() != 110 {
+		t.Fatalf("Total=%d want 110", a.Total())
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Push.String() != "push" || Pull.String() != "pull" {
+		t.Fatal("Direction.String mismatch")
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"pushpull/internal/par"
+	"pushpull/internal/sparse"
+)
+
+// FusedPullStep is the kernel-fusion extension the paper's Section 7.3
+// attributes to Gunrock and suggests for a non-blocking GraphBLAS: the
+// masked pull matvec (Algorithm 1 Line 8) fused with the depth assign and
+// visited update (Line 7). One pass over the unvisited list does the
+// parent probe (with early exit), writes the depth, flips the visited
+// bit, and compacts the unvisited list in place — no intermediate frontier
+// vector is materialized.
+//
+// Inputs: g is CSR(Aᵀ); visited is the dense visited bitmap (read for the
+// parent probe, updated in the sequential epilogue); unvisited is the
+// amortized allow-list, compacted in place. Returns the new frontier's
+// vertices and the shrunken unvisited list.
+//
+// Race discipline: workers read `visited` (bits set only in previous
+// levels — the epilogue publishes this level's bits after the barrier) and
+// write only depths[v] for v they own via the list partition.
+func FusedPullStep[T comparable](g *sparse.CSR[T], visited []bool, unvisited []uint32, depths []int32, depth int32) ([]uint32, []uint32) {
+	workers := par.MaxWorkers()
+	outs := make([][]uint32, workers)
+	keeps := make([][]uint32, workers)
+	par.ForWorker(len(unvisited), func(w, lo, hi int) {
+		var out, keep []uint32
+		for i := lo; i < hi; i++ {
+			v := unvisited[i]
+			if visited[v] {
+				continue // stale entry left by a skipped push-side compaction
+			}
+			ind := g.Ind[g.Ptr[v]:g.Ptr[v+1]]
+			found := false
+			for _, u := range ind {
+				if visited[u] {
+					found = true
+					break // early exit: first parent suffices
+				}
+			}
+			if found {
+				depths[v] = depth
+				out = append(out, v)
+			} else {
+				keep = append(keep, v)
+			}
+		}
+		outs[w] = out
+		keeps[w] = keep
+	})
+	var frontier []uint32
+	compact := unvisited[:0]
+	for w := 0; w < workers; w++ {
+		frontier = append(frontier, outs[w]...)
+		compact = append(compact, keeps[w]...)
+	}
+	for _, v := range frontier {
+		visited[v] = true
+	}
+	return frontier, compact
+}
+
+// FusedPushStep is the push-side counterpart: expand the frontier through
+// CSC(Aᵀ) columns, claim unvisited children directly in the visited
+// bitmap, and write depths — no sort, no merge, no separate assign. The
+// output frontier is unsorted (Gunrock's duplicate-tolerant frontier,
+// Section 7.3), which is sound because discovery is idempotent.
+//
+// It runs sequentially over the frontier's adjacency (the claim test makes
+// parallel writes racy without atomics; the fused path is for the ablation
+// study, where the pull side dominates anyway).
+func FusedPushStep[T comparable](cscG *sparse.CSR[T], visited []bool, frontier []uint32, depths []int32, depth int32) []uint32 {
+	var next []uint32
+	for _, u := range frontier {
+		ind := cscG.Ind[cscG.Ptr[u]:cscG.Ptr[u+1]]
+		for _, v := range ind {
+			if !visited[v] {
+				visited[v] = true
+				depths[v] = depth
+				next = append(next, v)
+			}
+		}
+	}
+	return next
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"pushpull/internal/par"
+	"pushpull/internal/sparse"
+)
+
+// rowGrain is the chunk size for parallelizing over matrix rows. Power-law
+// rows are wildly uneven, so chunks stay small and are balanced dynamically
+// by par.For.
+const rowGrain = 256
+
+// RowMxv computes the unmasked row-based matvec w = G·u (the paper's SpMV):
+// for every row i, w(i) = ⊕_j G(i,j) ⊗ u(j). The input u is dense
+// (uVal/uPresent); absent entries contribute nothing. Outputs are written
+// into caller-allocated w/wPresent (length G.Rows); rows with no
+// contributing terms are marked absent.
+//
+// Cost (Table 1 row 1): every stored entry of G is examined regardless of
+// input or output sparsity — O(d·M).
+func RowMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], uVal []T, uPresent []bool, sr SR[T], opts Opts) {
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rowAccumulate(w, wPresent, g, i, uVal, uPresent, sr, opts)
+		}
+	}
+	if opts.Sequential {
+		run(0, g.Rows)
+		return
+	}
+	par.For(g.Rows, rowGrain, run)
+}
+
+// RowMaskedMxv computes the masked row-based matvec w = (G·u) .⊙ m
+// (Algorithm 2): only rows the effective mask allows are accumulated, the
+// rest are absent. With mask.List supplied the kernel touches exactly
+// nnz(effective mask) rows, realizing the O(d·nnz(m)) cost of Table 1 row 2
+// with no O(M) scan — which also means rows outside the list are never
+// written, so the caller must hand in wPresent already cleared (the vector
+// layer reuses one zeroed bitmap across iterations).
+func RowMaskedMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], uVal []T, uPresent []bool, mask MaskView, sr SR[T], opts Opts) {
+	if mask.List != nil {
+		run := func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				i := int(mask.List[k])
+				wPresent[i] = false
+				rowAccumulate(w, wPresent, g, i, uVal, uPresent, sr, opts)
+			}
+		}
+		if opts.Sequential {
+			run(0, len(mask.List))
+			return
+		}
+		par.For(len(mask.List), rowGrain, run)
+		return
+	}
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			wPresent[i] = false
+			if !mask.Allows(i) {
+				continue
+			}
+			rowAccumulate(w, wPresent, g, i, uVal, uPresent, sr, opts)
+		}
+	}
+	if opts.Sequential {
+		run(0, g.Rows)
+		return
+	}
+	par.For(g.Rows, rowGrain, run)
+}
+
+// rowAccumulate folds row i of G against u into w[i]. It implements the
+// inner loop of Algorithm 2, including the optional early-exit break and
+// the structure-only value bypass.
+func rowAccumulate[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], i int, uVal []T, uPresent []bool, sr SR[T], opts Opts) {
+	lo, hi := g.Ptr[i], g.Ptr[i+1]
+	earlyExit := opts.EarlyExit && sr.Terminal != nil
+	if opts.StructureOnly && earlyExit {
+		// Pure existence scan — the exact BFS pull inner loop: stop at the
+		// first present parent (Algorithm 2 Line 8).
+		for k := lo; k < hi; k++ {
+			if uPresent[g.Ind[k]] {
+				w[i] = *sr.Terminal
+				wPresent[i] = true
+				return
+			}
+		}
+		return
+	}
+	acc := sr.Id
+	any := false
+	for k := lo; k < hi; k++ {
+		j := g.Ind[k]
+		if !uPresent[j] {
+			continue
+		}
+		if opts.StructureOnly {
+			acc = sr.Add(acc, sr.One)
+		} else {
+			acc = sr.Add(acc, sr.Mul(g.Val[k], uVal[j]))
+		}
+		any = true
+		if earlyExit && acc == *sr.Terminal {
+			break
+		}
+	}
+	if any {
+		w[i] = acc
+		wPresent[i] = true
+	} else {
+		wPresent[i] = false
+	}
+}

@@ -1,0 +1,61 @@
+package frameworks
+
+import (
+	"pushpull/internal/merge"
+	"pushpull/internal/par"
+)
+
+// BaselineBFS is the Yang-2015 push-only linear-algebra BFS the paper uses
+// as its baseline: every iteration expands the frontier column-wise
+// (scan-gather), key-VALUE radix sorts the concatenation (no
+// structure-only optimization), segment-merges duplicates, and only then
+// filters out already-visited vertices (no fused mask). No direction
+// optimization, no early exit. This is Table 2's "Baseline" row.
+func BaselineBFS(g *Graph, source int) []int32 {
+	depths := newDepths(g.N, source)
+	frontier := []uint32{uint32(source)}
+	visited := make([]bool, g.N)
+	visited[source] = true
+	maxKey := uint32(g.N - 1)
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		// Scan: per-vertex expansion sizes → offsets.
+		lengths := make([]int, len(frontier))
+		par.For(len(frontier), 512, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				lengths[i] = g.Out.RowLen(int(frontier[i]))
+			}
+		})
+		total := par.ExclusiveScan(lengths)
+		if total == 0 {
+			break
+		}
+		// Gather: concatenate neighbour lists, carrying a (dummy) value to
+		// stay faithful to the baseline's key-value sort cost.
+		keys := make([]uint32, total)
+		vals := make([]uint32, total)
+		par.For(len(frontier), 512, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ind, _ := g.Out.RowSpan(int(frontier[i]))
+				off := lengths[i]
+				copy(keys[off:], ind)
+				for j := range ind {
+					vals[off+j] = frontier[i]
+				}
+			}
+		})
+		// Sort + merge (the multiway merge as radix sort).
+		merge.SortPairs(keys, vals, maxKey)
+		keys, _ = merge.SegmentedReducePairs(keys, vals, func(a, _ uint32) uint32 { return a })
+		// Post-filter: drop visited vertices (separate pass — no masking).
+		next := keys[:0]
+		for _, v := range keys {
+			if !visited[v] {
+				visited[v] = true
+				depths[v] = depth
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return depths
+}

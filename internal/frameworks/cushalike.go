@@ -1,0 +1,83 @@
+package frameworks
+
+import (
+	"sync/atomic"
+
+	"pushpull/internal/par"
+)
+
+// CuShaBFS follows CuSha's gather-apply-scatter model over G-Shards: edges
+// are partitioned by destination into shards, and *every* iteration sweeps
+// *all* edges, updating destinations whose source was discovered last
+// level. Shards own disjoint destination ranges, so shard-parallel updates
+// race-free. The defining cost — Θ(iterations × E) regardless of frontier
+// size — is what makes the strategy competitive on low-diameter scale-free
+// graphs but catastrophic on meshes (the paper's i04 row: 17609 ms).
+func CuShaBFS(g *Graph, source int) []int32 {
+	depths := newDepths(g.N, source)
+	// Shards: contiguous destination ranges of roughly equal edge count,
+	// built from the in-edge CSR (edges grouped by destination).
+	const targetShards = 64
+	shardBounds := buildShards(g, targetShards)
+
+	for depth := int32(0); ; depth++ {
+		var changed int32
+		par.ForWorker(len(shardBounds)-1, func(_, lo, hi int) {
+			local := int32(0)
+			for s := lo; s < hi; s++ {
+				vLo, vHi := shardBounds[s], shardBounds[s+1]
+				for v := vLo; v < vHi; v++ {
+					if depths[v] >= 0 {
+						continue
+					}
+					parents, _ := g.In.RowSpan(v)
+					for _, u := range parents {
+						// Cross-shard reads race with owned writes; CuSha
+						// double-buffers vertex values, which an atomic
+						// load models (the only concurrent transition is
+						// -1 → depth+1, never == depth, so a stale read
+						// is harmless).
+						if atomic.LoadInt32(&depths[u]) == depth {
+							atomic.StoreInt32(&depths[v], depth+1)
+							local++
+							break
+						}
+					}
+				}
+			}
+			if local > 0 {
+				atomic.AddInt32(&changed, local)
+			}
+		})
+		if changed == 0 {
+			break
+		}
+	}
+	return depths
+}
+
+// buildShards splits vertices into contiguous ranges with roughly equal
+// in-edge populations, mirroring CuSha's shard construction.
+func buildShards(g *Graph, want int) []int {
+	if want > g.N {
+		want = g.N
+	}
+	if want < 1 {
+		want = 1
+	}
+	perShard := (g.In.NNZ() + want - 1) / want
+	if perShard < 1 {
+		perShard = 1
+	}
+	bounds := []int{0}
+	acc := 0
+	for v := 0; v < g.N; v++ {
+		acc += g.In.RowLen(v)
+		if acc >= perShard && v+1 < g.N {
+			bounds = append(bounds, v+1)
+			acc = 0
+		}
+	}
+	bounds = append(bounds, g.N)
+	return bounds
+}

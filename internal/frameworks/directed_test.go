@@ -1,0 +1,63 @@
+package frameworks
+
+import (
+	"math/rand"
+	"testing"
+
+	"pushpull/graphblas"
+	"pushpull/internal/par"
+)
+
+func randDirectedGraph(rng *rand.Rand, n int, p float64) *Graph {
+	var r, c []uint32
+	var v []bool
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < p {
+				r = append(r, uint32(i))
+				c = append(c, uint32(j))
+				v = append(v, true)
+			}
+		}
+	}
+	m, err := graphblas.NewMatrixFromCOO(n, n, r, c, v, nil)
+	if err != nil {
+		panic(err)
+	}
+	return FromMatrix(m)
+}
+
+func TestAllFrameworksDirected(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	for trial := 0; trial < 15; trial++ {
+		n := 10 + rng.Intn(120)
+		g := randDirectedGraph(rng, n, 0.05)
+		src := rng.Intn(n)
+		want := refBFS(g, src)
+		for _, r := range All() {
+			got := r.BFS(g, src)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("trial %d %s: depth[%d]=%d want %d", trial, r.Name, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestFrameworksDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	g := randDirectedGraph(rng, 200, 0.04)
+	for _, r := range All() {
+		prev := par.SetMaxWorkers(1)
+		one := r.BFS(g, 0)
+		par.SetMaxWorkers(8)
+		many := r.BFS(g, 0)
+		par.SetMaxWorkers(prev)
+		for v := range one {
+			if one[v] != many[v] {
+				t.Fatalf("%s: depth[%d] differs across worker counts: %d vs %d", r.Name, v, one[v], many[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package frameworks re-implements the BFS *strategies* of the graph
+// systems the paper compares against (Figure 7): the Yang-2015 push-only
+// linear-algebra baseline, single-threaded SuiteSparse-style GraphBLAS,
+// CuSha-style gather-apply-scatter over shards, Ligra-style edgeMap with
+// Beamer switching, and Gunrock-style frontier-centric traversal with
+// local culling and operand reuse. All run on the same CSR substrate and
+// worker pool as this work's kernels, so the comparison isolates the
+// strategy rather than unrelated engineering.
+//
+// Each framework exposes BFS(g, source) -> depths; correctness is
+// cross-checked against a reference queue BFS in tests, and the harness
+// times them for the comparison table.
+package frameworks
+
+import (
+	"sync/atomic"
+
+	"pushpull/graphblas"
+	"pushpull/internal/sparse"
+)
+
+// Graph is the shared input: out-edge and in-edge CSR views (aliased for
+// undirected graphs), plus the vertex count.
+type Graph struct {
+	// Out is the CSR of A: Out.RowSpan(u) lists u's children.
+	Out *sparse.CSR[bool]
+	// In is the CSR of Aᵀ: In.RowSpan(v) lists v's parents.
+	In *sparse.CSR[bool]
+	// N is the vertex count.
+	N int
+}
+
+// FromMatrix adapts a graphblas matrix to the frameworks' input form.
+func FromMatrix(a *graphblas.Matrix[bool]) *Graph {
+	return &Graph{Out: a.CSR(), In: a.CSC(), N: a.NRows()}
+}
+
+// Runner is one framework's BFS entry point.
+type Runner struct {
+	// Name is the label used in the comparison table.
+	Name string
+	// BFS returns per-vertex depths (-1 = unreached).
+	BFS func(g *Graph, source int) []int32
+}
+
+// All returns the five comparator frameworks in the paper's column order.
+// "This work" is not included — the harness calls algorithms.BFS directly.
+func All() []Runner {
+	return []Runner{
+		{Name: "SuiteSparse", BFS: SuiteSparseBFS},
+		{Name: "CuSha", BFS: CuShaBFS},
+		{Name: "Baseline", BFS: BaselineBFS},
+		{Name: "Ligra", BFS: LigraBFS},
+		{Name: "Gunrock", BFS: GunrockBFS},
+	}
+}
+
+// newDepths allocates a depth array initialized to -1 except the source.
+func newDepths(n, source int) []int32 {
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = -1
+	}
+	d[source] = 0
+	return d
+}
+
+// atomicBitset is a concurrent bitmap with test-and-set semantics, the
+// global-bitmask structure Gunrock's filter and Ligra's push phase use to
+// claim vertices.
+type atomicBitset struct {
+	words []uint32
+}
+
+func newAtomicBitset(n int) *atomicBitset {
+	return &atomicBitset{words: make([]uint32, (n+31)/32)}
+}
+
+// testAndSet atomically sets bit i, reporting whether this call was the
+// one that set it (false if it was already set).
+func (b *atomicBitset) testAndSet(i int) bool {
+	w := &b.words[i>>5]
+	mask := uint32(1) << (i & 31)
+	for {
+		old := atomic.LoadUint32(w)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(w, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// get reports bit i without synchronization stronger than an atomic load.
+func (b *atomicBitset) get(i int) bool {
+	return atomic.LoadUint32(&b.words[i>>5])&(uint32(1)<<(i&31)) != 0
+}
+
+// set sets bit i non-atomically (single-threaded phases).
+func (b *atomicBitset) set(i int) {
+	b.words[i>>5] |= uint32(1) << (i & 31)
+}

@@ -1,0 +1,170 @@
+package frameworks
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pushpull/generate"
+	"pushpull/graphblas"
+)
+
+// refBFS is the queue-based oracle.
+func refBFS(g *Graph, source int) []int32 {
+	depths := newDepths(g.N, source)
+	queue := []int{source}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		ind, _ := g.Out.RowSpan(u)
+		for _, v := range ind {
+			if depths[v] < 0 {
+				depths[v] = depths[u] + 1
+				queue = append(queue, int(v))
+			}
+		}
+	}
+	return depths
+}
+
+func testGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	out := map[string]*Graph{}
+	rmat, err := generate.RMAT(generate.RMATConfig{Scale: 10, EdgeFactor: 8, Undirected: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["rmat"] = FromMatrix(rmat)
+	grid, err := generate.Grid2D(20, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["grid"] = FromMatrix(grid)
+	path, err := generate.Path(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["path"] = FromMatrix(path)
+	star, err := generate.Star(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["star"] = FromMatrix(star)
+	// Disconnected graph.
+	disc, err := graphblas.NewMatrixFromCOO(8, 8,
+		[]uint32{0, 1, 4, 5}, []uint32{1, 0, 5, 4}, []bool{true, true, true, true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["disconnected"] = FromMatrix(disc)
+	return out
+}
+
+func TestAllFrameworksMatchReference(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		sources := []int{0}
+		if g.N > 10 {
+			sources = append(sources, g.N/2, g.N-1)
+		}
+		for _, src := range sources {
+			want := refBFS(g, src)
+			for _, r := range All() {
+				got := r.BFS(g, src)
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("%s on %s src=%d: depth[%d]=%d want %d",
+							r.Name, gname, src, v, got[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFrameworksPropertyRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(150)
+		p := 0.01 + rng.Float64()*0.1
+		m, err := generate.ErdosRenyi(n, p, seed)
+		if err != nil {
+			return false
+		}
+		g := FromMatrix(m)
+		src := rng.Intn(n)
+		want := refBFS(g, src)
+		for _, r := range All() {
+			got := r.BFS(g, src)
+			for v := range want {
+				if got[v] != want[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicBitset(t *testing.T) {
+	b := newAtomicBitset(100)
+	if b.get(37) {
+		t.Fatal("fresh bit set")
+	}
+	if !b.testAndSet(37) {
+		t.Fatal("first testAndSet should win")
+	}
+	if b.testAndSet(37) {
+		t.Fatal("second testAndSet should lose")
+	}
+	if !b.get(37) {
+		t.Fatal("bit lost")
+	}
+	b.set(99)
+	if !b.get(99) {
+		t.Fatal("set(99) lost")
+	}
+	if b.get(98) {
+		t.Fatal("neighbour bit contaminated")
+	}
+}
+
+func TestBuildShards(t *testing.T) {
+	m, err := generate.RMAT(generate.RMATConfig{Scale: 9, EdgeFactor: 8, Undirected: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FromMatrix(m)
+	bounds := buildShards(g, 16)
+	if bounds[0] != 0 || bounds[len(bounds)-1] != g.N {
+		t.Fatalf("shard bounds don't cover: %v", bounds[:3])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatal("shard bounds not increasing")
+		}
+	}
+	// One-shard degenerate case.
+	single := buildShards(g, 0)
+	if single[len(single)-1] != g.N {
+		t.Fatal("single shard must cover all vertices")
+	}
+}
+
+func TestFrameworkNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, r := range All() {
+		if r.Name == "" || r.BFS == nil {
+			t.Fatal("incomplete runner")
+		}
+		if names[r.Name] {
+			t.Fatalf("duplicate name %s", r.Name)
+		}
+		names[r.Name] = true
+	}
+	if len(names) != 5 {
+		t.Fatalf("want 5 frameworks, got %d", len(names))
+	}
+}

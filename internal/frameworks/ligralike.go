@@ -1,0 +1,121 @@
+package frameworks
+
+import (
+	"pushpull/internal/par"
+)
+
+// LigraBFS follows Ligra's edgeMap/vertexMap model (Shun & Blelloch): the
+// frontier is a vertex subset that edgeMap expands either sparsely (push:
+// per-source scatter with atomic claims, output as an unsorted vertex
+// list) or densely (pull: scan all vertices, check parents, early break),
+// switching on Beamer's |frontier edges| > |E|/20 threshold. Multithreaded
+// on the shared worker pool. Unlike this work, the pull phase scans *all*
+// vertices testing the visited bit — Ligra keeps no amortized unvisited
+// list — and the frontier is vertex-centric rather than a semiring vector.
+func LigraBFS(g *Graph, source int) []int32 {
+	depths := newDepths(g.N, source)
+	visited := newAtomicBitset(g.N)
+	visited.set(source)
+	frontier := []uint32{uint32(source)}
+	frontierIsDense := false
+	var denseFrontier []bool
+	threshold := g.Out.NNZ() / 20
+	if threshold < 1 {
+		threshold = 1
+	}
+
+	for depth := int32(1); ; depth++ {
+		// Frontier size in edges decides the representation (edgeMap's
+		// sparse→dense switch).
+		var frontierEdges int
+		if frontierIsDense {
+			frontierEdges = threshold + 1 // stay dense until the frontier shrinks
+			count := 0
+			for v := 0; v < g.N; v++ {
+				if denseFrontier[v] {
+					count++
+				}
+			}
+			if count == 0 {
+				break
+			}
+			if count*8 < g.N { // shrunk: fall back to sparse
+				frontier = frontier[:0]
+				for v := 0; v < g.N; v++ {
+					if denseFrontier[v] {
+						frontier = append(frontier, uint32(v))
+					}
+				}
+				frontierIsDense = false
+			}
+		}
+		if !frontierIsDense {
+			if len(frontier) == 0 {
+				break
+			}
+			frontierEdges = 0
+			for _, v := range frontier {
+				frontierEdges += g.Out.RowLen(int(v))
+			}
+		}
+
+		if frontierEdges > threshold {
+			// Dense edgeMap (pull): every vertex checks its parents.
+			if denseFrontier == nil {
+				denseFrontier = make([]bool, g.N)
+			}
+			cur := make([]bool, g.N)
+			if frontierIsDense {
+				copy(cur, denseFrontier)
+			} else {
+				for _, v := range frontier {
+					cur[v] = true
+				}
+			}
+			next := make([]bool, g.N)
+			par.For(g.N, 1024, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					if visited.get(v) {
+						continue
+					}
+					parents, _ := g.In.RowSpan(v)
+					for _, u := range parents {
+						if cur[u] {
+							next[v] = true
+							depths[v] = depth
+							visited.set(v) // safe: only this worker owns v
+							break
+						}
+					}
+				}
+			})
+			denseFrontier = next
+			frontierIsDense = true
+			continue
+		}
+
+		// Sparse edgeMap (push): scatter with atomic claims; per-worker
+		// output buffers concatenated, unsorted, duplicate-free by claim.
+		workers := par.MaxWorkers()
+		outs := make([][]uint32, workers)
+		par.ForWorker(len(frontier), func(w, lo, hi int) {
+			var out []uint32
+			for i := lo; i < hi; i++ {
+				ind, _ := g.Out.RowSpan(int(frontier[i]))
+				for _, v := range ind {
+					if visited.testAndSet(int(v)) {
+						depths[v] = depth
+						out = append(out, v)
+					}
+				}
+			}
+			outs[w] = out
+		})
+		frontier = frontier[:0]
+		for _, out := range outs {
+			frontier = append(frontier, out...)
+		}
+		frontierIsDense = false
+	}
+	return depths
+}

@@ -1,0 +1,147 @@
+// Package harness drives the experiments: it owns the dataset registry
+// (synthetic stand-ins for the paper's Table 3 graphs), one driver per
+// table/figure, and plain-text/CSV renderers. cmd/ppbench and the
+// top-level benchmarks are thin wrappers over this package.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"pushpull/generate"
+	"pushpull/graphblas"
+)
+
+// Dataset is one Table 3 row: a named generator with the paper-matching
+// shape class. Build is deterministic for a dataset at a given scale.
+type Dataset struct {
+	// Name matches the paper's dataset naming.
+	Name string
+	// Kind is the paper's type tag (rs/gs/gm/rm).
+	Kind string
+	// Paper records the original graph's size for the substitution table.
+	Paper string
+	// Build generates the stand-in graph.
+	Build func() (*graphblas.Matrix[bool], error)
+}
+
+// Datasets returns stand-ins for all 11 paper datasets, sized by scale
+// (vertex counts are powers of two around 2^scale; the default CLI scale
+// of 14 keeps every experiment in seconds on a laptop, and larger scales
+// approach the paper's sizes). Degree and skew classes match Table 3:
+// the four "real" scale-free graphs use RMAT with matched average degree,
+// i04 gets extra skew (its optimal BFS is push-only, as the paper notes),
+// kron/rmat use Graph500 parameters, and rgg/road use geometric and mesh
+// generators.
+func Datasets(scale int) []Dataset {
+	if scale < 4 {
+		scale = 4
+	}
+	rmat := func(s, ef int, a float64, seed int64) func() (*graphblas.Matrix[bool], error) {
+		return func() (*graphblas.Matrix[bool], error) {
+			cfg := generate.RMATConfig{Scale: s, EdgeFactor: ef, Undirected: true, Seed: seed}
+			if a > 0 {
+				cfg.A = a
+				cfg.B = (1 - a) / 3
+				cfg.C = (1 - a) / 3
+			}
+			return generate.RMAT(cfg)
+		}
+	}
+	return []Dataset{
+		{
+			Name: "soc-orkut", Kind: "rs", Paper: "3M V, 212.7M E",
+			Build: rmat(scale, 32, 0, 101),
+		},
+		{
+			Name: "soc-lj", Kind: "rs", Paper: "4.8M V, 85.7M E",
+			Build: rmat(scale+1, 8, 0, 102),
+		},
+		{
+			Name: "h09", Kind: "rs", Paper: "1.1M V, 112.8M E",
+			Build: rmat(scale-1, 48, 0, 103),
+		},
+		{
+			Name: "i04", Kind: "rs", Paper: "7.4M V, 302M E",
+			// Extra-skewed: indochina-2004 is a web crawl whose optimal
+			// BFS is push-only for all iterations (Section 6.3).
+			Build: rmat(scale+1, 20, 0.65, 104),
+		},
+		{
+			Name: "kron", Kind: "gs", Paper: "2.1M V, 182.1M E",
+			Build: rmat(scale, 16, 0, 105),
+		},
+		{
+			Name: "rmat22", Kind: "gs", Paper: "4.2M V, 483M E",
+			Build: rmat(scale+1, 32, 0, 106),
+		},
+		{
+			Name: "rmat23", Kind: "gs", Paper: "8.4M V, 505.6M E",
+			Build: rmat(scale+2, 16, 0, 107),
+		},
+		{
+			Name: "rmat24", Kind: "gs", Paper: "16.8M V, 519.7M E",
+			Build: rmat(scale+3, 8, 0, 108),
+		},
+		{
+			Name: "rgg", Kind: "gm", Paper: "16.8M V, 265.1M E",
+			Build: func() (*graphblas.Matrix[bool], error) {
+				n := 1 << (scale + 1)
+				// Expected degree nπr² ≈ 15, matching rgg_n_24's bounded
+				// degree (max 40 in the paper).
+				r := math.Sqrt(15 / (math.Pi * float64(n)))
+				return generate.RGG(n, r, 109)
+			},
+		},
+		{
+			Name: "roadnet", Kind: "rm", Paper: "2M V, 5.5M E",
+			Build: func() (*graphblas.Matrix[bool], error) {
+				side := 1 << (scale / 2)
+				return generate.Grid2D(side, side)
+			},
+		},
+		{
+			Name: "road_usa", Kind: "rm", Paper: "23.9M V, 577.1M E",
+			Build: func() (*graphblas.Matrix[bool], error) {
+				side := 1 << ((scale + 2) / 2)
+				return generate.Grid2D(side, side*2)
+			},
+		},
+	}
+}
+
+// FindDataset returns the named dataset or an error listing valid names.
+func FindDataset(scale int, name string) (Dataset, error) {
+	all := Datasets(scale)
+	for _, d := range all {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	names := make([]string, len(all))
+	for i, d := range all {
+		names[i] = d.Name
+	}
+	return Dataset{}, fmt.Errorf("harness: unknown dataset %q (have %v)", name, names)
+}
+
+// WeightedKron builds the kron stand-in with deterministic positive edge
+// weights — the SSSP experiment input.
+func WeightedKron(scale int) (*graphblas.Matrix[float64], error) {
+	g, err := KronDataset(scale).Build()
+	if err != nil {
+		return nil, err
+	}
+	return generate.WeightedCopy(g, 1, 10, 99)
+}
+
+// KronDataset returns the 'kron' stand-in, the matrix every
+// microbenchmark experiment (Table 1, Figure 2, Table 2, Figures 5-6)
+// runs on, matching the paper's use of kron_g500-logn21.
+func KronDataset(scale int) Dataset {
+	d, err := FindDataset(scale, "kron")
+	if err != nil {
+		panic(err) // unreachable: "kron" is always registered
+	}
+	return d
+}

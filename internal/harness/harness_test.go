@@ -1,0 +1,270 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// testScale keeps harness tests fast: 2^10 vertices.
+const testScale = 10
+
+func TestDatasetsBuildAndAreDistinct(t *testing.T) {
+	all := Datasets(testScale)
+	if len(all) != 11 {
+		t.Fatalf("want 11 datasets, got %d", len(all))
+	}
+	names := map[string]bool{}
+	for _, ds := range all {
+		if names[ds.Name] {
+			t.Fatalf("duplicate dataset %s", ds.Name)
+		}
+		names[ds.Name] = true
+		g, err := ds.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		if g.NRows() == 0 || g.NVals() == 0 {
+			t.Fatalf("%s: empty graph", ds.Name)
+		}
+	}
+}
+
+func TestDatasetClasses(t *testing.T) {
+	// Scale-free stand-ins must be skewed; mesh stand-ins bounded-degree.
+	for _, ds := range Datasets(testScale) {
+		g, err := ds.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		skew := float64(g.MaxDegree()) / g.AvgDegree()
+		switch ds.Kind {
+		case "rs", "gs":
+			if skew < 5 {
+				t.Errorf("%s: scale-free stand-in not skewed (max/avg=%.1f)", ds.Name, skew)
+			}
+		case "rm", "gm":
+			if g.MaxDegree() > 64 {
+				t.Errorf("%s: mesh stand-in has max degree %d", ds.Name, g.MaxDegree())
+			}
+		default:
+			t.Errorf("%s: unknown kind %q", ds.Name, ds.Kind)
+		}
+	}
+}
+
+func TestFindDataset(t *testing.T) {
+	if _, err := FindDataset(testScale, "kron"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindDataset(testScale, "nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestMicroSweepCountedReproducesTable1(t *testing.T) {
+	rep, err := MicroSweep(testScale, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unit != "accesses" || len(rep.Points) != 4 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	// Table 1 shape: row-unmasked flat; the others grow with the sweep.
+	if g := rep.Growth["row-nomask"]; g < 0.99 || g > 1.01 {
+		t.Fatalf("row-nomask growth %.3f, want flat", g)
+	}
+	if g := rep.Growth["row-mask"]; g < 2 {
+		t.Fatalf("row-mask growth %.3f, want linear-ish", g)
+	}
+	if g := rep.Growth["col-nomask"]; g < 2 {
+		t.Fatalf("col-nomask growth %.3f, want linear-ish", g)
+	}
+	if g := rep.Growth["col-mask"]; g < 2 {
+		t.Fatalf("col-mask growth %.3f, want linear-ish", g)
+	}
+	// Masked column never does less work than unmasked (Table 1 rows 3-4).
+	for i, pt := range rep.Points {
+		if pt.ColMask < pt.ColNoMask {
+			t.Fatalf("point %d: masked col (%.0f) cheaper than unmasked (%.0f)", i, pt.ColMask, pt.ColNoMask)
+		}
+	}
+}
+
+func TestMicroSweepTimed(t *testing.T) {
+	rep, err := MicroSweep(testScale, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unit != "ms" || len(rep.Points) != 3 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	for _, pt := range rep.Points {
+		if pt.RowNoMask <= 0 || pt.RowMask <= 0 || pt.ColNoMask <= 0 || pt.ColMask <= 0 {
+			t.Fatalf("non-positive timing: %+v", pt)
+		}
+	}
+}
+
+func TestTable2ShapesHold(t *testing.T) {
+	rows, err := Table2(testScale, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 6 rows, got %d", len(rows))
+	}
+	if rows[0].Optimization != "Baseline" || rows[5].Optimization != "Operand reuse" {
+		t.Fatalf("row order wrong: %+v", rows)
+	}
+	for i, r := range rows {
+		if r.GTEPS <= 0 || r.MeanMS <= 0 {
+			t.Fatalf("row %d: non-positive measurement %+v", i, r)
+		}
+	}
+	// The full stack must beat the baseline (the paper's 48× end-to-end;
+	// any margin > 1 validates the shape at CPU scale).
+	if rows[5].MeanMS >= rows[0].MeanMS {
+		t.Fatalf("full stack (%.2fms) not faster than baseline (%.2fms)", rows[5].MeanMS, rows[0].MeanMS)
+	}
+}
+
+func TestFig5RowsConsistent(t *testing.T) {
+	rows, err := Fig5(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("BFS too shallow for Fig5: %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.FrontierNNZ <= 0 {
+			t.Fatalf("row %d: empty frontier", i)
+		}
+		if r.UnvisitedNNZ < 0 {
+			t.Fatalf("row %d: negative unvisited", i)
+		}
+		if r.PushMS <= 0 || r.PullMS <= 0 {
+			t.Fatalf("row %d: non-positive timings %+v", i, r)
+		}
+		if i > 0 && r.UnvisitedNNZ > rows[i-1].UnvisitedNNZ {
+			t.Fatalf("unvisited grew between iterations %d and %d", i-1, i)
+		}
+	}
+}
+
+func TestFig6SeriesCoverBothModes(t *testing.T) {
+	pts, err := Fig6(testScale, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := map[string]int{}
+	for _, p := range pts {
+		modes[p.Mode]++
+		if p.NNZ < 0 || p.MS < 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+	if modes["push"] == 0 || modes["pull"] == 0 {
+		t.Fatalf("missing series: %v", modes)
+	}
+}
+
+func TestCompareAndFig7(t *testing.T) {
+	rows, err := Compare(testScale, 1, 1, []string{"kron", "roadnet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	for _, row := range rows {
+		for _, name := range FrameworkOrder {
+			cell, ok := row.Cells[name]
+			if !ok {
+				t.Fatalf("%s: missing column %s", row.Dataset, name)
+			}
+			if cell.RuntimeMS <= 0 || cell.MTEPS <= 0 {
+				t.Fatalf("%s/%s: non-positive cell %+v", row.Dataset, name, cell)
+			}
+		}
+	}
+	slow := Fig7(rows)
+	for _, s := range slow {
+		if s.Slowdowns["Gunrock"] < 0.99 || s.Slowdowns["Gunrock"] > 1.01 {
+			t.Fatalf("Gunrock slowdown vs itself = %g", s.Slowdowns["Gunrock"])
+		}
+	}
+	gm := GeomeanSpeedups(rows)
+	if gm["SuiteSparse"] <= 0 {
+		t.Fatalf("geomean speedups: %v", gm)
+	}
+}
+
+func TestTable3Runs(t *testing.T) {
+	rows, err := Table3(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("want 11 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Vertices <= 0 || r.Edges <= 0 || r.Diameter <= 0 {
+			t.Fatalf("degenerate stats: %+v", r)
+		}
+	}
+	// Mesh stand-ins must have much larger diameter than scale-free ones.
+	var kronDiam, roadDiam int
+	for _, r := range rows {
+		if r.Name == "kron" {
+			kronDiam = r.Diameter
+		}
+		if r.Name == "roadnet" {
+			roadDiam = r.Diameter
+		}
+	}
+	if roadDiam <= kronDiam {
+		t.Fatalf("road diameter (%d) should exceed kron's (%d)", roadDiam, kronDiam)
+	}
+}
+
+func TestAblationRuns(t *testing.T) {
+	rows, err := Ablation(testScale, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("want 11 ablation rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanMS <= 0 {
+			t.Fatalf("non-positive timing: %+v", r)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderTable(&buf, "Title", []string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "333") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	buf.Reset()
+	if err := RenderCSV(&buf, []string{"x", "y"}, [][]string{{"1", "2"}}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "x,y\n1,2\n" {
+		t.Fatalf("csv output %q", buf.String())
+	}
+	if F(0) != "0" || F(12345) != "12345" || F(12.3) != "12.3" || F(0.5) != "0.500" || F(1e-5) != "1.00e-05" {
+		t.Fatalf("F formatting: %s %s %s %s %s", F(0), F(12345), F(12.3), F(0.5), F(1e-5))
+	}
+	if I(7) != "7" {
+		t.Fatal("I formatting")
+	}
+}

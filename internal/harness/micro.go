@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pushpull/internal/core"
+	"pushpull/internal/perf"
+	"pushpull/internal/sparse"
+)
+
+// MicroPoint is one sweep sample of the four matvec variants: the x-axis
+// value (nnz of the swept vector/mask) and one measurement per variant.
+type MicroPoint struct {
+	NNZ       int
+	RowNoMask float64
+	RowMask   float64
+	ColNoMask float64
+	ColMask   float64
+}
+
+// MicroReport is the Table 1 / Figure 2 output: sweep samples plus the
+// classification derived from the endpoints.
+type MicroReport struct {
+	// Unit is "accesses" (Table 1 validation) or "ms" (Figure 2).
+	Unit string
+	// Matrix identifies the graph and its dimensions.
+	Matrix string
+	Points []MicroPoint
+	// Growth[variant] = measurement(max sweep)/measurement(min sweep),
+	// the empirical scaling class: ~1 means flat (O(dM)); large means the
+	// cost tracks the swept quantity.
+	Growth map[string]float64
+}
+
+// microSR is the generic arithmetic semiring the microbenchmarks sweep
+// (matching the paper's use of plain matvec rather than BFS here).
+func microSR() core.SR[float64] {
+	return core.SR[float64]{
+		Add: func(a, b float64) float64 { return a + b },
+		Id:  0,
+		Mul: func(a, b float64) float64 { return a * b },
+		One: 1,
+	}
+}
+
+// buildMicroMatrix materializes the kron stand-in as float64 CSR/CSC.
+func buildMicroMatrix(scale int) (*sparse.CSR[float64], *sparse.CSR[float64], int, error) {
+	g, err := KronDataset(scale).Build()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	csr := sparse.Scale(g.CSR(), func(bool) float64 { return 1 })
+	var csc *sparse.CSR[float64]
+	if g.Symmetric() {
+		csc = csr
+	} else {
+		csc = sparse.Transpose(csr)
+	}
+	return csr, csc, g.NRows(), nil
+}
+
+// randomPick fills a dense float vector and its sparse view with k random
+// distinct nonzeroes.
+func randomPick(rng *rand.Rand, perm []uint32, k int) (ind []uint32, val []float64) {
+	n := len(perm)
+	if k > n {
+		k = n
+	}
+	// Partial Fisher-Yates over the shared permutation buffer.
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	ind = append([]uint32(nil), perm[:k]...)
+	val = make([]float64, k)
+	for i := range val {
+		val[i] = 1
+	}
+	return ind, val
+}
+
+// MicroSweep runs the four-variant sweep of Figure 2 (counted=false,
+// wall-clock ms) or the Table 1 validation (counted=true, RAM-model
+// accesses via the instrumented kernels). The sweep follows the paper's
+// microbenchmark setup: random input vectors and masks, the column-based
+// masked variant's mask at ⅔·nnz(f), row-based unmasked measured against a
+// full-size input with the row-masked variant sweeping nnz(m).
+func MicroSweep(scale, points int, counted bool) (*MicroReport, error) {
+	if points < 2 {
+		points = 8
+	}
+	csr, csc, n, err := buildMicroMatrix(scale)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(42))
+	sr := microSR()
+	rep := &MicroReport{
+		Matrix: fmt.Sprintf("kron scale=%d (%d vertices, %d edges)", scale, n, csr.NNZ()),
+		Growth: map[string]float64{},
+	}
+	if counted {
+		rep.Unit = "accesses"
+	} else {
+		rep.Unit = "ms"
+	}
+
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	denseVal := make([]float64, n)
+	densePresent := make([]bool, n)
+	w := make([]float64, n)
+	wp := make([]bool, n)
+	fullVal := make([]float64, n)
+	fullPresent := make([]bool, n)
+	for i := range fullVal {
+		fullVal[i] = 1
+		fullPresent[i] = true
+	}
+
+	runs := 3
+	if counted {
+		runs = 1
+	}
+	for p := 0; p < points; p++ {
+		frac := float64(p+1) / float64(points)
+		k := int(frac * float64(n))
+		if k < 1 {
+			k = 1
+		}
+		pt := MicroPoint{NNZ: k}
+
+		// Shared random supports for this sweep point.
+		ind, val := randomPick(rng, perm, k)
+		for i := range densePresent {
+			densePresent[i] = false
+		}
+		for i, idx := range ind {
+			denseVal[idx] = val[i]
+			densePresent[idx] = true
+		}
+		maskBits := make([]bool, n)
+		maskList := make([]uint32, 0, k)
+		mInd, _ := randomPick(rng, perm, k)
+		for _, idx := range mInd {
+			maskBits[idx] = true
+		}
+		for i := 0; i < n; i++ {
+			if maskBits[i] {
+				maskList = append(maskList, uint32(i))
+			}
+		}
+		colMaskBits := make([]bool, n)
+		cmInd, _ := randomPick(rng, perm, 2*k/3+1)
+		for _, idx := range cmInd {
+			colMaskBits[idx] = true
+		}
+
+		if counted {
+			var c core.Counter
+			core.RowMxvCounted(w, wp, csr, denseVal, densePresent, sr, core.Opts{}, &c)
+			pt.RowNoMask = float64(c.Total())
+			c = core.Counter{}
+			core.RowMaskedMxvCounted(w, wp, csr, fullVal, fullPresent,
+				core.MaskView{Bits: maskBits, List: maskList}, sr, core.Opts{}, &c)
+			pt.RowMask = float64(c.Total())
+			c = core.Counter{}
+			core.ColMxvCounted(csc, ind, val, sr, core.Opts{}, &c)
+			pt.ColNoMask = float64(c.Total())
+			c = core.Counter{}
+			core.ColMaskedMxvCounted(csc, ind, val, core.MaskView{Bits: colMaskBits}, sr, core.Opts{}, &c)
+			pt.ColMask = float64(c.Total())
+		} else {
+			pt.RowNoMask = ms(perf.TimeN(1, runs, func() {
+				core.RowMxv(w, wp, csr, denseVal, densePresent, sr, core.Opts{})
+			}))
+			pt.RowMask = ms(perf.TimeN(1, runs, func() {
+				core.RowMaskedMxv(w, wp, csr, fullVal, fullPresent,
+					core.MaskView{Bits: maskBits, List: maskList}, sr, core.Opts{})
+			}))
+			pt.ColNoMask = ms(perf.TimeN(1, runs, func() {
+				core.ColMxv(csc, ind, val, sr, core.Opts{})
+			}))
+			pt.ColMask = ms(perf.TimeN(1, runs, func() {
+				core.ColMaskedMxv(csc, ind, val, core.MaskView{Bits: colMaskBits}, sr, core.Opts{})
+			}))
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+
+	first, last := rep.Points[0], rep.Points[len(rep.Points)-1]
+	ratio := func(a, b float64) float64 {
+		if a <= 0 {
+			return 0
+		}
+		return b / a
+	}
+	rep.Growth["row-nomask"] = ratio(first.RowNoMask, last.RowNoMask)
+	rep.Growth["row-mask"] = ratio(first.RowMask, last.RowMask)
+	rep.Growth["col-nomask"] = ratio(first.ColNoMask, last.ColNoMask)
+	rep.Growth["col-mask"] = ratio(first.ColMask, last.ColMask)
+	return rep, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -1,0 +1,256 @@
+package merge
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pushpull/internal/par"
+)
+
+func randKeys(rng *rand.Rand, n int, maxKey uint32) []uint32 {
+	keys := make([]uint32, n)
+	for i := range keys {
+		if maxKey == ^uint32(0) {
+			keys[i] = rng.Uint32()
+		} else {
+			keys[i] = rng.Uint32() % (maxKey + 1)
+		}
+	}
+	return keys
+}
+
+func TestSortKeysMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 2, 100, parallelSortThreshold - 1, parallelSortThreshold + 1, 1 << 17} {
+		for _, maxKey := range []uint32{0, 255, 65535, 1 << 20, 1<<32 - 1} {
+			keys := randKeys(rng, n, maxKey)
+			want := append([]uint32(nil), keys...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			SortKeys(keys, maxKey)
+			for i := range keys {
+				if keys[i] != want[i] {
+					t.Fatalf("n=%d maxKey=%d: keys[%d]=%d want %d", n, maxKey, i, keys[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSortPairsStable(t *testing.T) {
+	// Payload carries the original position; for equal keys, positions must
+	// remain ascending (LSD radix is stable).
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{100, 1 << 16} {
+		keys := randKeys(rng, n, 50) // few distinct keys → many ties
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = i
+		}
+		SortPairs(keys, vals, 50)
+		for i := 1; i < n; i++ {
+			if keys[i-1] > keys[i] {
+				t.Fatalf("n=%d: unsorted at %d", n, i)
+			}
+			if keys[i-1] == keys[i] && vals[i-1] >= vals[i] {
+				t.Fatalf("n=%d: stability violated at %d (%d,%d)", n, i, vals[i-1], vals[i])
+			}
+		}
+	}
+}
+
+func TestSortPairsPermutesValuesConsistently(t *testing.T) {
+	f := func(raw []uint16) bool {
+		keys := make([]uint32, len(raw))
+		vals := make([]uint32, len(raw))
+		for i, r := range raw {
+			keys[i] = uint32(r)
+			vals[i] = uint32(r) * 3 // value derivable from key
+		}
+		SortPairs(keys, vals, 1<<16-1)
+		for i := range keys {
+			if vals[i] != keys[i]*3 {
+				return false
+			}
+		}
+		return sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortSingleWorker(t *testing.T) {
+	prev := par.SetMaxWorkers(1)
+	defer par.SetMaxWorkers(prev)
+	rng := rand.New(rand.NewSource(4))
+	keys := randKeys(rng, 1<<16, 1<<30)
+	want := append([]uint32(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	SortKeys(keys, 1<<30)
+	for i := range keys {
+		if keys[i] != want[i] {
+			t.Fatalf("keys[%d]=%d want %d", i, keys[i], want[i])
+		}
+	}
+}
+
+func buildRuns(rng *rand.Rand, k, runLen int, maxKey uint32) ([]uint32, []int) {
+	var keys []uint32
+	offsets := []int{0}
+	for r := 0; r < k; r++ {
+		n := rng.Intn(runLen)
+		run := randKeys(rng, n, maxKey)
+		sort.Slice(run, func(i, j int) bool { return run[i] < run[j] })
+		keys = append(keys, run...)
+		offsets = append(offsets, len(keys))
+	}
+	return keys, offsets
+}
+
+func TestMultiwayMergeKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range []int{0, 1, 2, 7, 64} {
+		keys, offsets := buildRuns(rng, k, 50, 200)
+		got := MultiwayMergeKeys(keys, offsets)
+		seen := map[uint32]bool{}
+		for _, x := range keys {
+			seen[x] = true
+		}
+		var want []uint32
+		for x := range seen {
+			want = append(want, x)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: got %d keys, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d: got[%d]=%d want %d", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMultiwayMergePairsCombines(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	keys, offsets := buildRuns(rng, 16, 40, 100)
+	vals := make([]int, len(keys))
+	for i := range vals {
+		vals[i] = 1
+	}
+	gotK, gotV := MultiwayMergePairs(keys, vals, offsets, func(a, b int) int { return a + b })
+	counts := map[uint32]int{}
+	for _, k := range keys {
+		counts[k]++
+	}
+	if len(gotK) != len(counts) {
+		t.Fatalf("got %d unique keys, want %d", len(gotK), len(counts))
+	}
+	for i, k := range gotK {
+		if gotV[i] != counts[k] {
+			t.Fatalf("key %d: combined=%d want %d", k, gotV[i], counts[k])
+		}
+		if i > 0 && gotK[i-1] >= k {
+			t.Fatalf("output unsorted at %d", i)
+		}
+	}
+}
+
+func TestSegmentedReducePairs(t *testing.T) {
+	keys := []uint32{1, 1, 2, 5, 5, 5, 9}
+	vals := []int{1, 2, 3, 4, 5, 6, 7}
+	k, v := SegmentedReducePairs(keys, vals, func(a, b int) int { return a + b })
+	wantK := []uint32{1, 2, 5, 9}
+	wantV := []int{3, 3, 15, 7}
+	if len(k) != len(wantK) {
+		t.Fatalf("len=%d want %d", len(k), len(wantK))
+	}
+	for i := range k {
+		if k[i] != wantK[i] || v[i] != wantV[i] {
+			t.Fatalf("at %d: (%d,%d) want (%d,%d)", i, k[i], v[i], wantK[i], wantV[i])
+		}
+	}
+	if k, v := SegmentedReducePairs([]uint32{}, []int{}, func(a, b int) int { return a + b }); len(k) != 0 || len(v) != 0 {
+		t.Fatal("empty input should stay empty")
+	}
+}
+
+func TestDedupeSortedKeys(t *testing.T) {
+	got := DedupeSortedKeys([]uint32{0, 0, 1, 3, 3, 3, 8})
+	want := []uint32{0, 1, 3, 8}
+	if len(got) != len(want) {
+		t.Fatalf("len=%d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+	if out := DedupeSortedKeys(nil); len(out) != 0 {
+		t.Fatal("nil input should return empty")
+	}
+}
+
+func TestHeapMergeAgainstRadixProperty(t *testing.T) {
+	// The heap merge and the radix+segmented-reduce pipeline must agree:
+	// they are the two implementations the ablation bench compares.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		keys, offsets := buildRuns(rng, 1+rng.Intn(20), 30, 500)
+		vals := make([]float64, len(keys))
+		for i := range vals {
+			vals[i] = float64(keys[i]) + 0.5
+		}
+		combine := func(a, b float64) float64 { return a + b }
+
+		hk, hv := MultiwayMergePairs(keys, vals, offsets, combine)
+
+		rk := append([]uint32(nil), keys...)
+		rv := append([]float64(nil), vals...)
+		SortPairs(rk, rv, 500)
+		rk, rv = SegmentedReducePairs(rk, rv, combine)
+
+		if len(hk) != len(rk) {
+			return false
+		}
+		for i := range hk {
+			if hk[i] != rk[i] || hv[i] != rv[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSortKeys(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	keys := randKeys(rng, 1<<20, 1<<21)
+	work := make([]uint32, len(keys))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, keys)
+		SortKeys(work, 1<<21)
+	}
+}
+
+func BenchmarkSortPairs(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	keys := randKeys(rng, 1<<20, 1<<21)
+	vals := make([]uint32, len(keys))
+	workK := make([]uint32, len(keys))
+	workV := make([]uint32, len(keys))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(workK, keys)
+		copy(workV, vals)
+		SortPairs(workK, workV, 1<<21)
+	}
+}

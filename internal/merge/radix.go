@@ -1,0 +1,242 @@
+// Package merge implements the multiway-merge substrate for the column-based
+// (push) matvec. The paper's GPU implementation concatenates the gathered
+// neighbour lists and radix-sorts them (Section 6.2), noting that the sort
+// "is often the bottleneck" and that the structure-only optimization halves
+// it by reducing a key-value sort to a key-only sort. This package provides:
+//
+//   - LSD radix sort, key-only and key-value, sequential and parallel
+//     (per-worker histograms + stable scatter), standing in for CUB's
+//     device radix sort;
+//   - a classic k-way heap merge (the O(n log k) alternative the paper's
+//     complexity analysis in Section 3.1 is phrased in terms of);
+//   - segmented reduction over sorted keys (Algorithm 3 Line 15).
+//
+// Keys are uint32 vertex indices; sorts take the maximum key so only the
+// necessary digit passes run — the paper's "logM-bit radix sort".
+package merge
+
+import "pushpull/internal/par"
+
+const (
+	digitBits = 8
+	radix     = 1 << digitBits
+	digitMask = radix - 1
+)
+
+// passesFor returns how many 8-bit digit passes are needed to sort keys
+// bounded by maxKey. This is the ceil(log(M)/8) of the paper's logM-bit
+// radix sort: a larger matrix row count forces more passes.
+func passesFor(maxKey uint32) int {
+	switch {
+	case maxKey < 1<<8:
+		return 1
+	case maxKey < 1<<16:
+		return 2
+	case maxKey < 1<<24:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// SortKeys sorts keys ascending with an LSD radix sort (key-only — the
+// structure-only fast path). maxKey bounds every element; pass the matrix
+// row count minus one.
+func SortKeys(keys []uint32, maxKey uint32) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	if n < parallelSortThreshold || par.MaxWorkers() == 1 {
+		sortKeysSeq(keys, maxKey)
+		return
+	}
+	sortKeysPar(keys, maxKey)
+}
+
+// SortPairs sorts keys ascending, permuting vals alongside (key-value — the
+// path taken when matrix/vector values matter). The sort is stable.
+func SortPairs[V any](keys []uint32, vals []V, maxKey uint32) {
+	n := len(keys)
+	if n != len(vals) {
+		panic("merge: keys/vals length mismatch")
+	}
+	if n < 2 {
+		return
+	}
+	if n < parallelSortThreshold || par.MaxWorkers() == 1 {
+		sortPairsSeq(keys, vals, maxKey)
+		return
+	}
+	sortPairsPar(keys, vals, maxKey)
+}
+
+// SortKeysSequential is SortKeys pinned to the single-threaded path,
+// regardless of the worker bound. Instrumented kernels use it so counted
+// runs are deterministic.
+func SortKeysSequential(keys []uint32, maxKey uint32) {
+	if len(keys) >= 2 {
+		sortKeysSeq(keys, maxKey)
+	}
+}
+
+// SortPairsSequential is SortPairs pinned to the single-threaded path.
+func SortPairsSequential[V any](keys []uint32, vals []V, maxKey uint32) {
+	if len(keys) != len(vals) {
+		panic("merge: keys/vals length mismatch")
+	}
+	if len(keys) >= 2 {
+		sortPairsSeq(keys, vals, maxKey)
+	}
+}
+
+// parallelSortThreshold is the input size below which the sequential radix
+// sort wins over spinning up workers and merging histograms.
+const parallelSortThreshold = 1 << 15
+
+func sortKeysSeq(keys []uint32, maxKey uint32) {
+	n := len(keys)
+	passes := passesFor(maxKey)
+	tmp := make([]uint32, n)
+	src, dst := keys, tmp
+	for p := 0; p < passes; p++ {
+		shift := uint(p * digitBits)
+		var count [radix]int
+		for _, k := range src {
+			count[(k>>shift)&digitMask]++
+		}
+		sum := 0
+		for d := 0; d < radix; d++ {
+			count[d], sum = sum, sum+count[d]
+		}
+		for _, k := range src {
+			d := (k >> shift) & digitMask
+			dst[count[d]] = k
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	if passes%2 == 1 {
+		copy(keys, src)
+	}
+}
+
+func sortPairsSeq[V any](keys []uint32, vals []V, maxKey uint32) {
+	n := len(keys)
+	passes := passesFor(maxKey)
+	tmpK := make([]uint32, n)
+	tmpV := make([]V, n)
+	srcK, dstK := keys, tmpK
+	srcV, dstV := vals, tmpV
+	for p := 0; p < passes; p++ {
+		shift := uint(p * digitBits)
+		var count [radix]int
+		for _, k := range srcK {
+			count[(k>>shift)&digitMask]++
+		}
+		sum := 0
+		for d := 0; d < radix; d++ {
+			count[d], sum = sum, sum+count[d]
+		}
+		for i, k := range srcK {
+			d := (k >> shift) & digitMask
+			dstK[count[d]] = k
+			dstV[count[d]] = srcV[i]
+			count[d]++
+		}
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	if passes%2 == 1 {
+		copy(keys, srcK)
+		copy(vals, srcV)
+	}
+}
+
+// sortKeysPar runs each digit pass with per-worker histograms: workers
+// histogram their span, a digit-major scan over the (digit, worker) grid
+// yields stable scatter bases, then workers scatter. This is the standard
+// parallel LSD formulation and keeps the sort stable.
+func sortKeysPar(keys []uint32, maxKey uint32) {
+	n := len(keys)
+	passes := passesFor(maxKey)
+	tmp := make([]uint32, n)
+	src, dst := keys, tmp
+	workers := par.MaxWorkers()
+	hist := make([][radix]int, workers)
+	for p := 0; p < passes; p++ {
+		shift := uint(p * digitBits)
+		used := par.ForWorker(n, func(w, lo, hi int) {
+			h := &hist[w]
+			for d := range h {
+				h[d] = 0
+			}
+			for _, k := range src[lo:hi] {
+				h[(k>>shift)&digitMask]++
+			}
+		})
+		sum := 0
+		for d := 0; d < radix; d++ {
+			for w := 0; w < used; w++ {
+				hist[w][d], sum = sum, sum+hist[w][d]
+			}
+		}
+		par.ForWorker(n, func(w, lo, hi int) {
+			h := &hist[w]
+			for _, k := range src[lo:hi] {
+				d := (k >> shift) & digitMask
+				dst[h[d]] = k
+				h[d]++
+			}
+		})
+		src, dst = dst, src
+	}
+	if passes%2 == 1 {
+		copy(keys, src)
+	}
+}
+
+func sortPairsPar[V any](keys []uint32, vals []V, maxKey uint32) {
+	n := len(keys)
+	passes := passesFor(maxKey)
+	tmpK := make([]uint32, n)
+	tmpV := make([]V, n)
+	srcK, dstK := keys, tmpK
+	srcV, dstV := vals, tmpV
+	workers := par.MaxWorkers()
+	hist := make([][radix]int, workers)
+	for p := 0; p < passes; p++ {
+		shift := uint(p * digitBits)
+		used := par.ForWorker(n, func(w, lo, hi int) {
+			h := &hist[w]
+			for d := range h {
+				h[d] = 0
+			}
+			for _, k := range srcK[lo:hi] {
+				h[(k>>shift)&digitMask]++
+			}
+		})
+		sum := 0
+		for d := 0; d < radix; d++ {
+			for w := 0; w < used; w++ {
+				hist[w][d], sum = sum, sum+hist[w][d]
+			}
+		}
+		par.ForWorker(n, func(w, lo, hi int) {
+			h := &hist[w]
+			for i := lo; i < hi; i++ {
+				k := srcK[i]
+				d := (k >> shift) & digitMask
+				dstK[h[d]] = k
+				dstV[h[d]] = srcV[i]
+				h[d]++
+			}
+		})
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	if passes%2 == 1 {
+		copy(keys, srcK)
+		copy(vals, srcV)
+	}
+}

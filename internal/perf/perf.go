@@ -1,0 +1,76 @@
+// Package perf provides the small measurement utilities shared by the
+// experiment harness and the benchmarks: repeated timing with warmup,
+// simple statistics, and the MTEPS metric the paper reports.
+package perf
+
+import (
+	"math"
+	"time"
+)
+
+// MTEPS converts an edge count and duration to millions of traversed
+// edges per second, the throughput metric of the paper's comparison table.
+func MTEPS(edges int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(edges) / d.Seconds() / 1e6
+}
+
+// GTEPS is MTEPS/1000, the unit of Table 2.
+func GTEPS(edges int64, d time.Duration) float64 {
+	return MTEPS(edges, d) / 1e3
+}
+
+// Time runs fn once and returns its wall-clock duration.
+func Time(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// TimeN runs fn `warmup` unmeasured times, then `runs` measured times, and
+// returns the mean measured duration. The paper averages 10 BFS runs; the
+// harness defaults follow suit at full scale and shrink for quick runs.
+func TimeN(warmup, runs int, fn func()) time.Duration {
+	for i := 0; i < warmup; i++ {
+		fn()
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	var total time.Duration
+	for i := 0; i < runs; i++ {
+		total += Time(fn)
+	}
+	return total / time.Duration(runs)
+}
+
+// MeanDuration averages a slice of durations (0 for empty input).
+func MeanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range ds {
+		total += d
+	}
+	return total / time.Duration(len(ds))
+}
+
+// GeoMean returns the geometric mean of positive values (0 if any value
+// is non-positive or the slice is empty) — the aggregate the paper's
+// Section 7.3 speedup claims use.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

@@ -1,0 +1,63 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestMTEPSAndGTEPS(t *testing.T) {
+	if got := MTEPS(2_000_000, time.Second); got != 2 {
+		t.Fatalf("MTEPS=%g want 2", got)
+	}
+	if got := GTEPS(2_000_000_000, time.Second); got != 2 {
+		t.Fatalf("GTEPS=%g want 2", got)
+	}
+	if MTEPS(100, 0) != 0 || MTEPS(100, -time.Second) != 0 {
+		t.Fatal("non-positive duration should yield 0")
+	}
+}
+
+func TestTimeAndTimeN(t *testing.T) {
+	calls := 0
+	d := Time(func() { calls++ })
+	if calls != 1 || d < 0 {
+		t.Fatalf("Time ran %d times, d=%v", calls, d)
+	}
+	calls = 0
+	TimeN(2, 3, func() { calls++ })
+	if calls != 5 {
+		t.Fatalf("TimeN(2,3) ran %d times, want 5", calls)
+	}
+	calls = 0
+	TimeN(0, 0, func() { calls++ }) // runs clamps to 1
+	if calls != 1 {
+		t.Fatalf("TimeN(0,0) ran %d times, want 1", calls)
+	}
+}
+
+func TestMeanDuration(t *testing.T) {
+	if MeanDuration(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	got := MeanDuration([]time.Duration{time.Second, 3 * time.Second})
+	if got != 2*time.Second {
+		t.Fatalf("mean=%v want 2s", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean should be 0")
+	}
+	if GeoMean([]float64{2, 8}) != 4 {
+		t.Fatalf("geomean(2,8)=%g want 4", GeoMean([]float64{2, 8}))
+	}
+	if GeoMean([]float64{1, -2}) != 0 {
+		t.Fatal("non-positive input should yield 0")
+	}
+	got := GeoMean([]float64{3, 3, 3})
+	if math.Abs(got-3) > 1e-12 {
+		t.Fatalf("geomean(3,3,3)=%g", got)
+	}
+}

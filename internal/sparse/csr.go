@@ -1,0 +1,233 @@
+// Package sparse provides the compressed sparse matrix substrate: COO→CSR
+// construction with duplicate folding, CSR↔CSC transposition, and the
+// degree statistics the experiment harness reports (Table 3).
+//
+// Conventions: a CSR stores one sorted, duplicate-free index run per row.
+// Column indices are uint32 (the paper's graphs top out well under 2³²
+// vertices); row pointers are int so nnz may exceed 2³¹ on 64-bit hosts.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+
+	"pushpull/internal/merge"
+	"pushpull/internal/par"
+)
+
+// CSR is a compressed-sparse-row matrix with values of type T. The zero
+// value is an empty 0×0 matrix. A CSR with Rows=r and Cols=c viewed as CSC
+// of its transpose is the same bytes, so the pull kernels take "CSR of Aᵀ".
+type CSR[T any] struct {
+	Rows, Cols int
+	// Ptr has Rows+1 entries; row i occupies Ind[Ptr[i]:Ptr[i+1]].
+	Ptr []int
+	// Ind holds column indices, sorted ascending within each row.
+	Ind []uint32
+	// Val holds the value for each stored index. Kernels running in
+	// structure-only mode never read it.
+	Val []T
+}
+
+// NNZ reports the number of stored entries.
+func (a *CSR[T]) NNZ() int { return len(a.Ind) }
+
+// RowSpan returns the column indices and values of row i.
+func (a *CSR[T]) RowSpan(i int) ([]uint32, []T) {
+	lo, hi := a.Ptr[i], a.Ptr[i+1]
+	return a.Ind[lo:hi], a.Val[lo:hi]
+}
+
+// RowLen reports the number of stored entries in row i.
+func (a *CSR[T]) RowLen(i int) int { return a.Ptr[i+1] - a.Ptr[i] }
+
+// FromCOO builds a CSR from unordered coordinate triples, folding duplicate
+// (row, col) entries with dup (pass nil to keep the last write). Inputs are
+// not modified.
+func FromCOO[T any](nrows, ncols int, rows, cols []uint32, vals []T, dup func(T, T) T) (*CSR[T], error) {
+	if nrows < 0 || ncols < 0 {
+		return nil, fmt.Errorf("sparse: negative dimension %d×%d", nrows, ncols)
+	}
+	if len(rows) != len(cols) || len(rows) != len(vals) {
+		return nil, fmt.Errorf("sparse: triple slices disagree: %d rows, %d cols, %d vals",
+			len(rows), len(cols), len(vals))
+	}
+	for i := range rows {
+		if int(rows[i]) >= nrows || int(cols[i]) >= ncols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %d×%d", rows[i], cols[i], nrows, ncols)
+		}
+	}
+	n := len(rows)
+	// Two stable LSD sorts give (row, col) order: sort the permutation by
+	// column, then by row; stability preserves column order within rows.
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	if n > 0 {
+		colKeys := append([]uint32(nil), cols...)
+		merge.SortPairs(colKeys, perm, uint32(ncols-1))
+		rowKeys := make([]uint32, n)
+		for i, p := range perm {
+			rowKeys[i] = rows[p]
+		}
+		merge.SortPairs(rowKeys, perm, uint32(nrows-1))
+	}
+	a := &CSR[T]{
+		Rows: nrows,
+		Cols: ncols,
+		Ptr:  make([]int, nrows+1),
+		Ind:  make([]uint32, 0, n),
+		Val:  make([]T, 0, n),
+	}
+	counts := make([]int, nrows)
+	for _, p := range perm {
+		r, c, v := rows[p], cols[p], vals[p]
+		// Triples arrive (row, col)-sorted, so a duplicate of (r, c) can
+		// only be the immediately preceding stored entry, and counts[r] > 0
+		// guarantees that entry belongs to row r rather than a previous row
+		// that happened to end at column c.
+		if m := len(a.Ind); counts[r] > 0 && a.Ind[m-1] == c {
+			if dup != nil {
+				a.Val[m-1] = dup(a.Val[m-1], v)
+			} else {
+				a.Val[m-1] = v
+			}
+			continue
+		}
+		a.Ind = append(a.Ind, c)
+		a.Val = append(a.Val, v)
+		counts[r]++
+	}
+	sum := 0
+	for i, c := range counts {
+		a.Ptr[i] = sum
+		sum += c
+	}
+	a.Ptr[nrows] = sum
+	return a, nil
+}
+
+// Transpose returns Aᵀ as a new CSR (equivalently: the CSC view of A). It
+// uses a counting sort over columns, so row runs in the result are sorted
+// and duplicate-free whenever the input's are.
+func Transpose[T any](a *CSR[T]) *CSR[T] {
+	t := &CSR[T]{
+		Rows: a.Cols,
+		Cols: a.Rows,
+		Ptr:  make([]int, a.Cols+1),
+		Ind:  make([]uint32, a.NNZ()),
+		Val:  make([]T, a.NNZ()),
+	}
+	counts := make([]int, a.Cols)
+	for _, c := range a.Ind {
+		counts[c]++
+	}
+	sum := 0
+	for c := 0; c < a.Cols; c++ {
+		t.Ptr[c] = sum
+		sum += counts[c]
+	}
+	t.Ptr[a.Cols] = sum
+	next := append([]int(nil), t.Ptr[:a.Cols]...)
+	for r := 0; r < a.Rows; r++ {
+		for k := a.Ptr[r]; k < a.Ptr[r+1]; k++ {
+			c := a.Ind[k]
+			pos := next[c]
+			t.Ind[pos] = uint32(r)
+			t.Val[pos] = a.Val[k]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// PatternSymmetric reports whether A's sparsity pattern equals its
+// transpose's. Undirected graphs are pattern-symmetric, which lets the
+// matrix layer share one structure for CSR and CSC.
+func PatternSymmetric[T any](a *CSR[T]) bool {
+	if a.Rows != a.Cols {
+		return false
+	}
+	t := Transpose(a)
+	for i := range a.Ptr {
+		if a.Ptr[i] != t.Ptr[i] {
+			return false
+		}
+	}
+	for i := range a.Ind {
+		if a.Ind[i] != t.Ind[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxRowLen returns the largest row population — the "max degree" column of
+// Table 3 when A is an adjacency matrix.
+func MaxRowLen[T any](a *CSR[T]) int {
+	maxLen := 0
+	for i := 0; i < a.Rows; i++ {
+		if l := a.RowLen(i); l > maxLen {
+			maxLen = l
+		}
+	}
+	return maxLen
+}
+
+// AvgRowLen returns the mean row population d, the quantity the paper's
+// cost model (Table 1) and direction heuristic (Section 6.3) call the
+// average number of nonzeroes per row.
+func AvgRowLen[T any](a *CSR[T]) float64 {
+	if a.Rows == 0 {
+		return 0
+	}
+	return float64(a.NNZ()) / float64(a.Rows)
+}
+
+// Validate checks CSR structural invariants: monotone Ptr, sorted
+// duplicate-free rows, in-range indices. It is used by tests and by the
+// Matrix Market loader.
+func Validate[T any](a *CSR[T]) error {
+	if len(a.Ptr) != a.Rows+1 {
+		return fmt.Errorf("sparse: Ptr length %d, want %d", len(a.Ptr), a.Rows+1)
+	}
+	if a.Ptr[0] != 0 || a.Ptr[a.Rows] != len(a.Ind) {
+		return errors.New("sparse: Ptr endpoints disagree with Ind length")
+	}
+	if len(a.Ind) != len(a.Val) {
+		return fmt.Errorf("sparse: %d indices but %d values", len(a.Ind), len(a.Val))
+	}
+	for r := 0; r < a.Rows; r++ {
+		if a.Ptr[r] > a.Ptr[r+1] {
+			return fmt.Errorf("sparse: Ptr not monotone at row %d", r)
+		}
+		for k := a.Ptr[r]; k < a.Ptr[r+1]; k++ {
+			if int(a.Ind[k]) >= a.Cols {
+				return fmt.Errorf("sparse: column %d out of range in row %d", a.Ind[k], r)
+			}
+			if k > a.Ptr[r] && a.Ind[k-1] >= a.Ind[k] {
+				return fmt.Errorf("sparse: row %d not strictly sorted at offset %d", r, k)
+			}
+		}
+	}
+	return nil
+}
+
+// Scale returns a copy of A with every stored value replaced by f(value).
+// The experiment harness uses it to re-weight pattern graphs for SSSP.
+func Scale[T, U any](a *CSR[T], f func(T) U) *CSR[U] {
+	out := &CSR[U]{
+		Rows: a.Rows,
+		Cols: a.Cols,
+		Ptr:  append([]int(nil), a.Ptr...),
+		Ind:  append([]uint32(nil), a.Ind...),
+		Val:  make([]U, len(a.Val)),
+	}
+	par.For(len(a.Val), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Val[i] = f(a.Val[i])
+		}
+	})
+	return out
+}
