@@ -31,6 +31,12 @@ func BetweennessCentrality(a *graphblas.Matrix[bool], sources []int) ([]float64,
 	sr := graphblas.PlusTimesFloat64()
 	bc := make([]float64, n)
 
+	// One workspace serves every matvec of every source's two sweeps.
+	ws := graphblas.AcquireWorkspace(n, n)
+	defer ws.Release()
+	fwdDesc := &graphblas.Descriptor{Transpose: true, StructuralComplement: true, Workspace: ws}
+	backDesc := &graphblas.Descriptor{Workspace: ws}
+
 	for _, s := range sources {
 		// Forward: level frontiers carrying σ (shortest-path counts).
 		var levels []*graphblas.Vector[float64]
@@ -44,8 +50,7 @@ func BetweennessCentrality(a *graphblas.Matrix[bool], sources []int) ([]float64,
 		_ = f.SetElement(s, 1)
 		for f.NVals() > 0 {
 			next := graphblas.NewVector[float64](n)
-			desc := &graphblas.Descriptor{Transpose: true, StructuralComplement: true}
-			if _, err := graphblas.MxV(next, visited, nil, sr, counts, f, desc); err != nil {
+			if _, err := graphblas.MxV(next, visited, nil, sr, counts, f, fwdDesc); err != nil {
 				return nil, err
 			}
 			if next.NVals() == 0 {
@@ -84,7 +89,7 @@ func BetweennessCentrality(a *graphblas.Matrix[bool], sources []int) ([]float64,
 				})
 			}
 			contrib := graphblas.NewVector[float64](n)
-			if _, err := graphblas.MxV(contrib, prevMask, nil, sr, counts, c, nil); err != nil {
+			if _, err := graphblas.MxV(contrib, prevMask, nil, sr, counts, c, backDesc); err != nil {
 				return nil, err
 			}
 			contrib.Iterate(func(i int, x float64) bool {

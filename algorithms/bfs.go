@@ -153,6 +153,19 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 		sp = graphblas.DefaultSwitchPoint
 	}
 
+	// One workspace and one descriptor serve the whole traversal: after
+	// the first couple of levels every buffer in the stack is warm and an
+	// iteration allocates nothing.
+	ws := graphblas.AcquireWorkspace(n, n)
+	defer ws.Release()
+	desc := &graphblas.Descriptor{
+		Transpose:     true,
+		StructureOnly: !opt.DisableStructureOnly,
+		NoEarlyExit:   opt.DisableEarlyExit,
+		Merge:         opt.Merge,
+		Workspace:     ws,
+	}
+
 	for f.NVals() > 0 {
 		iterStart := time.Now()
 		depth++
@@ -167,12 +180,6 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 			dir = state.Decide(f.NVals(), n, dir, sp)
 		}
 
-		desc := &graphblas.Descriptor{
-			Transpose:     true,
-			StructureOnly: !opt.DisableStructureOnly,
-			NoEarlyExit:   opt.DisableEarlyExit,
-			Merge:         opt.Merge,
-		}
 		if dir == core.Push {
 			desc.Direction = graphblas.ForcePush
 		} else {
@@ -202,6 +209,8 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 		} else {
 			if dir == core.Pull && unvisited != nil {
 				desc.MaskAllowList = unvisited
+			} else {
+				desc.MaskAllowList = nil
 			}
 			desc.StructuralComplement = true
 			if _, err = graphblas.MxV(f, visited, nil, sr, a, input, desc); err != nil {

@@ -35,14 +35,21 @@ func ConnectedComponents(a *graphblas.Matrix[bool]) ([]uint32, error) {
 	}
 	cand := graphblas.NewVector[uint32](n)
 
+	// One workspace serves both propagation passes for the whole run; the
+	// reverse pass's accumulate target is the workspace scratch vector.
+	ws := graphblas.AcquireWorkspace(n, n)
+	defer ws.Release()
+	fwdDesc := &graphblas.Descriptor{Transpose: true, Workspace: ws}
+	revDesc := &graphblas.Descriptor{Workspace: ws}
+
 	for round := 0; round < n && active.NVals() > 0; round++ {
 		// cand = min over in-neighbours' labels (Aᵀ), then folded with the
 		// out-neighbour pass (A) for asymmetric graphs.
-		if _, err := graphblas.MxV(cand, (*graphblas.Vector[bool])(nil), nil, sr, ids, active, &graphblas.Descriptor{Transpose: true}); err != nil {
+		if _, err := graphblas.MxV(cand, (*graphblas.Vector[bool])(nil), nil, sr, ids, active, fwdDesc); err != nil {
 			return nil, err
 		}
 		if !a.Symmetric() {
-			if _, err := graphblas.MxV(cand, (*graphblas.Vector[bool])(nil), sr.Add.Op, sr, ids, active, nil); err != nil {
+			if _, err := graphblas.MxV(cand, (*graphblas.Vector[bool])(nil), sr.Add.Op, sr, ids, active, revDesc); err != nil {
 				return nil, err
 			}
 		}

@@ -47,6 +47,12 @@ func FusedBFS(a *graphblas.Matrix[bool], source int, switchPoint float64) (BFSRe
 	}
 	frontier := []uint32{uint32(source)}
 
+	// Pin one kernel workspace for the whole traversal: the fused steps'
+	// per-worker lists and ping-pong frontier buffers live in it, so every
+	// level after the first allocates nothing.
+	ws := core.AcquireWorkspace(pullG.Rows, pullG.Cols)
+	defer ws.Release()
+
 	var state core.SwitchState
 	dir := core.Push
 	res := BFSResult{Visited: 1, EdgesTraversed: int64(pushG.RowLen(source))}
@@ -54,9 +60,9 @@ func FusedBFS(a *graphblas.Matrix[bool], source int, switchPoint float64) (BFSRe
 		res.Iterations++
 		dir = state.Decide(len(frontier), n, dir, switchPoint)
 		if dir == core.Pull {
-			frontier, unvisited = core.FusedPullStep(pullG, visited, unvisited, depths, depth)
+			frontier, unvisited = core.FusedPullStep(pullG, visited, unvisited, depths, depth, ws)
 		} else {
-			frontier = core.FusedPushStep(pushG, visited, frontier, depths, depth)
+			frontier = core.FusedPushStep(pushG, visited, frontier, depths, depth, ws)
 			if len(frontier) > 0 && len(frontier) > n/256 {
 				w := 0
 				for _, v := range unvisited {

@@ -48,12 +48,19 @@ func MIS(a *graphblas.Matrix[bool], seed int64) ([]bool, error) {
 	remaining := n
 	weights := graphblas.NewVector[float64](n)
 	nbrMax := graphblas.NewVector[float64](n)
+	candMask := graphblas.NewVector[bool](n)
 	csr := a.CSR()
+
+	// One workspace and descriptor across the rounds; the candidate mask
+	// vector is likewise reused rather than rebuilt.
+	ws := graphblas.AcquireWorkspace(n, n)
+	defer ws.Release()
+	desc := &graphblas.Descriptor{Transpose: true, Workspace: ws}
 
 	for remaining > 0 {
 		// Draw weights for candidates; isolated candidates always win.
 		weights.Clear()
-		candMask := graphblas.NewVector[bool](n)
+		candMask.Clear()
 		for i := 0; i < n; i++ {
 			if candidate[i] {
 				_ = weights.SetElement(i, 1+rng.Float64()) // strictly > identity
@@ -61,7 +68,6 @@ func MIS(a *graphblas.Matrix[bool], seed int64) ([]bool, error) {
 			}
 		}
 		// nbrMax⟨candidates⟩ = max over candidate neighbours' weights.
-		desc := &graphblas.Descriptor{Transpose: true}
 		if _, err := graphblas.MxV(nbrMax, candMask, nil, sr, weighted, weights, desc); err != nil {
 			return nil, err
 		}

@@ -60,8 +60,12 @@ func MultiBFS(a *graphblas.Matrix[bool], sources []int) ([][]int32, error) {
 	// The traversal multiplies by Aᵀ (column i of Aᵀ = out-edges of i),
 	// matching single-source BFS; CSR(A) provides those columns.
 	csr := a.CSR()
+	// Double-buffer the active lists: the level that was just consumed
+	// becomes the next level's append target, so the driver arrays reach a
+	// zero-allocation steady state like the matvec stack's workspaces.
+	var spare []uint32
 	for depth := int32(1); len(active) > 0; depth++ {
-		var nextActive []uint32
+		nextActive := spare[:0]
 		for _, u := range active {
 			lanes := frontier[u]
 			lo, hi := csr.Ptr[u], csr.Ptr[u+1]
@@ -91,6 +95,7 @@ func MultiBFS(a *graphblas.Matrix[bool], sources []int) ([][]int32, error) {
 			frontier[u] = 0
 		}
 		frontier, next = next, frontier
+		spare = active
 		active = nextActive
 	}
 	return depths, nil

@@ -126,6 +126,11 @@ func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (Pa
 
 	res := PageRankResult{}
 	danglingBase := (1 - opt.Damping) / float64(n)
+	// Pin one workspace and descriptor across the power iteration so the
+	// steady state allocates nothing.
+	ws := graphblas.AcquireWorkspace(n, n)
+	defer ws.Release()
+	desc := &graphblas.Descriptor{Transpose: true, Direction: graphblas.ForcePull, Workspace: ws}
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		res.Iterations++
 		// Dangling mass: ranks parked on sink vertices redistribute
@@ -138,7 +143,6 @@ func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (Pa
 		}
 		teleport := danglingBase + opt.Damping*dangling/float64(n)
 
-		desc := &graphblas.Descriptor{Transpose: true, Direction: graphblas.ForcePull}
 		var err error
 		if adaptive {
 			res.MaskedMatvecRows += int64(activeRows)

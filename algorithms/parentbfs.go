@@ -43,8 +43,13 @@ func ParentBFS(a *graphblas.Matrix[bool], source int) ([]int64, error) {
 		return nil, err
 	}
 
+	// One workspace and descriptor across the traversal; the f ← Aᵀf
+	// aliased matvec bounces through the workspace scratch vector.
+	ws := graphblas.AcquireWorkspace(n, n)
+	defer ws.Release()
+	desc := &graphblas.Descriptor{Transpose: true, StructuralComplement: true, Workspace: ws}
+
 	for f.NVals() > 0 {
-		desc := &graphblas.Descriptor{Transpose: true, StructuralComplement: true}
 		if _, err := graphblas.MxV(f, visited, nil, sr, ids, f, desc); err != nil {
 			return nil, err
 		}

@@ -68,6 +68,11 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 		sp = DefaultSSSPSwitchPoint
 	}
 
+	// One workspace and descriptor for the whole relaxation loop.
+	ws := graphblas.AcquireWorkspace(n, n)
+	defer ws.Release()
+	desc := &graphblas.Descriptor{Transpose: true, Workspace: ws}
+
 	for round := 0; round < n && active.NVals() > 0; round++ {
 		start := time.Now()
 		if opt.PushOnly {
@@ -76,7 +81,6 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 			// 2-phase: once pull, stay pull.
 			dir = state.Decide(active.NVals(), n, dir, sp)
 		}
-		desc := &graphblas.Descriptor{Transpose: true}
 		if dir == core.Push {
 			desc.Direction = graphblas.ForcePush
 		} else {

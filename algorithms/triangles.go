@@ -22,9 +22,12 @@ func TriangleCount(a *graphblas.Matrix[bool]) (int64, error) {
 	l := lowerTriangle(a.CSR())
 	lm := graphblas.NewMatrixFromCSR(l)
 	// C⟨L⟩ = L·Lᵀ counts, for each edge (i,j) with j<i, the common lower
-	// neighbours — multiply L by its transpose via the CSC view.
+	// neighbours — multiply L by its transpose via the CSC view. The pinned
+	// workspace supplies the SpGEMM's per-worker accumulators.
 	lt := graphblas.NewMatrixFromCSR(sparse.Transpose(l))
-	prod, err := graphblas.MxM(lm, countSemiring(), lm, lt, nil)
+	ws := graphblas.AcquireWorkspace(n, n)
+	defer ws.Release()
+	prod, err := graphblas.MxM(lm, countSemiring(), lm, lt, &graphblas.Descriptor{Workspace: ws})
 	if err != nil {
 		return 0, err
 	}

@@ -10,6 +10,13 @@
 //	generate    RMAT/Kronecker, RGG, grid and Erdős–Rényi generators,
 //	            MatrixMarket I/O (generate/mmio)
 //
+// Iterative algorithms reach a zero-allocation steady state: every kernel
+// transient (gather buffers, sort scratch, SPA arrays, mask bitmaps) lives
+// in a reusable Workspace that algorithms pin across their run — and that
+// operations auto-acquire from a dimension-keyed pool when none is pinned.
+// See graphblas.Workspace for the lifecycle and internal/core.Workspace for
+// the kernel-level arena.
+//
 // This root package only anchors the module and the top-level benchmark
 // suite (bench_test.go), which regenerates every table and figure of the
 // paper's evaluation; see also cmd/ppbench.

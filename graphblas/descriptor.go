@@ -100,6 +100,15 @@ type Descriptor struct {
 
 	// Sequential forces single-threaded kernels (profiling/debugging).
 	Sequential bool
+
+	// Workspace, when non-nil, pins a scratch arena across calls so
+	// iterative algorithms reach a zero-allocation steady state: gather
+	// buffers, sort scratch, mask bitmaps and accumulate targets are all
+	// reused call over call. When nil, each operation auto-acquires a
+	// pooled workspace sized to the matrix and releases it on return.
+	// Unlike the other fields a pinned workspace is mutable state: a
+	// descriptor carrying one must not be shared by concurrent operations.
+	Workspace *Workspace
 }
 
 // effSwitchPoint returns the switch-point honouring the zero default.
@@ -110,15 +119,30 @@ func (d *Descriptor) effSwitchPoint() float64 {
 	return d.SwitchPoint
 }
 
-// coreOpts translates the descriptor into kernel options.
-func (d *Descriptor) coreOpts() core.Opts {
+// coreOpts translates the descriptor into kernel options, threading the
+// resolved workspace (the descriptor's pinned one, or the operation's
+// auto-acquired one) down to the kernels.
+func (d *Descriptor) coreOpts(ws *Workspace) core.Opts {
+	var kw *core.Workspace
+	if ws != nil {
+		kw = ws.kernel
+	}
 	if d == nil {
-		return core.Opts{EarlyExit: true}
+		return core.Opts{EarlyExit: true, Ws: kw}
 	}
 	return core.Opts{
 		StructureOnly: d.StructureOnly,
 		EarlyExit:     !d.NoEarlyExit,
 		Merge:         core.MergeKind(d.Merge),
 		Sequential:    d.Sequential,
+		Ws:            kw,
 	}
+}
+
+// workspace returns the pinned workspace, nil-safe.
+func (d *Descriptor) workspace() *Workspace {
+	if d == nil {
+		return nil
+	}
+	return d.Workspace
 }

@@ -31,4 +31,37 @@
 // values (see OrAndBool, PlusTimesFloat64, MinPlusFloat64, ...), so users
 // can express BFS, SSSP, PageRank and friends by choosing (⊕, ⊗, I) — the
 // generalized-semiring mechanism of the GraphBLAS C API.
+//
+// # Workspace lifecycle
+//
+// Iterative programs — the library's whole reason to exist — reach a
+// zero-allocation steady state through the Workspace: a reusable scratch
+// arena holding every transient the operation stack needs (the push
+// kernel's gather buffers, the radix sort's ping-pong arrays and
+// histograms, the SPA accumulator, the sparse-mask bitmap, the accumulate
+// target, the aliased-output bounce vector, and the pinned parallel loop
+// bodies that keep goroutine dispatch closure-free).
+//
+// Pin one across an algorithm's iterations:
+//
+//	ws := graphblas.AcquireWorkspace(a.NRows(), a.NCols())
+//	defer ws.Release()
+//	desc := &graphblas.Descriptor{Workspace: ws, ...}
+//	for frontierNotEmpty {
+//		graphblas.MxV(f, visited, nil, sr, a, f, desc) // 0 allocs once warm
+//	}
+//
+// Acquire/Release round-trips a pool keyed by the matrix dimensions, so
+// consecutive runs over the same graph shape share warm buffers. When a
+// descriptor carries no Workspace (auto-pooling), each operation acquires
+// a pooled workspace itself and releases it before returning — callers
+// still skip the large allocations, paying only the pool round-trip, and
+// results are always safe because operations copy kernel output out of
+// workspace storage into the destination vector's own reusable arrays.
+//
+// A workspace serves one operation at a time: do not share one (or a
+// descriptor holding one) between concurrent operations — concurrent runs
+// should each acquire their own. Buffers grow to the high-water mark of
+// the calls they serve and stay there until the pool's contents are
+// collected.
 package graphblas

@@ -49,27 +49,41 @@ func MxV[T, M comparable](w *Vector[T], mask *Vector[M], accum BinaryOp[T], s Se
 
 	dir := chooseDirection(u, desc)
 	sr := toCoreSR(s)
-	opts := desc.coreOpts()
+
+	// Resolve the scratch workspace: the descriptor's pinned one, or a
+	// pooled one for the duration of this call (auto-pooling).
+	ws := desc.workspace()
+	pooled := ws == nil
+	if pooled {
+		ws = AcquireWorkspace(a.NRows(), a.NCols())
+	}
+	opts := desc.coreOpts(ws)
 
 	var mv core.MaskView
 	useMask := mask != nil
 	if useMask {
-		mv = core.MaskView{Bits: mask.maskBits()}
+		mv = core.MaskView{Bits: maskBitsFor(ws, mask), KnownEmpty: mask.knownEmpty()}
 		if desc != nil {
 			mv.Scmp = desc.StructuralComplement
 			mv.List = desc.MaskAllowList
 		}
 	}
 
+	var err error
 	if accum != nil {
-		// Compute the product into a scratch vector, then merge.
-		t := NewVector[T](outDim)
-		if err := mxvInto(t, u, mask, useMask, mv, rowG, colG, dir, sr, opts); err != nil {
-			return dir, err
+		// Compute the product into the workspace's scratch vector, then
+		// merge into w.
+		t := scratchVectorFor[T](ws, outDim)
+		if err = mxvInto(t, u, mask, useMask, mv, rowG, colG, dir, sr, opts, ws); err == nil {
+			err = mergeAccum(w, t, accum)
 		}
-		return dir, mergeAccum(w, t, accum)
+	} else {
+		err = mxvInto(w, u, mask, useMask, mv, rowG, colG, dir, sr, opts, ws)
 	}
-	return dir, mxvInto(w, u, mask, useMask, mv, rowG, colG, dir, sr, opts)
+	if pooled {
+		ws.Release()
+	}
+	return dir, err
 }
 
 // VxM computes w⟨mask⟩ = uᵀ·A (GrB_vxm), which equals Aᵀ·u; it simply
@@ -106,27 +120,29 @@ func chooseDirection[T comparable](u *Vector[T], desc *Descriptor) core.Directio
 }
 
 // mxvInto runs the chosen kernel, writing the product into dst. When dst
-// aliases the kernel inputs (pull writing over its own input) a scratch
-// vector is used and swapped in afterwards.
-func mxvInto[T, M comparable](dst *Vector[T], u *Vector[T], mask *Vector[M], useMask bool, mv core.MaskView, rowG, colG *sparse.CSR[T], dir core.Direction, sr core.SR[T], opts core.Opts) error {
+// aliases the kernel inputs (pull writing over its own input) the
+// workspace's scratch vector takes the write and storage is swapped in
+// afterwards — the swap leaves dst's old buffers in the workspace, so
+// repeated aliased calls ping-pong between two warm buffers instead of
+// allocating.
+func mxvInto[T, M comparable](dst *Vector[T], u *Vector[T], mask *Vector[M], useMask bool, mv core.MaskView, rowG, colG *sparse.CSR[T], dir core.Direction, sr core.SR[T], opts core.Opts, ws *Workspace) error {
 	switch dir {
 	case core.Pull:
 		uVal, uPresent := u.denseView()
 		target := dst
-		// The pull kernel writes dense buffers in place; if the output
-		// aliases the input vector (f ← Aᵀf) or the mask's bitmap, write
-		// into a scratch vector and swap storage afterwards.
 		aliased := sameVector(dst, u) || (useMask && sharesBits(dst, mv.Bits))
 		if aliased {
-			target = NewVector[T](dst.Size())
+			target = scratchVectorFor[T](ws, dst.Size())
 		}
 		wVal, wPresent := target.ensureDenseBuffers()
+		var nvals int
 		if useMask {
-			core.RowMaskedMxv(wVal, wPresent, rowG, uVal, uPresent, mv, sr, opts)
+			nvals = core.RowMaskedMxv(wVal, wPresent, rowG, uVal, uPresent, mv, sr, opts)
 		} else {
-			core.RowMxv(wVal, wPresent, rowG, uVal, uPresent, sr, opts)
+			nvals = core.RowMxv(wVal, wPresent, rowG, uVal, uPresent, sr, opts)
 		}
-		target.recountDense()
+		// Kernels report their output count, so no O(n) presence rescan.
+		target.setDenseCount(nvals)
 		if aliased {
 			swapStorage(dst, target)
 		}
@@ -139,7 +155,10 @@ func mxvInto[T, M comparable](dst *Vector[T], u *Vector[T], mask *Vector[M], use
 		} else {
 			ind, val = core.ColMxv(colG, uInd, uVal, sr, opts)
 		}
-		dst.setSparseResult(ind, val)
+		// The kernel result aliases workspace storage (opts.Ws is always
+		// set here); copy into dst's own reusable buffers before the
+		// workspace moves on.
+		dst.setSparseCopy(ind, val)
 	}
 	return nil
 }

@@ -293,6 +293,6 @@ func MxM[T comparable](maskPattern *Matrix[T], s Semiring[T], a, b *Matrix[T], d
 			maskPattern.NRows(), maskPattern.NCols(), a.NRows(), b.NCols())
 	}
 	mc := maskPattern.CSR()
-	prod := core.MxMMasked(a.CSR(), b.CSR(), mc.Ptr, mc.Ind, toCoreSR(s), desc.coreOpts())
+	prod := core.MxMMasked(a.CSR(), b.CSR(), mc.Ptr, mc.Ind, toCoreSR(s), desc.coreOpts(desc.workspace()))
 	return NewMatrixFromCSR(prod), nil
 }

@@ -346,6 +346,15 @@ func (v *Vector[T]) RecountDense() {
 	}
 }
 
+// knownEmpty reports, conservatively, that the vector certainly stores no
+// elements. Only the sparse representation answers true: a dense vector's
+// nvals can be stale when callers write the presence array through
+// DenseView without RecountDense, so its bitmap — not the counter — must
+// stay the source of truth for kernel masks.
+func (v *Vector[T]) knownEmpty() bool {
+	return v.format == Sparse && len(v.ind) == 0
+}
+
 // maskBits returns a presence bitmap for use as a kernel mask. Dense
 // vectors hand out their presence array zero-copy; sparse vectors
 // materialize a scratch bitmap (O(n) once — callers that probe masks every
@@ -371,6 +380,28 @@ func (v *Vector[T]) setSparseResult(ind []uint32, val []T) {
 	}
 	v.nvals = 0
 	v.format = Sparse
+}
+
+// setSparseCopy installs kernel output by copying it into the vector's own
+// reusable index/value storage, leaving it in sparse format. Used when the
+// source slices alias workspace scratch that the next kernel call will
+// overwrite; steady-state cost is a copy into warm capacity, not an
+// allocation.
+func (v *Vector[T]) setSparseCopy(ind []uint32, val []T) {
+	v.ind = append(v.ind[:0], ind...)
+	v.val = append(v.val[:0], val...)
+	if v.dpresent != nil {
+		clearBools(v.dpresent)
+	}
+	v.nvals = 0
+	v.format = Sparse
+}
+
+// setDenseCount records the stored-element count after a kernel reported
+// how many outputs it wrote, replacing the O(n) presence rescan the layer
+// used to do.
+func (v *Vector[T]) setDenseCount(nvals int) {
+	v.nvals = nvals
 }
 
 // ensureDenseBuffers readies zeroed dense arrays for a kernel to write

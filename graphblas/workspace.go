@@ -1,0 +1,113 @@
+package graphblas
+
+import (
+	"pushpull/internal/core"
+	"pushpull/internal/pool"
+)
+
+// Workspace is the operation-level scratch arena that makes iterative
+// GraphBLAS programs allocation-free in steady state. It wraps the kernel
+// workspace (gather buffers, sort scratch, SPA arrays — see internal/core)
+// and adds the object-model scratch this layer needs: the bitmap that
+// sparse masks materialize into, and per-element-type scratch vectors used
+// as the accumulate target and as the aliased-output bounce buffer.
+//
+// Lifecycle:
+//
+//	ws := graphblas.AcquireWorkspace(a.NRows(), a.NCols())
+//	defer ws.Release()
+//	desc.Workspace = ws
+//	for ... { graphblas.MxV(w, mask, nil, sr, a, f, desc) }
+//
+// Every algorithm in pushpull/algorithms pins one this way for the run's
+// lifetime. When no workspace is pinned, MxV auto-acquires one from a pool
+// keyed by the matrix dimensions and releases it before returning, so even
+// unpinned callers reuse warm buffers; pinning removes the per-call pool
+// round-trip and is required for the strict 0 allocs/op steady state.
+//
+// A Workspace serves one operation at a time and must not be shared by
+// concurrent calls; concurrent algorithm runs should each acquire their
+// own. Scratch vectors may swap storage with user vectors (the aliased
+// pull), which is exactly how buffers ping-pong instead of churning.
+type Workspace struct {
+	kernel     *core.Workspace
+	rows, cols int
+
+	maskBits    []bool      // sparse-mask bitmap, scrubbed via maskTouched
+	maskTouched []uint32    // indices set in maskBits by the previous mask
+	scratch     map[any]any // zero value of T → *Vector[T]
+}
+
+// NewWorkspace returns an unpooled workspace for operations over a
+// rows×cols matrix. Most callers want AcquireWorkspace instead.
+func NewWorkspace(rows, cols int) *Workspace {
+	return &Workspace{kernel: core.NewWorkspace(rows, cols), rows: rows, cols: cols}
+}
+
+// wsPool keys workspaces by matrix shape (see internal/pool).
+var wsPool = pool.NewDim(NewWorkspace)
+
+// AcquireWorkspace takes a workspace for a rows×cols matrix from the
+// dimension-keyed pool, creating one if the pool is dry. Pair with Release.
+func AcquireWorkspace(rows, cols int) *Workspace {
+	return wsPool.Acquire(rows, cols)
+}
+
+// Release returns the workspace to its dimension pool (workspaces created
+// with NewWorkspace donate their warm buffers the same way). Neither the
+// workspace nor vectors still sharing storage with its scratch may be used
+// afterwards.
+func (w *Workspace) Release() {
+	if w == nil {
+		return
+	}
+	wsPool.Put(w.rows, w.cols, w)
+}
+
+// maskBitsFor returns a presence bitmap for v suitable as a kernel mask.
+// Dense vectors hand out their presence array zero-copy; sparse vectors
+// materialize into the workspace's reusable bitmap, which is scrubbed via
+// the touched list — O(nnz(previous mask) + nnz(mask)), never O(n) — so
+// per-iteration sparse masks stop allocating and stop rescanning.
+func maskBitsFor[M comparable](ws *Workspace, v *Vector[M]) []bool {
+	if v.format == Dense {
+		return v.dpresent
+	}
+	if ws == nil {
+		return v.maskBits()
+	}
+	full := ws.maskBits
+	for _, i := range ws.maskTouched {
+		full[i] = false
+	}
+	ws.maskTouched = ws.maskTouched[:0]
+	if cap(full) < v.n {
+		ws.maskBits = make([]bool, v.n)
+		full = ws.maskBits
+	}
+	bits := full[:v.n]
+	for _, idx := range v.ind {
+		bits[idx] = true
+	}
+	ws.maskTouched = append(ws.maskTouched, v.ind...)
+	return bits
+}
+
+// scratchVectorFor returns the workspace's scratch vector for element type
+// T, created on first use. It serves as the accumulate target and the
+// aliased-pull bounce buffer; storage swaps with user vectors keep it warm.
+func scratchVectorFor[T comparable](ws *Workspace, n int) *Vector[T] {
+	var zero T
+	key := any(zero)
+	if v, ok := ws.scratch[key]; ok {
+		if sv := v.(*Vector[T]); sv.n == n {
+			return sv
+		}
+	}
+	sv := NewVector[T](n)
+	if ws.scratch == nil {
+		ws.scratch = make(map[any]any, 2)
+	}
+	ws.scratch[key] = sv
+	return sv
+}

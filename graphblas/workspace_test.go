@@ -1,0 +1,289 @@
+package graphblas
+
+import (
+	"math/rand"
+	"runtime/debug"
+	"testing"
+)
+
+func randBoolMatrix(rng *rand.Rand, n int, p float64) *Matrix[bool] {
+	var r, c []uint32
+	var v []bool
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < p {
+				r = append(r, uint32(i))
+				c = append(c, uint32(j))
+				v = append(v, true)
+			}
+		}
+	}
+	m, err := NewMatrixFromCOO(n, n, r, c, v, nil)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func vectorsEqual[T comparable](t *testing.T, name string, a, b *Vector[T]) {
+	t.Helper()
+	if a.NVals() != b.NVals() {
+		t.Fatalf("%s: nvals %d vs %d", name, a.NVals(), b.NVals())
+	}
+	av, ap := a.Dup().DenseView()
+	bv, bp := b.Dup().DenseView()
+	for i := range av {
+		if ap[i] != bp[i] || (ap[i] && av[i] != bv[i]) {
+			t.Fatalf("%s: mismatch at %d: (%v,%v) vs (%v,%v)", name, i, ap[i], av[i], bp[i], bv[i])
+		}
+	}
+}
+
+// TestMxVPinnedWorkspaceMatchesUnpinned iterates MxV under a pinned
+// workspace and under per-call auto-pooling, in both directions with and
+// without masks, asserting bit-identical outputs each iteration. The
+// repeated iterations exercise exactly the buffer-reuse the workspace is
+// for.
+func TestMxVPinnedWorkspaceMatchesUnpinned(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 60
+	a := randBoolMatrix(rng, n, 0.1)
+	sr := OrAndBool()
+	ws := NewWorkspace(n, n)
+
+	for _, dir := range []Direction{ForcePush, ForcePull} {
+		for _, masked := range []bool{false, true} {
+			u := NewVector[bool](n)
+			for i := 0; i < n; i += 3 {
+				_ = u.SetElement(i, true)
+			}
+			var mask *Vector[bool]
+			if masked {
+				mask = NewVector[bool](n)
+				for i := 0; i < n; i += 2 {
+					_ = mask.SetElement(i, true)
+				}
+				mask.ToDense()
+			}
+			pinned := &Descriptor{Transpose: true, Direction: dir, NoAutoConvert: true, Workspace: ws}
+			plain := &Descriptor{Transpose: true, Direction: dir, NoAutoConvert: true}
+			if dir == ForcePull {
+				u.ToDense()
+			}
+			w1 := NewVector[bool](n)
+			w2 := NewVector[bool](n)
+			for iter := 0; iter < 4; iter++ {
+				if _, err := MxV(w1, mask, nil, sr, a, u, pinned); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := MxV(w2, mask, nil, sr, a, u, plain); err != nil {
+					t.Fatal(err)
+				}
+				vectorsEqual(t, "pinned vs plain", w1, w2)
+			}
+		}
+	}
+}
+
+// TestMxVAliasedOperands covers w aliasing the input and w aliasing the
+// mask, in both directions, under a pinned workspace — the configurations
+// where the workspace's scratch vector bounce and storage swap engage.
+func TestMxVAliasedOperands(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 50
+	a := randBoolMatrix(rng, n, 0.12)
+	sr := OrAndBool()
+	ws := NewWorkspace(n, n)
+
+	for _, dir := range []Direction{ForcePush, ForcePull} {
+		desc := &Descriptor{Transpose: true, Direction: dir, NoAutoConvert: true, Workspace: ws}
+
+		// w aliases u: w ← Aᵀw, twice, against an unaliased oracle.
+		w := NewVector[bool](n)
+		oracle := NewVector[bool](n)
+		uRef := NewVector[bool](n)
+		for i := 0; i < n; i += 4 {
+			_ = w.SetElement(i, true)
+			_ = uRef.SetElement(i, true)
+		}
+		if dir == ForcePull {
+			w.ToDense()
+			uRef.ToDense()
+		}
+		for iter := 0; iter < 2; iter++ {
+			if _, err := MxV(oracle, (*Vector[bool])(nil), nil, sr, a, uRef, desc); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := MxV(w, (*Vector[bool])(nil), nil, sr, a, w, desc); err != nil {
+				t.Fatal(err)
+			}
+			vectorsEqual(t, "w aliases u", w, oracle)
+			// Feed the oracle's output back as its next input.
+			uRef = oracle.Dup()
+			if dir == ForcePull {
+				uRef.ToDense()
+			} else {
+				uRef.ToSparse()
+			}
+		}
+
+		// w aliases the mask: w⟨¬w⟩ ← Aᵀu.
+		wm := NewVector[bool](n)
+		for i := 0; i < n; i += 5 {
+			_ = wm.SetElement(i, true)
+		}
+		wm.ToDense() // mask bitmaps are handed out zero-copy from dense vectors
+		maskCopy := wm.Dup()
+		u := NewVector[bool](n)
+		for i := 1; i < n; i += 3 {
+			_ = u.SetElement(i, true)
+		}
+		if dir == ForcePull {
+			u.ToDense()
+		}
+		scmp := &Descriptor{Transpose: true, Direction: dir, NoAutoConvert: true, StructuralComplement: true, Workspace: ws}
+		want := NewVector[bool](n)
+		if _, err := MxV(want, maskCopy, nil, sr, a, u, scmp); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := MxV(wm, wm, nil, sr, a, u, scmp); err != nil {
+			t.Fatal(err)
+		}
+		vectorsEqual(t, "w aliases mask", wm, want)
+	}
+}
+
+// TestMxVSteadyStateAllocs asserts the headline property: with a pinned
+// workspace, a warmed-up MxV allocates nothing in any of the four kernel
+// configurations, including with a sparse mask (which materializes into the
+// workspace bitmap).
+func TestMxVSteadyStateAllocs(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	rng := rand.New(rand.NewSource(5))
+	n := 200
+	a := randBoolMatrix(rng, n, 0.05)
+	sr := OrAndBool()
+	ws := NewWorkspace(n, n)
+
+	u := NewVector[bool](n)
+	for i := 0; i < n; i += 6 {
+		_ = u.SetElement(i, true)
+	}
+	denseU := u.Dup()
+	denseU.ToDense()
+	mask := NewVector[bool](n)
+	for i := 0; i < n; i += 4 {
+		_ = mask.SetElement(i, true)
+	}
+	denseMask := mask.Dup()
+	denseMask.ToDense()
+	w := NewVector[bool](n)
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"row-nomask", func() error {
+			desc := descFor(ForcePull, ws)
+			_, err := MxV(w, (*Vector[bool])(nil), nil, sr, a, denseU, desc)
+			return err
+		}},
+		{"row-mask", func() error {
+			desc := descFor(ForcePull, ws)
+			_, err := MxV(w, denseMask, nil, sr, a, denseU, desc)
+			return err
+		}},
+		{"col-nomask", func() error {
+			desc := descFor(ForcePush, ws)
+			_, err := MxV(w, (*Vector[bool])(nil), nil, sr, a, u, desc)
+			return err
+		}},
+		{"col-mask", func() error {
+			desc := descFor(ForcePush, ws)
+			_, err := MxV(w, denseMask, nil, sr, a, u, desc)
+			return err
+		}},
+		{"col-sparse-mask", func() error {
+			desc := descFor(ForcePush, ws)
+			_, err := MxV(w, mask, nil, sr, a, u, desc)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.run(); err != nil { // warm the workspace
+			t.Fatal(err)
+		}
+		if avg := testing.AllocsPerRun(20, func() {
+			if err := tc.run(); err != nil {
+				t.Fatal(err)
+			}
+		}); avg != 0 {
+			t.Errorf("%s: %v allocs per warmed MxV, want 0", tc.name, avg)
+		}
+	}
+}
+
+// TestMxVDenseMaskStaleNVals guards the KnownEmpty derivation: a dense
+// mask whose presence bitmap was written raw through DenseView (no
+// RecountDense — so NVals() is a stale 0) must still mask by its bitmap,
+// not be treated as empty. Covers both the plain ("allows nothing" would
+// wrongly empty the output) and complemented ("allows everything" would
+// wrongly skip the filter) fast paths, in both directions.
+func TestMxVDenseMaskStaleNVals(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 40
+	a := randBoolMatrix(rng, n, 0.15)
+	sr := OrAndBool()
+	u := NewVector[bool](n)
+	for i := 0; i < n; i += 3 {
+		_ = u.SetElement(i, true)
+	}
+	denseU := u.Dup()
+	denseU.ToDense()
+
+	stale := NewVector[bool](n)
+	stale.ToDense()
+	_, bits := stale.DenseView()
+	honest := NewVector[bool](n)
+	for i := 0; i < n; i += 4 {
+		bits[i] = true // bypasses nvals bookkeeping on purpose
+		_ = honest.SetElement(i, true)
+	}
+	honest.ToDense()
+	if stale.NVals() != 0 {
+		t.Fatalf("test setup: expected stale nvals 0, got %d", stale.NVals())
+	}
+
+	for _, dir := range []Direction{ForcePush, ForcePull} {
+		for _, scmp := range []bool{false, true} {
+			desc := &Descriptor{Transpose: true, Direction: dir, NoAutoConvert: true, StructuralComplement: scmp}
+			in := u
+			if dir == ForcePull {
+				in = denseU
+			}
+			got := NewVector[bool](n)
+			want := NewVector[bool](n)
+			if _, err := MxV(got, stale, nil, sr, a, in, desc); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := MxV(want, honest, nil, sr, a, in, desc); err != nil {
+				t.Fatal(err)
+			}
+			vectorsEqual(t, "stale-nvals dense mask", got, want)
+		}
+	}
+}
+
+// descFor builds the descriptors outside the measured region; the structs
+// themselves live on the stack, so constructing them per call is free.
+var descCache = map[Direction]*Descriptor{}
+
+func descFor(dir Direction, ws *Workspace) *Descriptor {
+	d, ok := descCache[dir]
+	if !ok {
+		d = &Descriptor{Transpose: true, NoAutoConvert: true, Direction: dir}
+		descCache[dir] = d
+	}
+	d.Workspace = ws
+	return d
+}

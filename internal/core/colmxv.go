@@ -12,6 +12,11 @@ import (
 // indices uInd with values uVal); the output is sparse, sorted and
 // duplicate-free.
 //
+// With a pinned Opts.Ws the returned slices alias workspace storage and
+// stay valid only until the workspace's next kernel call — the pattern
+// iterative algorithms rely on, installing the result into a vector before
+// the next matvec. Without a workspace the result is caller-owned.
+//
 // Cost (Table 1 row 3): only columns selected by the input frontier are
 // touched — O(d·nnz(f)·log nnz(f)) with the heap merge, O(d·nnz(f)·logM)
 // with the radix strategy the paper uses on the GPU.
@@ -22,123 +27,145 @@ func ColMxv[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr SR[T]
 // ColMaskedMxv computes the masked column-based matvec w = m .⊙ (G·u). As
 // the paper observes (Section 3.2), the mask cannot reduce the work of the
 // push phase — it is applied as a post-filter after the merge, so the cost
-// matches the unmasked variant (Table 1 row 4).
+// matches the unmasked variant (Table 1 row 4). Two degenerate masks skip
+// the filter: a known-empty complemented mask allows everything (the
+// common first iterations of BFS, where ¬visited is almost everything),
+// and a known-empty plain mask allows nothing.
 func ColMaskedMxv[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, mask MaskView, sr SR[T], opts Opts) ([]uint32, []T) {
 	return colMxv(cscG, uInd, uVal, mask, true, sr, opts)
 }
 
 func colMxv[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, mask MaskView, masked bool, sr SR[T], opts Opts) ([]uint32, []T) {
+	if masked && mask.KnownEmpty {
+		if !mask.Scmp {
+			return nil, nil // empty mask allows nothing
+		}
+		masked = false // empty complement allows everything: skip the filter
+	}
+	ws, transient := kernelWorkspace(opts.Ws, cscG.Rows, cscG.Cols)
+	a := arenaFor[T](ws)
 	var wInd []uint32
 	var wVal []T
 	switch opts.Merge {
 	case MergeHeap:
-		wInd, wVal = colMxvHeap(cscG, uInd, uVal, sr, opts)
+		wInd, wVal = colMxvHeap(cscG, uInd, uVal, sr, opts, a)
 	case MergeSPA:
-		wInd, wVal = colMxvSPA(cscG, uInd, uVal, sr, opts)
+		wInd, wVal = colMxvSPA(cscG, uInd, uVal, sr, opts, a)
 	default:
-		wInd, wVal = colMxvRadix(cscG, uInd, uVal, sr, opts)
+		wInd, wVal = colMxvRadix(cscG, uInd, uVal, sr, opts, a)
 	}
-	if !masked {
-		return wInd, wVal
-	}
-	// Post-filter by the effective mask (Algorithm 3 Lines 17-24).
-	out := 0
-	for k, ind := range wInd {
-		if mask.Allows(int(ind)) {
-			wInd[out] = ind
-			wVal[out] = wVal[k]
-			out++
+	if masked {
+		// Post-filter by the effective mask (Algorithm 3 Lines 17-24),
+		// compacting in place over the workspace-owned merge output — no
+		// fresh storage is involved.
+		out := 0
+		for k, ind := range wInd {
+			if mask.Allows(int(ind)) {
+				wInd[out] = ind
+				wVal[out] = wVal[k]
+				out++
+			}
 		}
+		wInd, wVal = wInd[:out], wVal[:out]
 	}
-	return wInd[:out], wVal[:out]
+	if transient {
+		// Auto-pooled call: hand the caller its own copy so releasing the
+		// workspace (and its reuse by the next call) cannot clobber the
+		// result.
+		if len(wInd) > 0 {
+			wInd = append([]uint32(nil), wInd...)
+			wVal = append([]T(nil), wVal...)
+		} else {
+			wInd, wVal = nil, nil
+		}
+		ws.Release()
+	}
+	return wInd, wVal
 }
 
 // colMxvRadix is the paper's GPU strategy (Algorithm 3) transplanted to the
 // CPU worker pool: size each selected column, exclusive-scan the lengths,
 // gather index/value pairs at their scanned offsets in parallel, radix-sort
 // the concatenation, and segment-reduce equal keys. Structure-only mode
-// gathers keys alone — the paper's halving of the sort traffic.
-func colMxvRadix[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr SR[T], opts Opts) ([]uint32, []T) {
+// gathers keys alone — the paper's halving of the sort traffic. All scratch
+// (lengths, gather arrays, sort ping-pong buffers, histograms) and the
+// parallel loop bodies come from the arena, so a warm workspace makes the
+// whole pipeline allocation-free. The scan runs sequentially: it is
+// O(nnz(f)) next to the gather/sort's O(d·nnz(f)·logM) and needs no
+// scratch that way.
+func colMxvRadix[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr SR[T], opts Opts, a *arena[T]) ([]uint32, []T) {
 	k := len(uInd)
 	if k == 0 {
 		return nil, nil
 	}
-	lengths := make([]int, k)
-	sizeBody := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			lengths[i] = cscG.RowLen(int(uInd[i]))
-		}
-	}
+	cl := &a.col
+	cl.ensure()
+	a.lengths = grow(a.lengths, k)
+	cl.lengths, cl.cscG, cl.uInd, cl.uVal, cl.sr = a.lengths, cscG, uInd, uVal, sr
 	if opts.Sequential {
-		sizeBody(0, k)
+		cl.size(0, k)
 	} else {
-		par.For(k, rowGrain, sizeBody)
+		par.For(k, rowGrain, cl.size)
 	}
-	total := par.ExclusiveScan(lengths)
+	total := par.ExclusiveScanSequential(cl.lengths)
 	if total == 0 {
+		cl.clear()
 		return nil, nil
 	}
 	maxKey := uint32(cscG.Cols - 1)
-	keys := make([]uint32, total)
+	a.keys = grow(a.keys, total)
+	keys := a.keys
+	cl.keys = keys
 	if opts.StructureOnly {
-		gather := func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				ind, _ := cscG.RowSpan(int(uInd[i]))
-				copy(keys[lengths[i]:], ind)
-			}
+		if opts.Sequential {
+			cl.gatherKeys(0, k)
+		} else {
+			par.For(k, rowGrain, cl.gatherKeys)
 		}
 		if opts.Sequential {
-			gather(0, k)
+			merge.SortKeysSequentialWith(keys, maxKey, &a.ms)
 		} else {
-			par.For(k, rowGrain, gather)
-		}
-		if opts.Sequential {
-			merge.SortKeysSequential(keys, maxKey)
-		} else {
-			merge.SortKeys(keys, maxKey)
+			merge.SortKeysWith(keys, maxKey, &a.ms)
 		}
 		keys = merge.DedupeSortedKeys(keys)
-		vals := make([]T, len(keys))
+		a.outVal = grow(a.outVal, len(keys))
+		vals := a.outVal
 		for i := range vals {
 			vals[i] = sr.One
 		}
+		cl.clear()
 		return keys, vals
 	}
-	vals := make([]T, total)
-	gather := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ind, val := cscG.RowSpan(int(uInd[i]))
-			off := lengths[i]
-			x := uVal[i]
-			for j := range ind {
-				keys[off+j] = ind[j]
-				vals[off+j] = sr.Mul(val[j], x)
-			}
-		}
+	a.vals = grow(a.vals, total)
+	vals := a.vals
+	cl.vals = vals
+	if opts.Sequential {
+		cl.gatherPairs(0, k)
+	} else {
+		par.For(k, rowGrain, cl.gatherPairs)
 	}
 	if opts.Sequential {
-		gather(0, k)
+		merge.SortPairsSequentialWith(keys, vals, maxKey, &a.ms)
 	} else {
-		par.For(k, rowGrain, gather)
+		merge.SortPairsWith(keys, vals, maxKey, &a.ms)
 	}
-	if opts.Sequential {
-		merge.SortPairsSequential(keys, vals, maxKey)
-	} else {
-		merge.SortPairs(keys, vals, maxKey)
-	}
+	cl.clear()
 	return merge.SegmentedReducePairs(keys, vals, sr.Add)
 }
 
 // colMxvHeap gathers the selected columns and k-way merges them with a
 // binary heap — the O(n log k) formulation the Section 3.1 analysis uses.
 // It runs sequentially; its role is the cost-model validation and the
-// merge-strategy ablation, not peak throughput.
-func colMxvHeap[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr SR[T], opts Opts) ([]uint32, []T) {
+// merge-strategy ablation, not peak throughput. Gather and output storage
+// come from the arena; only the transient run heap allocates.
+func colMxvHeap[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr SR[T], opts Opts, a *arena[T]) ([]uint32, []T) {
 	k := len(uInd)
 	if k == 0 {
 		return nil, nil
 	}
-	offsets := make([]int, k+1)
+	a.lengths = grow(a.lengths, k+1)
+	offsets := a.lengths
+	offsets[0] = 0
 	for i, col := range uInd {
 		offsets[i+1] = offsets[i] + cscG.RowLen(int(col))
 	}
@@ -146,8 +173,9 @@ func colMxvHeap[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr S
 	if total == 0 {
 		return nil, nil
 	}
-	keys := make([]uint32, total)
-	vals := make([]T, total)
+	a.keys = grow(a.keys, total)
+	a.vals = grow(a.vals, total)
+	keys, vals := a.keys, a.vals
 	for i, col := range uInd {
 		ind, val := cscG.RowSpan(int(col))
 		off := offsets[i]
@@ -163,19 +191,24 @@ func colMxvHeap[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr S
 			}
 		}
 	}
-	return merge.MultiwayMergePairs(keys, vals, offsets, sr.Add)
+	a.outInd = grow(a.outInd, total)
+	a.outVal = grow(a.outVal, total)
+	return merge.MultiwayMergePairsInto(a.outInd[:0], a.outVal[:0], keys, vals, offsets[:k+1], sr.Add)
 }
 
 // colMxvSPA accumulates into a dense scratch (sparse accumulator) indexed
 // by output position, then compacts and sorts the touched set. O(n) merge
-// work at the price of an M-sized scratch per call.
-func colMxvSPA[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr SR[T], opts Opts) ([]uint32, []T) {
+// work at the price of an M-sized scratch — paid once per workspace, not
+// per call: the presence array is scrubbed via the touched list on the way
+// out, restoring the all-false invariant in O(nnz(w)).
+func colMxvSPA[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr SR[T], opts Opts, a *arena[T]) ([]uint32, []T) {
 	if len(uInd) == 0 {
 		return nil, nil
 	}
-	acc := make([]T, cscG.Cols)
-	seen := make([]bool, cscG.Cols)
-	touched := make([]uint32, 0, 64)
+	a.acc = grow(a.acc, cscG.Cols)
+	a.seen = grow(a.seen, cscG.Cols)
+	acc, seen := a.acc, a.seen
+	touched := a.touched[:0]
 	for i, col := range uInd {
 		ind, val := cscG.RowSpan(int(col))
 		for j := range ind {
@@ -195,10 +228,17 @@ func colMxvSPA[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr SR
 			}
 		}
 	}
-	merge.SortKeys(touched, uint32(cscG.Cols-1))
-	vals := make([]T, len(touched))
+	a.touched = touched
+	if opts.Sequential {
+		merge.SortKeysSequentialWith(touched, uint32(cscG.Cols-1), &a.ms)
+	} else {
+		merge.SortKeysWith(touched, uint32(cscG.Cols-1), &a.ms)
+	}
+	a.outVal = grow(a.outVal, len(touched))
+	vals := a.outVal
 	for i, idx := range touched {
 		vals[i] = acc[idx]
+		seen[idx] = false // restore the all-false invariant for the next call
 	}
 	return touched, vals
 }

@@ -74,6 +74,13 @@ type Opts struct {
 	// Sequential forces single-threaded execution (used by instrumented
 	// runs and tiny inputs).
 	Sequential bool
+	// Ws is the kernel scratch workspace. Iterative algorithms pin one
+	// across their whole run so the steady state allocates nothing; when
+	// nil, each kernel call auto-acquires a workspace from the
+	// dimension-keyed pool and releases it on return (push-kernel outputs
+	// are then copied out of workspace storage before the release, so the
+	// no-workspace contract — caller-owned results — is preserved).
+	Ws *Workspace
 }
 
 // MaskView is the kernel-level mask: a dense presence bitmap plus the
@@ -89,6 +96,14 @@ type MaskView struct {
 	// List, when non-nil, enumerates exactly the rows that pass the
 	// effective test, sorted ascending. Kernels then skip the bitmap scan.
 	List []uint32
+	// KnownEmpty asserts the mask vector stores no entries (every Bits[i]
+	// is false), which the vector layer knows for free from its nvals
+	// bookkeeping. Kernels use it for two degenerate-mask fast paths: an
+	// empty complemented mask allows everything, so the push kernel skips
+	// its post-merge filter entirely (and the pull kernel runs unmasked);
+	// an empty uncomplemented mask allows nothing, so the output is empty
+	// without touching the matrix.
+	KnownEmpty bool
 }
 
 // Allows reports whether the effective mask passes row i.

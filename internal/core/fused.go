@@ -16,48 +16,39 @@ import (
 // Inputs: g is CSR(Aᵀ); visited is the dense visited bitmap (read for the
 // parent probe, updated in the sequential epilogue); unvisited is the
 // amortized allow-list, compacted in place. Returns the new frontier's
-// vertices and the shrunken unvisited list.
+// vertices and the shrunken unvisited list. With a pinned ws the frontier
+// aliases one of the workspace's two ping-pong buffers and stays valid for
+// exactly one further fused step — the fused BFS's consumption pattern;
+// pass a nil ws for a caller-owned frontier.
 //
 // Race discipline: workers read `visited` (bits set only in previous
 // levels — the epilogue publishes this level's bits after the barrier) and
 // write only depths[v] for v they own via the list partition.
-func FusedPullStep[T comparable](g *sparse.CSR[T], visited []bool, unvisited []uint32, depths []int32, depth int32) ([]uint32, []uint32) {
+func FusedPullStep[T comparable](g *sparse.CSR[T], visited []bool, unvisited []uint32, depths []int32, depth int32, ws *Workspace) ([]uint32, []uint32) {
+	ws, transient := kernelWorkspace(ws, g.Rows, g.Cols)
+	fl := &arenaFor[T](ws).fused
+	fl.ensure()
 	workers := par.MaxWorkers()
-	outs := make([][]uint32, workers)
-	keeps := make([][]uint32, workers)
-	par.ForWorker(len(unvisited), func(w, lo, hi int) {
-		var out, keep []uint32
-		for i := lo; i < hi; i++ {
-			v := unvisited[i]
-			if visited[v] {
-				continue // stale entry left by a skipped push-side compaction
-			}
-			ind := g.Ind[g.Ptr[v]:g.Ptr[v+1]]
-			found := false
-			for _, u := range ind {
-				if visited[u] {
-					found = true
-					break // early exit: first parent suffices
-				}
-			}
-			if found {
-				depths[v] = depth
-				out = append(out, v)
-			} else {
-				keep = append(keep, v)
-			}
-		}
-		outs[w] = out
-		keeps[w] = keep
-	})
-	var frontier []uint32
-	compact := unvisited[:0]
-	for w := 0; w < workers; w++ {
-		frontier = append(frontier, outs[w]...)
-		compact = append(compact, keeps[w]...)
+	if len(fl.outs) < workers {
+		fl.outs = append(fl.outs, make([][]uint32, workers-len(fl.outs))...)
+		fl.keeps = append(fl.keeps, make([][]uint32, workers-len(fl.keeps))...)
 	}
+	fl.g, fl.visited, fl.unvisited, fl.depths, fl.depth = g, visited, unvisited, depths, depth
+	used := par.ForWorker(len(unvisited), fl.body)
+	frontier := fl.nextFront()
+	compact := unvisited[:0]
+	for w := 0; w < used; w++ {
+		frontier = append(frontier, fl.outs[w]...)
+		compact = append(compact, fl.keeps[w]...)
+	}
+	fl.storeFront(frontier)
 	for _, v := range frontier {
 		visited[v] = true
+	}
+	fl.clear()
+	if transient {
+		frontier = append([]uint32(nil), frontier...)
+		ws.Release()
 	}
 	return frontier, compact
 }
@@ -66,13 +57,17 @@ func FusedPullStep[T comparable](g *sparse.CSR[T], visited []bool, unvisited []u
 // CSC(Aᵀ) columns, claim unvisited children directly in the visited
 // bitmap, and write depths — no sort, no merge, no separate assign. The
 // output frontier is unsorted (Gunrock's duplicate-tolerant frontier,
-// Section 7.3), which is sound because discovery is idempotent.
+// Section 7.3), which is sound because discovery is idempotent. As with
+// the pull step, a pinned ws hands back a ping-pong buffer good for one
+// further step; the input frontier may be the previous step's buffer.
 //
 // It runs sequentially over the frontier's adjacency (the claim test makes
 // parallel writes racy without atomics; the fused path is for the ablation
 // study, where the pull side dominates anyway).
-func FusedPushStep[T comparable](cscG *sparse.CSR[T], visited []bool, frontier []uint32, depths []int32, depth int32) []uint32 {
-	var next []uint32
+func FusedPushStep[T comparable](cscG *sparse.CSR[T], visited []bool, frontier []uint32, depths []int32, depth int32, ws *Workspace) []uint32 {
+	ws, transient := kernelWorkspace(ws, cscG.Rows, cscG.Cols)
+	fl := &arenaFor[T](ws).fused
+	next := fl.nextFront()
 	for _, u := range frontier {
 		ind := cscG.Ind[cscG.Ptr[u]:cscG.Ptr[u+1]]
 		for _, v := range ind {
@@ -82,6 +77,11 @@ func FusedPushStep[T comparable](cscG *sparse.CSR[T], visited []bool, frontier [
 				next = append(next, v)
 			}
 		}
+	}
+	fl.storeFront(next)
+	if transient {
+		next = append([]uint32(nil), next...)
+		ws.Release()
 	}
 	return next
 }

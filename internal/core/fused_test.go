@@ -73,7 +73,7 @@ func TestFusedStepsBuildCorrectBFS(t *testing.T) {
 		frontier := []uint32{uint32(src)}
 		for depth := int32(1); len(frontier) > 0; depth++ {
 			if depth%2 == 1 {
-				frontier = FusedPushStep(g, visited, frontier, depths, depth)
+				frontier = FusedPushStep(g, visited, frontier, depths, depth, nil)
 				// Compact the unvisited list so the next pull is exact.
 				w := 0
 				for _, v := range unvisited {
@@ -84,7 +84,7 @@ func TestFusedStepsBuildCorrectBFS(t *testing.T) {
 				}
 				unvisited = unvisited[:w]
 			} else {
-				frontier, unvisited = FusedPullStep(g, visited, unvisited, depths, depth)
+				frontier, unvisited = FusedPullStep(g, visited, unvisited, depths, depth, nil)
 			}
 		}
 		for v := range want {
@@ -112,7 +112,7 @@ func TestFusedPullStepSkipsStaleEntries(t *testing.T) {
 			unvisited = append(unvisited, uint32(v))
 		}
 	}
-	_, _ = FusedPullStep(g, visited, unvisited, depths, 2)
+	_, _ = FusedPullStep(g, visited, unvisited, depths, 2, nil)
 	if depths[5] != 1 {
 		t.Fatalf("stale entry overwritten: depth[5]=%d", depths[5])
 	}

@@ -34,13 +34,21 @@ func MxMMasked[T comparable](a, b *sparse.CSR[T], maskPtr []int, maskInd []uint3
 	rowInd := make([][]uint32, a.Rows)
 	rowVal := make([][]T, a.Rows)
 
-	scratch := sync.Pool{New: func() any {
-		return &spaScratch[T]{
-			acc:     make([]T, b.Cols),
-			allowed: make([]bool, b.Cols),
-			hit:     make([]bool, b.Cols),
-		}
-	}}
+	// Per-worker accumulators come from the workspace when one is pinned,
+	// so repeated masked products (e.g. triangle counting sweeps) reuse the
+	// same row-sized scratch instead of reallocating it per call.
+	var scratch *sync.Pool
+	if ar := arenaFor[T](opts.Ws); ar != nil {
+		scratch = ar.spaScratchPool(b.Cols)
+	} else {
+		scratch = &sync.Pool{New: func() any {
+			return &spaScratch[T]{
+				acc:     make([]T, b.Cols),
+				allowed: make([]bool, b.Cols),
+				hit:     make([]bool, b.Cols),
+			}
+		}}
+	}
 
 	process := func(lo, hi int) {
 		s := scratch.Get().(*spaScratch[T])

@@ -14,21 +14,27 @@ const rowGrain = 256
 // for every row i, w(i) = ⊕_j G(i,j) ⊗ u(j). The input u is dense
 // (uVal/uPresent); absent entries contribute nothing. Outputs are written
 // into caller-allocated w/wPresent (length G.Rows); rows with no
-// contributing terms are marked absent.
+// contributing terms are marked absent. Returns the number of present
+// outputs, so callers never rescan the presence bitmap to recount.
 //
 // Cost (Table 1 row 1): every stored entry of G is examined regardless of
 // input or output sparsity — O(d·M).
-func RowMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], uVal []T, uPresent []bool, sr SR[T], opts Opts) {
-	run := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			rowAccumulate(w, wPresent, g, i, uVal, uPresent, sr, opts)
-		}
-	}
+func RowMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], uVal []T, uPresent []bool, sr SR[T], opts Opts) int {
+	ws, transient := kernelWorkspace(opts.Ws, g.Rows, g.Cols)
+	rl := &arenaFor[T](ws).row
+	rl.ensure()
+	rl.stage(w, wPresent, g, uVal, uPresent, MaskView{}, sr, opts)
 	if opts.Sequential {
-		run(0, g.Rows)
-		return
+		rl.run(0, g.Rows)
+	} else {
+		par.For(g.Rows, rowGrain, rl.run)
 	}
-	par.For(g.Rows, rowGrain, run)
+	nvals := int(rl.nvals.Load())
+	rl.clear()
+	if transient {
+		ws.Release()
+	}
+	return nvals
 }
 
 // RowMaskedMxv computes the masked row-based matvec w = (G·u) .⊙ m
@@ -37,43 +43,61 @@ func RowMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], uVal []T, uP
 // nnz(effective mask) rows, realizing the O(d·nnz(m)) cost of Table 1 row 2
 // with no O(M) scan — which also means rows outside the list are never
 // written, so the caller must hand in wPresent already cleared (the vector
-// layer reuses one zeroed bitmap across iterations).
-func RowMaskedMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], uVal []T, uPresent []bool, mask MaskView, sr SR[T], opts Opts) {
-	if mask.List != nil {
-		run := func(lo, hi int) {
-			for k := lo; k < hi; k++ {
-				i := int(mask.List[k])
+// layer reuses one zeroed bitmap across iterations). Returns the number of
+// present outputs.
+func RowMaskedMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], uVal []T, uPresent []bool, mask MaskView, sr SR[T], opts Opts) int {
+	if mask.KnownEmpty && mask.List == nil {
+		if !mask.Scmp {
+			// Empty mask allows nothing: clear the output and stop.
+			for i := range wPresent {
 				wPresent[i] = false
-				rowAccumulate(w, wPresent, g, i, uVal, uPresent, sr, opts)
 			}
+			return 0
 		}
+		// Empty complement allows everything: identical write pattern to
+		// the unmasked kernel, without the per-row bitmap probe.
+		return RowMxv(w, wPresent, g, uVal, uPresent, sr, opts)
+	}
+	ws, transient := kernelWorkspace(opts.Ws, g.Rows, g.Cols)
+	rl := &arenaFor[T](ws).row
+	rl.ensure()
+	rl.stage(w, wPresent, g, uVal, uPresent, mask, sr, opts)
+	if mask.List != nil {
 		if opts.Sequential {
-			run(0, len(mask.List))
-			return
+			rl.runList(0, len(mask.List))
+		} else {
+			par.For(len(mask.List), rowGrain, rl.runList)
 		}
-		par.For(len(mask.List), rowGrain, run)
-		return
-	}
-	run := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			wPresent[i] = false
-			if !mask.Allows(i) {
-				continue
-			}
-			rowAccumulate(w, wPresent, g, i, uVal, uPresent, sr, opts)
+	} else {
+		if opts.Sequential {
+			rl.runMask(0, g.Rows)
+		} else {
+			par.For(g.Rows, rowGrain, rl.runMask)
 		}
 	}
-	if opts.Sequential {
-		run(0, g.Rows)
-		return
+	nvals := int(rl.nvals.Load())
+	rl.clear()
+	if transient {
+		ws.Release()
 	}
-	par.For(g.Rows, rowGrain, run)
+	return nvals
+}
+
+// kernelWorkspace resolves the workspace a kernel call runs against:
+// the caller's pinned one, or a transient auto-acquired from the
+// dimension-keyed pool (returned flag tells the kernel to release it).
+func kernelWorkspace(ws *Workspace, rows, cols int) (*Workspace, bool) {
+	if ws != nil {
+		return ws, false
+	}
+	return AcquireWorkspace(rows, cols), true
 }
 
 // rowAccumulate folds row i of G against u into w[i]. It implements the
 // inner loop of Algorithm 2, including the optional early-exit break and
-// the structure-only value bypass.
-func rowAccumulate[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], i int, uVal []T, uPresent []bool, sr SR[T], opts Opts) {
+// the structure-only value bypass. It reports whether w[i] was written
+// present, so chunk bodies can count output nonzeroes as they go.
+func rowAccumulate[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], i int, uVal []T, uPresent []bool, sr SR[T], opts Opts) bool {
 	lo, hi := g.Ptr[i], g.Ptr[i+1]
 	earlyExit := opts.EarlyExit && sr.Terminal != nil
 	if opts.StructureOnly && earlyExit {
@@ -83,10 +107,10 @@ func rowAccumulate[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], i int
 			if uPresent[g.Ind[k]] {
 				w[i] = *sr.Terminal
 				wPresent[i] = true
-				return
+				return true
 			}
 		}
-		return
+		return false
 	}
 	acc := sr.Id
 	any := false
@@ -111,4 +135,5 @@ func rowAccumulate[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], i int
 	} else {
 		wPresent[i] = false
 	}
+	return any
 }

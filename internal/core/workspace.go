@@ -1,0 +1,347 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pushpull/internal/merge"
+	"pushpull/internal/pool"
+	"pushpull/internal/sparse"
+)
+
+// Workspace is the kernels' reusable scratch arena — the subsystem that
+// makes the push/pull matvec stack allocation-free in steady state. It owns
+// every transient the four Table 1 kernel variants need: the push kernel's
+// lengths/keys/vals gather buffers, the radix sort's ping-pong buffers and
+// per-worker histograms (via merge.Scratch), the SPA accumulator arrays,
+// the heap-merge output buffers, the fused-BFS per-worker frontier lists,
+// and — crucially for the parallel paths — the *pinned loop bodies*: func
+// values created once and re-aimed at each call's operands, so dispatching
+// through par never allocates a closure.
+//
+// The handle itself is type-erased; per-element-type state lives in arenas
+// keyed by the element type's zero value, so one Workspace serves a BFS
+// (bool), a PageRank (float64) and a parent BFS (uint32) alike.
+//
+// Lifecycle: either pin one for a whole algorithm run
+// (AcquireWorkspace/Release around the iteration loop — the pattern every
+// algorithm in pushpull/algorithms follows), or pass Opts.Ws == nil and let
+// each kernel call auto-acquire from the dimension-keyed sync.Pool. Pooled
+// reuse means steady-state calls hit warm buffers either way; pinning
+// additionally keeps results stable across the pool (kernel outputs may
+// alias workspace storage — see ColMxv) and skips the per-call pool
+// round-trip.
+//
+// A Workspace is not safe for concurrent use: it serves one kernel call at
+// a time. Concurrent algorithm runs should each pin their own.
+type Workspace struct {
+	rows, cols int
+	arenas     map[any]any // zero value of T → *arena[T]
+}
+
+// Dims reports the matrix dimensions the workspace was sized for.
+func (w *Workspace) Dims() (rows, cols int) { return w.rows, w.cols }
+
+// NewWorkspace returns an unpooled workspace for a rows×cols operator.
+// Buffers are grown lazily to the high-water mark of the calls they serve.
+func NewWorkspace(rows, cols int) *Workspace {
+	return &Workspace{rows: rows, cols: cols}
+}
+
+// wsPool keys workspaces by operator shape (see internal/pool).
+var wsPool = pool.NewDim(NewWorkspace)
+
+// AcquireWorkspace takes a workspace for a rows×cols operator from the
+// dimension-keyed pool, creating one if the pool is dry. Pair with Release.
+func AcquireWorkspace(rows, cols int) *Workspace {
+	return wsPool.Acquire(rows, cols)
+}
+
+// Release returns the workspace to its dimension pool (workspaces created
+// with NewWorkspace donate their warm buffers the same way). The caller
+// must not use it — or any kernel output that aliased its storage —
+// afterwards.
+func (w *Workspace) Release() {
+	if w == nil {
+		return
+	}
+	wsPool.Put(w.rows, w.cols, w)
+}
+
+// arenaFor returns ws's arena for element type T, creating it on first use.
+// The map key is T's zero value boxed as any; for the small scalar types
+// the kernels run over, boxing a zero hits the runtime's static cache and
+// does not allocate.
+func arenaFor[T comparable](ws *Workspace) *arena[T] {
+	if ws == nil {
+		return nil
+	}
+	var zero T
+	key := any(zero)
+	if a, ok := ws.arenas[key]; ok {
+		return a.(*arena[T])
+	}
+	a := &arena[T]{}
+	if ws.arenas == nil {
+		ws.arenas = make(map[any]any, 2)
+	}
+	ws.arenas[key] = a
+	return a
+}
+
+// arena is the per-element-type scratch block. Buffer fields persist and
+// grow to the high-water mark; the embedded loop-state structs additionally
+// pin the par loop bodies so parallel dispatch is closure-allocation-free.
+type arena[T comparable] struct {
+	ms merge.Scratch[T] // radix ping-pong buffers + histograms + pass bodies
+
+	lengths []int    // push: per-column lengths, then exclusive-scanned offsets
+	keys    []uint32 // push: gathered key concatenation (radix-sorted in place)
+	vals    []T      // push: gathered value concatenation
+	outInd  []uint32 // heap merge / SPA output indices
+	outVal  []T      // heap merge / SPA / structure-only output values
+
+	acc     []T      // SPA accumulator (cols-sized)
+	seen    []bool   // SPA presence (cols-sized, kept all-false between calls)
+	touched []uint32 // SPA touched-index list
+
+	row   rowLoop[T]
+	col   colLoop[T]
+	fused fusedLoop[T]
+
+	spaCols int        // dimension the mxm scratch pool was built for
+	spaPool *sync.Pool // per-worker SpGEMM accumulators, persistent across calls
+}
+
+// grow returns buf resized to n, reallocating only past the high-water
+// mark.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// rowLoop pins the row (pull) kernels' parallel bodies. Operands are staged
+// in the struct before dispatch and cleared after, so the pooled workspace
+// never retains caller memory between calls.
+type rowLoop[T comparable] struct {
+	w        []T
+	wPresent []bool
+	g        *sparse.CSR[T]
+	uVal     []T
+	uPresent []bool
+	mask     MaskView
+	sr       SR[T]
+	opts     Opts
+	nvals    atomic.Int64
+
+	run     func(lo, hi int) // unmasked: every row
+	runMask func(lo, hi int) // masked: bitmap scan
+	runList func(lo, hi int) // masked: amortized allow-list
+}
+
+func (rl *rowLoop[T]) stage(w []T, wPresent []bool, g *sparse.CSR[T], uVal []T, uPresent []bool, mask MaskView, sr SR[T], opts Opts) {
+	rl.w, rl.wPresent, rl.g = w, wPresent, g
+	rl.uVal, rl.uPresent = uVal, uPresent
+	rl.mask, rl.sr, rl.opts = mask, sr, opts
+	rl.nvals.Store(0)
+}
+
+func (rl *rowLoop[T]) clear() {
+	rl.w, rl.wPresent, rl.g = nil, nil, nil
+	rl.uVal, rl.uPresent = nil, nil
+	rl.mask = MaskView{}
+	rl.sr = SR[T]{}
+}
+
+func (rl *rowLoop[T]) ensure() {
+	if rl.run != nil {
+		return
+	}
+	// Each body hoists the staged operands into locals once per chunk so
+	// the per-row loop runs on registers, not through the struct pointer.
+	rl.run = func(lo, hi int) {
+		w, wPresent, g := rl.w, rl.wPresent, rl.g
+		uVal, uPresent, sr, opts := rl.uVal, rl.uPresent, rl.sr, rl.opts
+		c := 0
+		for i := lo; i < hi; i++ {
+			if rowAccumulate(w, wPresent, g, i, uVal, uPresent, sr, opts) {
+				c++
+			}
+		}
+		rl.nvals.Add(int64(c))
+	}
+	rl.runMask = func(lo, hi int) {
+		w, wPresent, g := rl.w, rl.wPresent, rl.g
+		uVal, uPresent, sr, opts := rl.uVal, rl.uPresent, rl.sr, rl.opts
+		mask := rl.mask
+		c := 0
+		for i := lo; i < hi; i++ {
+			wPresent[i] = false
+			if !mask.Allows(i) {
+				continue
+			}
+			if rowAccumulate(w, wPresent, g, i, uVal, uPresent, sr, opts) {
+				c++
+			}
+		}
+		rl.nvals.Add(int64(c))
+	}
+	rl.runList = func(lo, hi int) {
+		w, wPresent, g := rl.w, rl.wPresent, rl.g
+		uVal, uPresent, sr, opts := rl.uVal, rl.uPresent, rl.sr, rl.opts
+		list := rl.mask.List
+		c := 0
+		for k := lo; k < hi; k++ {
+			i := int(list[k])
+			wPresent[i] = false
+			if rowAccumulate(w, wPresent, g, i, uVal, uPresent, sr, opts) {
+				c++
+			}
+		}
+		rl.nvals.Add(int64(c))
+	}
+}
+
+// colLoop pins the column (push) kernel's size and gather bodies.
+type colLoop[T comparable] struct {
+	lengths []int
+	cscG    *sparse.CSR[T]
+	uInd    []uint32
+	uVal    []T
+	keys    []uint32
+	vals    []T
+	sr      SR[T]
+
+	size        func(lo, hi int)
+	gatherKeys  func(lo, hi int)
+	gatherPairs func(lo, hi int)
+}
+
+func (cl *colLoop[T]) clear() {
+	cl.cscG, cl.uInd, cl.uVal = nil, nil, nil
+	cl.keys, cl.vals, cl.lengths = nil, nil, nil
+	cl.sr = SR[T]{}
+}
+
+func (cl *colLoop[T]) ensure() {
+	if cl.size != nil {
+		return
+	}
+	cl.size = func(lo, hi int) {
+		lengths, cscG, uInd := cl.lengths, cl.cscG, cl.uInd
+		for i := lo; i < hi; i++ {
+			lengths[i] = cscG.RowLen(int(uInd[i]))
+		}
+	}
+	cl.gatherKeys = func(lo, hi int) {
+		lengths, cscG, uInd, keys := cl.lengths, cl.cscG, cl.uInd, cl.keys
+		for i := lo; i < hi; i++ {
+			ind, _ := cscG.RowSpan(int(uInd[i]))
+			copy(keys[lengths[i]:], ind)
+		}
+	}
+	cl.gatherPairs = func(lo, hi int) {
+		lengths, cscG, uInd, keys := cl.lengths, cl.cscG, cl.uInd, cl.keys
+		uVal, vals, mul := cl.uVal, cl.vals, cl.sr.Mul
+		for i := lo; i < hi; i++ {
+			ind, val := cscG.RowSpan(int(uInd[i]))
+			off := lengths[i]
+			x := uVal[i]
+			for j := range ind {
+				keys[off+j] = ind[j]
+				vals[off+j] = mul(val[j], x)
+			}
+		}
+	}
+}
+
+// fusedLoop pins the fused pull step's span body and owns the fused BFS's
+// per-worker output/keep lists plus the ping-pong frontier buffers (two, so
+// a step may read the previous frontier while building the next).
+type fusedLoop[T comparable] struct {
+	g         *sparse.CSR[T]
+	visited   []bool
+	unvisited []uint32
+	depths    []int32
+	depth     int32
+	outs      [][]uint32
+	keeps     [][]uint32
+
+	body func(w, lo, hi int)
+
+	frontA, frontB []uint32
+	useB           bool
+}
+
+func (fl *fusedLoop[T]) clear() {
+	fl.g, fl.visited, fl.unvisited, fl.depths = nil, nil, nil, nil
+}
+
+// nextFront returns the frontier buffer to fill this step, alternating so
+// the previous step's returned frontier stays intact.
+func (fl *fusedLoop[T]) nextFront() []uint32 {
+	fl.useB = !fl.useB
+	if fl.useB {
+		return fl.frontB[:0]
+	}
+	return fl.frontA[:0]
+}
+
+func (fl *fusedLoop[T]) storeFront(f []uint32) {
+	if fl.useB {
+		fl.frontB = f
+	} else {
+		fl.frontA = f
+	}
+}
+
+func (fl *fusedLoop[T]) ensure() {
+	if fl.body != nil {
+		return
+	}
+	fl.body = func(w, lo, hi int) {
+		g, visited, unvisited, depths, depth := fl.g, fl.visited, fl.unvisited, fl.depths, fl.depth
+		out := fl.outs[w][:0]
+		keep := fl.keeps[w][:0]
+		for i := lo; i < hi; i++ {
+			v := unvisited[i]
+			if visited[v] {
+				continue // stale entry left by a skipped push-side compaction
+			}
+			ind := g.Ind[g.Ptr[v]:g.Ptr[v+1]]
+			found := false
+			for _, u := range ind {
+				if visited[u] {
+					found = true
+					break // early exit: first parent suffices
+				}
+			}
+			if found {
+				depths[v] = depth
+				out = append(out, v)
+			} else {
+				keep = append(keep, v)
+			}
+		}
+		fl.outs[w] = out
+		fl.keeps[w] = keep
+	}
+}
+
+// spaScratchPool returns the arena's persistent pool of per-worker SpGEMM
+// accumulators for a cols-wide output, rebuilding it if the shape changed.
+func (a *arena[T]) spaScratchPool(cols int) *sync.Pool {
+	if a.spaPool == nil || a.spaCols != cols {
+		a.spaCols = cols
+		a.spaPool = &sync.Pool{New: func() any {
+			return &spaScratch[T]{
+				acc:     make([]T, cols),
+				allowed: make([]bool, cols),
+				hit:     make([]bool, cols),
+			}
+		}}
+	}
+	return a.spaPool
+}

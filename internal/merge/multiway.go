@@ -49,14 +49,27 @@ func MultiwayMergePairs[V any](keys []uint32, vals []V, offsets []int, combine f
 	if k <= 0 {
 		return nil, nil
 	}
+	total := offsets[k] - offsets[0]
+	return MultiwayMergePairsInto(make([]uint32, 0, total), make([]V, 0, total), keys, vals, offsets, combine)
+}
+
+// MultiwayMergePairsInto is MultiwayMergePairs appending into
+// caller-provided output slices (truncated first), letting workspace-backed
+// kernels reuse output storage across calls. outK/outV should have capacity
+// for the merged size to avoid growth.
+func MultiwayMergePairsInto[V any](outK []uint32, outV []V, keys []uint32, vals []V, offsets []int, combine func(V, V) V) ([]uint32, []V) {
+	k := len(offsets) - 1
+	if k <= 0 {
+		return outK[:0], outV[:0]
+	}
 	h := newRunHeap(k)
 	for r := 0; r < k; r++ {
 		if offsets[r] < offsets[r+1] {
 			h.push(runCursor{key: keys[offsets[r]], pos: offsets[r], end: offsets[r+1]})
 		}
 	}
-	outK := make([]uint32, 0, offsets[k]-offsets[0])
-	outV := make([]V, 0, offsets[k]-offsets[0])
+	outK = outK[:0]
+	outV = outV[:0]
 	for h.len() > 0 {
 		c := h.pop()
 		if n := len(outK); n > 0 && outK[n-1] == c.key {

@@ -95,9 +95,14 @@ func SortPairsSequential[V any](keys []uint32, vals []V, maxKey uint32) {
 const parallelSortThreshold = 1 << 15
 
 func sortKeysSeq(keys []uint32, maxKey uint32) {
-	n := len(keys)
+	sortKeysSeqInto(keys, make([]uint32, len(keys)), maxKey)
+}
+
+// sortKeysSeqInto is the sequential LSD sort with a caller-provided
+// ping-pong buffer (len(tmp) == len(keys)); the sorted result always ends
+// up in keys.
+func sortKeysSeqInto(keys, tmp []uint32, maxKey uint32) {
 	passes := passesFor(maxKey)
-	tmp := make([]uint32, n)
 	src, dst := keys, tmp
 	for p := 0; p < passes; p++ {
 		shift := uint(p * digitBits)
@@ -122,10 +127,13 @@ func sortKeysSeq(keys []uint32, maxKey uint32) {
 }
 
 func sortPairsSeq[V any](keys []uint32, vals []V, maxKey uint32) {
-	n := len(keys)
+	sortPairsSeqInto(keys, vals, make([]uint32, len(keys)), make([]V, len(vals)), maxKey)
+}
+
+// sortPairsSeqInto is the sequential key-value LSD sort with caller-provided
+// ping-pong buffers; the sorted result always ends up in keys/vals.
+func sortPairsSeqInto[V any](keys []uint32, vals []V, tmpK []uint32, tmpV []V, maxKey uint32) {
 	passes := passesFor(maxKey)
-	tmpK := make([]uint32, n)
-	tmpV := make([]V, n)
 	srcK, dstK := keys, tmpK
 	srcV, dstV := vals, tmpV
 	for p := 0; p < passes; p++ {

@@ -1,0 +1,233 @@
+package merge
+
+import "pushpull/internal/par"
+
+// Scratch is the merge substrate's reusable workspace: the radix sort's
+// ping-pong buffers, the per-worker digit histograms of the parallel sort,
+// and the pinned per-pass loop bodies that let the parallel passes run
+// through par without allocating closures. One Scratch serves one kernel
+// call at a time; internal/core's Workspace embeds one per element type so
+// iterative algorithms (BFS, PageRank) pay the buffers once per run instead
+// of once per matvec.
+//
+// The zero value is ready to use; buffers grow to the high-water mark and
+// stay there.
+type Scratch[V any] struct {
+	keyTmp []uint32
+	valTmp []V
+	hist   [][radix]int
+
+	pass passState[V]
+}
+
+// passState carries one radix pass's inputs to the pinned loop bodies.
+// The func fields are created once and reused: they read their operands
+// from the struct, so per-pass setup is plain field assignment and the
+// par dispatch allocates nothing.
+type passState[V any] struct {
+	srcK, dstK []uint32
+	srcV, dstV []V
+	shift      uint
+	hist       [][radix]int
+
+	histBody  func(w, lo, hi int)
+	scatKBody func(w, lo, hi int)
+	scatPBody func(w, lo, hi int)
+}
+
+// KeyBuf returns a length-n key buffer, growing the retained one if needed.
+func (s *Scratch[V]) KeyBuf(n int) []uint32 {
+	if cap(s.keyTmp) < n {
+		s.keyTmp = make([]uint32, n)
+	}
+	return s.keyTmp[:n]
+}
+
+// ValBuf returns a length-n value buffer, growing the retained one if needed.
+func (s *Scratch[V]) ValBuf(n int) []V {
+	if cap(s.valTmp) < n {
+		s.valTmp = make([]V, n)
+	}
+	return s.valTmp[:n]
+}
+
+// histograms returns at least `workers` per-worker digit histograms.
+func (s *Scratch[V]) histograms(workers int) [][radix]int {
+	if len(s.hist) < workers {
+		s.hist = make([][radix]int, workers)
+	}
+	return s.hist
+}
+
+func (s *Scratch[V]) ensurePassBodies() {
+	st := &s.pass
+	if st.histBody != nil {
+		return
+	}
+	// Bodies hoist the pass state into locals so the element loops run on
+	// registers rather than through the struct pointer.
+	st.histBody = func(w, lo, hi int) {
+		h := &st.hist[w]
+		srcK, shift := st.srcK, st.shift
+		for d := range h {
+			h[d] = 0
+		}
+		for _, k := range srcK[lo:hi] {
+			h[(k>>shift)&digitMask]++
+		}
+	}
+	st.scatKBody = func(w, lo, hi int) {
+		h := &st.hist[w]
+		srcK, dstK, shift := st.srcK, st.dstK, st.shift
+		for _, k := range srcK[lo:hi] {
+			d := (k >> shift) & digitMask
+			dstK[h[d]] = k
+			h[d]++
+		}
+	}
+	st.scatPBody = func(w, lo, hi int) {
+		h := &st.hist[w]
+		srcK, dstK, shift := st.srcK, st.dstK, st.shift
+		srcV, dstV := st.srcV, st.dstV
+		for i := lo; i < hi; i++ {
+			k := srcK[i]
+			d := (k >> shift) & digitMask
+			dstK[h[d]] = k
+			dstV[h[d]] = srcV[i]
+			h[d]++
+		}
+	}
+}
+
+// SortKeysWith is SortKeys backed by reusable scratch storage: the ping-pong
+// buffer and (for the parallel path) the histograms and loop bodies come
+// from s, so steady-state calls allocate nothing. A nil s falls back to
+// SortKeys.
+func SortKeysWith[V any](keys []uint32, maxKey uint32, s *Scratch[V]) {
+	if s == nil {
+		SortKeys(keys, maxKey)
+		return
+	}
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	tmp := s.KeyBuf(n)
+	if n < parallelSortThreshold || par.MaxWorkers() == 1 {
+		sortKeysSeqInto(keys, tmp, maxKey)
+		return
+	}
+	sortKeysParWith(keys, tmp, maxKey, s)
+}
+
+// SortPairsWith is SortPairs backed by reusable scratch storage. A nil s
+// falls back to SortPairs.
+func SortPairsWith[V any](keys []uint32, vals []V, maxKey uint32, s *Scratch[V]) {
+	if s == nil {
+		SortPairs(keys, vals, maxKey)
+		return
+	}
+	n := len(keys)
+	if n != len(vals) {
+		panic("merge: keys/vals length mismatch")
+	}
+	if n < 2 {
+		return
+	}
+	tmpK := s.KeyBuf(n)
+	tmpV := s.ValBuf(n)
+	if n < parallelSortThreshold || par.MaxWorkers() == 1 {
+		sortPairsSeqInto(keys, vals, tmpK, tmpV, maxKey)
+		return
+	}
+	sortPairsParWith(keys, vals, tmpK, tmpV, maxKey, s)
+}
+
+// SortKeysSequentialWith is SortKeysSequential backed by scratch storage:
+// the single-threaded path regardless of the worker bound, for instrumented
+// or deterministic runs. A nil s falls back to SortKeysSequential.
+func SortKeysSequentialWith[V any](keys []uint32, maxKey uint32, s *Scratch[V]) {
+	if s == nil {
+		SortKeysSequential(keys, maxKey)
+		return
+	}
+	if n := len(keys); n >= 2 {
+		sortKeysSeqInto(keys, s.KeyBuf(n), maxKey)
+	}
+}
+
+// SortPairsSequentialWith is SortPairsSequential backed by scratch storage.
+// A nil s falls back to SortPairsSequential.
+func SortPairsSequentialWith[V any](keys []uint32, vals []V, maxKey uint32, s *Scratch[V]) {
+	if s == nil {
+		SortPairsSequential(keys, vals, maxKey)
+		return
+	}
+	if len(keys) != len(vals) {
+		panic("merge: keys/vals length mismatch")
+	}
+	if n := len(keys); n >= 2 {
+		sortPairsSeqInto(keys, vals, s.KeyBuf(n), s.ValBuf(n), maxKey)
+	}
+}
+
+func sortKeysParWith[V any](keys, tmp []uint32, maxKey uint32, s *Scratch[V]) {
+	n := len(keys)
+	passes := passesFor(maxKey)
+	workers := par.MaxWorkers()
+	s.ensurePassBodies()
+	st := &s.pass
+	st.hist = s.histograms(workers)
+	src, dst := keys, tmp
+	for p := 0; p < passes; p++ {
+		st.shift = uint(p * digitBits)
+		st.srcK, st.dstK = src, dst
+		used := par.ForWorker(n, st.histBody)
+		sum := 0
+		for d := 0; d < radix; d++ {
+			for w := 0; w < used; w++ {
+				st.hist[w][d], sum = sum, sum+st.hist[w][d]
+			}
+		}
+		st.srcK, st.dstK = src, dst
+		par.ForWorker(n, st.scatKBody)
+		src, dst = dst, src
+	}
+	if passes%2 == 1 {
+		copy(keys, src)
+	}
+	st.srcK, st.dstK = nil, nil
+}
+
+func sortPairsParWith[V any](keys []uint32, vals []V, tmpK []uint32, tmpV []V, maxKey uint32, s *Scratch[V]) {
+	n := len(keys)
+	passes := passesFor(maxKey)
+	workers := par.MaxWorkers()
+	s.ensurePassBodies()
+	st := &s.pass
+	st.hist = s.histograms(workers)
+	srcK, dstK := keys, tmpK
+	srcV, dstV := vals, tmpV
+	for p := 0; p < passes; p++ {
+		st.shift = uint(p * digitBits)
+		st.srcK, st.dstK = srcK, dstK
+		used := par.ForWorker(n, st.histBody)
+		sum := 0
+		for d := 0; d < radix; d++ {
+			for w := 0; w < used; w++ {
+				st.hist[w][d], sum = sum, sum+st.hist[w][d]
+			}
+		}
+		st.srcK, st.dstK = srcK, dstK
+		st.srcV, st.dstV = srcV, dstV
+		par.ForWorker(n, st.scatPBody)
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	if passes%2 == 1 {
+		copy(keys, srcK)
+		copy(vals, srcV)
+	}
+	st.srcK, st.dstK = nil, nil
+	st.srcV, st.dstV = nil, nil
+}

@@ -6,6 +6,14 @@
 // CPU substitute. Kernels written against par preserve the paper's
 // scan-gather-sort structure (Algorithm 3): par.ExclusiveScan plays the role
 // of the device-wide prefix sum and par.For the role of a grid-stride loop.
+//
+// Dispatch is allocation-free in steady state: work is described by pooled
+// job records and executed by a set of persistent parked workers, so a
+// kernel invoked millions of times (the BFS/PageRank inner loop) never pays
+// a per-call goroutine spawn or closure allocation inside par itself.
+// Callers that also want zero allocations must pass long-lived func values
+// (see internal/core's Workspace, which pins its loop bodies), because a
+// func literal handed to For escapes into the job record.
 package par
 
 import (
@@ -34,15 +42,127 @@ func SetMaxWorkers(n int) int {
 func MaxWorkers() int { return int(maxWorkers.Load()) }
 
 // DefaultGrain is the minimum chunk size For assigns to a worker when the
-// caller passes grain <= 0. It is sized so per-chunk goroutine overhead is
+// caller passes grain <= 0. It is sized so per-chunk dispatch overhead is
 // negligible against even the cheapest per-element loop bodies.
 const DefaultGrain = 2048
+
+// job describes one parallel loop. Exactly one of body (dynamic chunks,
+// For) and wbody (static spans, ForWorker) is set. Jobs are pooled and
+// reference-counted: the dispatching goroutine holds one reference and each
+// queue entry holds one, so a job is recycled only after every parked
+// worker that received it has let go — which is what makes the pool safe
+// against stale queue entries without generation counters.
+type job struct {
+	refs   atomic.Int64
+	next   atomic.Int64   // next chunk/span to claim
+	wg     sync.WaitGroup // counts *chunks*, not workers: Wait returns when the loop is done even if queued entries were never picked up
+	body   func(lo, hi int)
+	wbody  func(worker, lo, hi int)
+	n      int
+	grain  int
+	chunks int
+}
+
+var jobPool = sync.Pool{New: func() any { return new(job) }}
+
+// jobs is the parked workers' shared queue. Buffered generously so
+// dispatchers never block on send: an entry is only a wake-up hint — the
+// dispatching goroutine claims chunks itself, so a hint that is never
+// serviced costs nothing but its reference.
+var (
+	jobs        chan *job
+	workersOnce sync.Once
+	spawned     atomic.Int64
+)
+
+// maxParked bounds the number of persistent worker goroutines.
+const maxParked = 256
+
+func ensureWorkers(want int) {
+	workersOnce.Do(func() { jobs = make(chan *job, 4*maxParked) })
+	if want > maxParked {
+		want = maxParked
+	}
+	for int(spawned.Load()) < want {
+		if n := spawned.Add(1); int(n) <= want {
+			go parkedWorker()
+		} else {
+			spawned.Add(-1)
+			break
+		}
+	}
+}
+
+func parkedWorker() {
+	for j := range jobs {
+		runChunks(j)
+		releaseJob(j)
+	}
+}
+
+// runChunks claims and executes chunks of j until none remain. Both the
+// dispatcher and any parked worker that received a queue entry run this, so
+// the loop completes even when every parked worker is busy elsewhere.
+func runChunks(j *job) {
+	for {
+		c := int(j.next.Add(1)) - 1
+		if c >= j.chunks {
+			return
+		}
+		if j.body != nil {
+			lo := c * j.grain
+			hi := lo + j.grain
+			if hi > j.n {
+				hi = j.n
+			}
+			j.body(lo, hi)
+		} else {
+			lo := c * j.n / j.chunks
+			hi := (c + 1) * j.n / j.chunks
+			j.wbody(c, lo, hi)
+		}
+		j.wg.Done()
+	}
+}
+
+func releaseJob(j *job) {
+	if j.refs.Add(-1) == 0 {
+		j.body, j.wbody = nil, nil
+		jobPool.Put(j)
+	}
+}
+
+// dispatch runs a prepared job: the caller participates in chunk-stealing
+// and queue entries wake up to `helpers` parked workers. It returns after
+// every chunk has executed.
+func dispatch(j *job, helpers int) {
+	ensureWorkers(helpers)
+	j.wg.Add(j.chunks)
+	j.refs.Store(1)
+	j.next.Store(0)
+	for i := 0; i < helpers; i++ {
+		j.refs.Add(1)
+		select {
+		case jobs <- j:
+		default:
+			// Queue full: the caller and already-woken workers will
+			// finish the loop on their own.
+			j.refs.Add(-1)
+			i = helpers
+		}
+	}
+	runChunks(j)
+	j.wg.Wait()
+	releaseJob(j)
+}
 
 // For executes body over [0, n) in parallel chunks of at least grain
 // elements. body receives half-open ranges [lo, hi). Chunks are distributed
 // dynamically (atomic counter) so irregular per-element costs — the norm for
 // power-law graph rows — balance across workers. For n below grain, or with
-// a single worker, body runs inline on the caller's goroutine.
+// a single worker, body runs inline on the caller's goroutine. The caller
+// always participates in execution, so For completes even if every parked
+// worker is busy.
 func For(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -59,35 +179,23 @@ func For(n, grain int, body func(lo, hi int)) {
 	if workers > chunks {
 		workers = chunks
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= chunks {
-					return
-				}
-				lo := c * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	j := jobPool.Get().(*job)
+	j.body, j.wbody = body, nil
+	j.n, j.grain, j.chunks = n, grain, chunks
+	dispatch(j, workers-1)
 }
 
 // ForWorker statically partitions [0, n) into one contiguous span per
 // worker and runs body(worker, lo, hi) on each. Unlike For, the worker
-// index is stable, which lets bodies accumulate into per-worker scratch
-// (histograms, partial sums) without atomics. It returns the number of
-// workers actually used; spans are empty-free (every worker gets >= 1
+// index is stable and unique per span, which lets bodies accumulate into
+// per-worker scratch (histograms, partial sums) without atomics. It returns
+// the number of spans used; spans are empty-free (every span gets >= 1
 // element) so callers may size scratch by the return value.
+//
+// Spans are claimed dynamically from the same queue as For's chunks: the
+// index identifies the *span* (and its scratch slot), not the OS thread, so
+// correctness does not depend on a particular number of goroutines being
+// free.
 func ForWorker(n int, body func(worker, lo, hi int)) int {
 	if n <= 0 {
 		return 0
@@ -100,17 +208,10 @@ func ForWorker(n int, body func(worker, lo, hi int)) int {
 		body(0, 0, n)
 		return 1
 	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			lo := w * n / workers
-			hi := (w + 1) * n / workers
-			body(w, lo, hi)
-		}(w)
-	}
-	wg.Wait()
+	j := jobPool.Get().(*job)
+	j.body, j.wbody = nil, body
+	j.n, j.grain, j.chunks = n, 0, workers
+	dispatch(j, workers-1)
 	return workers
 }
 
@@ -130,12 +231,7 @@ func ExclusiveScan(xs []int) int {
 	workers := MaxWorkers()
 	const minParallelScan = 1 << 14
 	if workers == 1 || n < minParallelScan {
-		sum := 0
-		for i, x := range xs {
-			xs[i] = sum
-			sum += x
-		}
-		return sum
+		return ExclusiveScanSequential(xs)
 	}
 	blockSums := make([]int, workers)
 	used := ForWorker(n, func(w, lo, hi int) {
@@ -156,6 +252,18 @@ func ExclusiveScan(xs []int) int {
 		}
 	})
 	return total
+}
+
+// ExclusiveScanSequential is the single-threaded scan. Workspace-backed
+// kernels use it directly: the scan is O(nnz(f)) against the gather/sort
+// work's O(d·nnz(f)·logM), and the sequential form needs no scratch.
+func ExclusiveScanSequential(xs []int) int {
+	sum := 0
+	for i, x := range xs {
+		xs[i] = sum
+		sum += x
+	}
+	return sum
 }
 
 // Sum returns the sum of xs, computed in parallel for large inputs.
