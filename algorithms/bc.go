@@ -42,7 +42,7 @@ func BetweennessCentrality(a *graphblas.Matrix[bool], sources []int) ([]float64,
 		var levels []*graphblas.Vector[float64]
 		sigma := make([]float64, n)
 		visited := graphblas.NewVector[bool](n)
-		visited.ToDense()
+		visited.ToBitmap()
 		_ = visited.SetElement(s, true)
 		sigma[s] = 1
 

@@ -43,8 +43,9 @@ type BFSOptions struct {
 	// the masked pull pays an O(M) bitmap scan per iteration (the
 	// Section 3.2 amortization off).
 	DisableMaskAmortize bool
-	// SwitchPoint overrides the direction switch-point ratio (default
-	// 0.01, the paper's α = β).
+	// SwitchPoint, when positive, selects the paper's legacy nnz/n ratio
+	// rule at that crossover instead of the default edge-based cost model
+	// (the direction planner). Zero means plan by cost.
 	SwitchPoint float64
 	// Merge selects the push-phase merge strategy.
 	Merge graphblas.MergeStrategy
@@ -66,13 +67,20 @@ func AllOff() BFSOptions {
 }
 
 // IterStats records one BFS iteration for tracing and the Figure 5/6
-// experiments.
+// experiments. PushCost/PullCost are the direction planner's estimates for
+// the iteration (zero when the direction was forced rather than planned)
+// and FrontierFormat is the storage format the produced frontier landed
+// in, so traces witness both the decision evidence and the bitmap
+// frontiers it yields.
 type IterStats struct {
-	Iteration    int
-	Direction    core.Direction
-	FrontierNNZ  int
-	UnvisitedNNZ int
-	Duration     time.Duration
+	Iteration      int
+	Direction      core.Direction
+	FrontierNNZ    int
+	UnvisitedNNZ   int
+	Duration       time.Duration
+	PushCost       float64
+	PullCost       float64
+	FrontierFormat graphblas.Format
 }
 
 // BFSResult carries the outputs of a traversal.
@@ -101,12 +109,14 @@ func (r BFSResult) MTEPS(d time.Duration) float64 {
 // BFS runs Algorithm 1 — the single-formula direction-optimized BFS
 // f ← Aᵀf .* ¬v over the Boolean semiring — from the given source.
 //
-// The traversal keeps three pieces of state: the frontier f (dual-format
-// Boolean vector whose storage format *is* the push/pull decision), the
-// depth vector v (updated with masked scalar assign, Algorithm 1 Line 7),
-// and the visited pattern used as mask and, with operand reuse, as the
-// pull input. Direction choice follows the Section 6.3 heuristic with
-// hysteresis via core.SwitchState.
+// The traversal keeps three pieces of state: the frontier f (a
+// three-format Boolean vector: sparse while pushing, bitmap once the
+// planner pulls), the depth vector v (updated with masked scalar assign,
+// Algorithm 1 Line 7), and the visited pattern kept in bitmap form as the
+// mask and, with operand reuse, as the pull input. Direction choice comes
+// from the graphblas.Planner: the edge-based cost model by default
+// (frontier out-degrees vs masked pull rows, hysteresis on the frontier
+// trend), or the legacy ratio rule when opt.SwitchPoint is set.
 func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, error) {
 	n := a.NRows()
 	if a.NCols() != n {
@@ -122,7 +132,7 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 		return BFSResult{}, err
 	}
 	visited := graphblas.NewVector[bool](n) // mask + operand-reuse input
-	visited.ToDense()
+	visited.ToBitmap()
 	if err := visited.SetElement(source, true); err != nil {
 		return BFSResult{}, err
 	}
@@ -144,14 +154,10 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 		}
 	}
 
-	var state core.SwitchState
+	planner := graphblas.NewPlanner(a, true, opt.SwitchPoint)
 	dir := core.Push
 	depth := int32(0)
 	res := BFSResult{Visited: 1, EdgesTraversed: int64(len(firstRow(a, source)))}
-	sp := opt.SwitchPoint
-	if sp <= 0 {
-		sp = graphblas.DefaultSwitchPoint
-	}
 
 	// One workspace and one descriptor serve the whole traversal: after
 	// the first couple of levels every buffer in the stack is warm and an
@@ -171,13 +177,23 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 		depth++
 		res.Iterations++
 
+		var plan core.Plan
 		switch {
 		case opt.ForcePull:
 			dir = core.Pull
 		case opt.DisableDirectionOpt:
 			dir = core.Push
 		default:
-			dir = state.Decide(f.NVals(), n, dir, sp)
+			// Plan the direction: exact frontier out-degrees when f is
+			// sparse (read off CSC.Ptr in O(nnz(f))), the nnz·d̄ estimate
+			// otherwise, against pull's unvisited-row count.
+			frontierInd, _ := f.SparseIndices()
+			maskAllowed := -1
+			if !opt.DisableMasking {
+				maskAllowed = n - res.Visited
+			}
+			plan = planner.Plan(frontierInd, f.NVals(), maskAllowed)
+			dir = plan.Dir
 		}
 
 		if dir == core.Push {
@@ -248,11 +264,14 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 
 		if opt.Trace != nil {
 			opt.Trace(IterStats{
-				Iteration:    res.Iterations,
-				Direction:    dir,
-				FrontierNNZ:  f.NVals(),
-				UnvisitedNNZ: n - res.Visited,
-				Duration:     time.Since(iterStart),
+				Iteration:      res.Iterations,
+				Direction:      dir,
+				FrontierNNZ:    f.NVals(),
+				UnvisitedNNZ:   n - res.Visited,
+				Duration:       time.Since(iterStart),
+				PushCost:       plan.PushCost,
+				PullCost:       plan.PullCost,
+				FrontierFormat: f.Format(),
 			})
 		}
 	}

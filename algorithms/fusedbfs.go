@@ -17,6 +17,10 @@ import (
 // ablation benchmark quantifies what fusion is worth on top of Algorithm 1.
 //
 // Results are identical to BFS; only the execution schedule differs.
+//
+// switchPoint == 0 plans directions with the edge-based cost model (the
+// same rule BFS defaults to); a positive value selects the legacy nnz/n
+// ratio rule at that crossover.
 func FusedBFS(a *graphblas.Matrix[bool], source int, switchPoint float64) (BFSResult, error) {
 	n := a.NRows()
 	if a.NCols() != n {
@@ -24,9 +28,6 @@ func FusedBFS(a *graphblas.Matrix[bool], source int, switchPoint float64) (BFSRe
 	}
 	if source < 0 || source >= n {
 		return BFSResult{}, fmt.Errorf("algorithms: FusedBFS source %d out of range [0,%d)", source, n)
-	}
-	if switchPoint <= 0 {
-		switchPoint = graphblas.DefaultSwitchPoint
 	}
 	// CSR(Aᵀ) for pull, CSC(Aᵀ)=CSR(A) for push.
 	pullG := a.CSC()
@@ -53,12 +54,26 @@ func FusedBFS(a *graphblas.Matrix[bool], source int, switchPoint float64) (BFSRe
 	ws := core.AcquireWorkspace(pullG.Rows, pullG.Cols)
 	defer ws.Release()
 
-	var state core.SwitchState
+	var state core.PlanState
+	avgDeg := core.AvgRowDegree(pullG.NNZ(), pullG.Rows)
 	dir := core.Push
 	res := BFSResult{Visited: 1, EdgesTraversed: int64(pushG.RowLen(source))}
 	for depth := int32(1); len(frontier) > 0; depth++ {
 		res.Iterations++
-		dir = state.Decide(len(frontier), n, dir, switchPoint)
+		pushEdges := 0
+		for _, v := range frontier {
+			pushEdges += pushG.RowLen(int(v))
+		}
+		plan := core.DecideDirection(core.PlanInput{
+			NNZ:           len(frontier),
+			N:             n,
+			OutRows:       n,
+			PushEdges:     float64(pushEdges),
+			AvgDeg:        avgDeg,
+			MaskAllowFrac: float64(n-res.Visited) / float64(n),
+			SwitchPoint:   switchPoint,
+		}, &state)
+		dir = plan.Dir
 		if dir == core.Pull {
 			frontier, unvisited = core.FusedPullStep(pullG, visited, unvisited, depths, depth, ws)
 		} else {

@@ -103,24 +103,17 @@ func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (Pa
 	wm := graphblas.NewMatrixFromCSR(weighted)
 	sr := graphblas.PlusTimesFloat64()
 
+	// The ranks vector is value-complete, so it lives in the true Dense
+	// format: the pull kernel consumes it through a presence-free view and
+	// its inner loop skips the probe entirely.
 	ranks := graphblas.NewVector[float64](n)
-	ranks.ToDense()
-	rv, rp := ranks.DenseView()
-	for i := 0; i < n; i++ {
-		rv[i] = 1 / float64(n)
-		rp[i] = true
-	}
-	refreshNVals(ranks)
+	ranks.Fill(1 / float64(n))
+	rv, _ := ranks.DenseView()
 
 	next := graphblas.NewVector[float64](n)
 	active := graphblas.NewVector[bool](n) // adaptive mask: still-moving rows
-	active.ToDense()
-	av, ap := active.DenseView()
-	for i := 0; i < n; i++ {
-		av[i] = true
-		ap[i] = true
-	}
-	refreshNVals(active)
+	active.Fill(true)
+	_, ap := active.DenseView()
 	activeRows := n
 	streak := make([]int, n) // consecutive sub-threshold deltas per vertex
 

@@ -34,7 +34,7 @@ func ParentBFS(a *graphblas.Matrix[bool], source int) ([]int64, error) {
 	parents[source] = int64(source)
 
 	visited := graphblas.NewVector[bool](n)
-	visited.ToDense()
+	visited.ToBitmap()
 	if err := visited.SetElement(source, true); err != nil {
 		return nil, err
 	}
@@ -83,14 +83,13 @@ func boolToIDCSR(a *graphblas.Matrix[bool]) *sparse.CSR[uint32] {
 	}
 }
 
-// boolFromPattern builds a Boolean vector with u's pattern.
+// boolFromPattern builds a Boolean vector with u's pattern, without
+// disturbing u's storage format (bitmap frontiers stay bitmap).
 func boolFromPattern(u *graphblas.Vector[uint32]) *graphblas.Vector[bool] {
 	out := graphblas.NewVector[bool](u.Size())
-	ind, _ := u.SparseView()
-	vals := make([]bool, len(ind))
-	for i := range vals {
-		vals[i] = true
-	}
-	_ = out.Build(ind, vals, nil)
+	u.Iterate(func(i int, _ uint32) bool {
+		_ = out.SetElement(i, true)
+		return true
+	})
 	return out
 }

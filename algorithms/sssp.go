@@ -14,11 +14,13 @@ type SSSPOptions struct {
 	// PushOnly pins the relaxation to the column-based kernel, disabling
 	// the 2-phase direction optimization of Section 5.6.
 	PushOnly bool
-	// SwitchPoint overrides the direction switch-point ratio. The default
-	// is DefaultSSSPSwitchPoint, not the BFS value: SSSP's pull phase is
-	// *unmasked* (no a-priori output sparsity exists for relaxation), so
-	// its break-even against push sits near nnz(f)·log nnz(f) ≈ M rather
-	// than the 1% that masked BFS pull enjoys.
+	// SwitchPoint, when positive, selects the legacy active-fraction ratio
+	// rule at that crossover (DefaultSSSPSwitchPoint is the historical
+	// value). Zero selects the edge-based cost model, which prices SSSP's
+	// *unmasked* pull phase at the full M·d̄ — no a-priori output sparsity
+	// exists for relaxation — so the break-even naturally sits near
+	// nnz(f)·d̄·log nnz(f) ≈ M·d̄ rather than the 1% that masked BFS pull
+	// enjoys.
 	SwitchPoint float64
 	// Trace, when non-nil, receives one record per relaxation round.
 	Trace func(IterStats)
@@ -61,12 +63,8 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 	}
 	cand := graphblas.NewVector[float64](n)
 
-	var state core.SwitchState
+	planner := graphblas.NewPlanner(a, true, opt.SwitchPoint)
 	dir := core.Push
-	sp := opt.SwitchPoint
-	if sp <= 0 {
-		sp = DefaultSSSPSwitchPoint
-	}
 
 	// One workspace and descriptor for the whole relaxation loop.
 	ws := graphblas.AcquireWorkspace(n, n)
@@ -78,8 +76,10 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 		if opt.PushOnly {
 			dir = core.Push
 		} else if dir == core.Push {
-			// 2-phase: once pull, stay pull.
-			dir = state.Decide(active.NVals(), n, dir, sp)
+			// 2-phase: once pull, stay pull (the SSSP workfront does not
+			// shrink back the way BFS's does).
+			activeInd, _ := active.SparseIndices()
+			dir = planner.Plan(activeInd, active.NVals(), -1).Dir
 		}
 		if dir == core.Push {
 			desc.Direction = graphblas.ForcePush

@@ -7,7 +7,6 @@ import (
 	"testing"
 
 	"pushpull/graphblas"
-	"pushpull/internal/core"
 )
 
 // TestBFSRepeatedRunsBitIdentical runs BFS several times back to back —
@@ -89,7 +88,7 @@ func TestBFSIterationSteadyStateAllocs(t *testing.T) {
 	}
 	f := graphblas.NewVector[bool](n)
 	visited := graphblas.NewVector[bool](n)
-	visited.ToDense()
+	visited.ToBitmap()
 	_ = visited.SetElement(0, true)
 	for v, d := range res.Depths {
 		if d == 1 {
@@ -110,14 +109,15 @@ func TestBFSIterationSteadyStateAllocs(t *testing.T) {
 	defer ws.Release()
 	desc := &graphblas.Descriptor{Transpose: true, StructureOnly: true, StructuralComplement: true, Workspace: ws}
 	out := graphblas.NewVector[bool](n)
-	var state core.SwitchState
+	planner := graphblas.NewPlanner(a, true, 0)
 
 	for _, dirCase := range []struct {
 		name string
 		dir  graphblas.Direction
 	}{{"push", graphblas.ForcePush}, {"pull", graphblas.ForcePull}} {
 		iteration := func() {
-			state.Decide(f.NVals(), n, core.Push, graphblas.DefaultSwitchPoint)
+			frontierInd, _ := f.SparseIndices()
+			planner.Plan(frontierInd, f.NVals(), len(unvisited))
 			desc.Direction = dirCase.dir
 			if dirCase.dir == graphblas.ForcePull {
 				desc.MaskAllowList = unvisited

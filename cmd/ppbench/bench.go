@@ -1,0 +1,114 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"pushpull/algorithms"
+	"pushpull/graphblas"
+	"pushpull/internal/harness"
+)
+
+// benchExperiment is the machine-trackable perf snapshot: ns/op, B/op and
+// allocs/op for the four matvec variants and a full direction-optimized
+// BFS (via testing.Benchmark, so the numbers are directly comparable with
+// `go test -bench`), plus one traced BFS run showing the direction
+// planner's per-iteration decisions — chosen direction, frontier size and
+// storage format, and the push/pull cost estimates the decision was made
+// on. With -json set this lands in BENCH_bench.json, giving CI a perf
+// trajectory across PRs.
+func benchExperiment(cfg config) error {
+	g, err := harness.KronDataset(cfg.scale).Build()
+	if err != nil {
+		return err
+	}
+	n := g.NRows()
+	sr := graphblas.OrAndBool()
+
+	// Mid-sweep operands, mirroring the Figure 2 setup: frontier at n/8,
+	// mask at n/12.
+	u := graphblas.NewVector[bool](n)
+	for i := 0; i < n; i += 8 {
+		_ = u.SetElement(i, true)
+	}
+	denseU := u.Dup()
+	denseU.ToBitmap()
+	mask := graphblas.NewVector[bool](n)
+	for i := 0; i < n; i += 12 {
+		_ = mask.SetElement(i, true)
+	}
+	mask.ToBitmap()
+	ws := graphblas.NewWorkspace(n, n)
+	w := graphblas.NewVector[bool](n)
+
+	type variant struct {
+		name string
+		run  func() error
+	}
+	pullDesc := &graphblas.Descriptor{NoAutoConvert: true, Direction: graphblas.ForcePull, Workspace: ws}
+	pushDesc := &graphblas.Descriptor{NoAutoConvert: true, Direction: graphblas.ForcePush, Workspace: ws}
+	variants := []variant{
+		{"row-nomask", func() error {
+			_, err := graphblas.MxV(w, (*graphblas.Vector[bool])(nil), nil, sr, g, denseU, pullDesc)
+			return err
+		}},
+		{"row-mask", func() error {
+			_, err := graphblas.MxV(w, mask, nil, sr, g, denseU, pullDesc)
+			return err
+		}},
+		{"col-nomask", func() error {
+			_, err := graphblas.MxV(w, (*graphblas.Vector[bool])(nil), nil, sr, g, u, pushDesc)
+			return err
+		}},
+		{"col-mask", func() error {
+			_, err := graphblas.MxV(w, mask, nil, sr, g, u, pushDesc)
+			return err
+		}},
+		{"bfs-full", func() error {
+			_, err := algorithms.BFS(g, 0, algorithms.BFSOptions{})
+			return err
+		}},
+	}
+	rows := make([][]string, 0, len(variants))
+	for _, v := range variants {
+		v := v
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := v.run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, []string{
+			v.name,
+			harness.I(int(r.NsPerOp())),
+			harness.I(int(r.AllocedBytesPerOp())),
+			harness.I(int(r.AllocsPerOp())),
+		})
+	}
+	title := fmt.Sprintf("Benchmark — matvec variants and BFS (kron scale=%d)", cfg.scale)
+	if err := emit(cfg, title, []string{"name", "ns/op", "B/op", "allocs/op"}, rows); err != nil {
+		return err
+	}
+
+	// Per-iteration direction trace of one planned BFS: the planner's cost
+	// estimates next to what it chose and what format the frontier landed
+	// in.
+	var trace [][]string
+	if _, err := algorithms.BFS(g, 0, algorithms.BFSOptions{Trace: func(s algorithms.IterStats) {
+		trace = append(trace, []string{
+			harness.I(s.Iteration),
+			s.Direction.String(),
+			harness.I(s.FrontierNNZ),
+			s.FrontierFormat.String(),
+			harness.F(s.PushCost),
+			harness.F(s.PullCost),
+			harness.F(float64(s.Duration.Nanoseconds()) / 1e6),
+		})
+	}}); err != nil {
+		return err
+	}
+	return emit(cfg, "Direction trace — planned BFS iterations",
+		[]string{"iter", "direction", "frontier", "format", "push-cost", "pull-cost", "ms"}, trace)
+}

@@ -16,7 +16,9 @@
 //	table4    framework comparison: runtime and MTEPS (the table in Figure 7)
 //	fig7      slowdown vs Gunrock, derived from table4 (Figure 7 chart)
 //	ablation  design-choice ablation: merge strategy, mask amortization, α sweep
-//	all       everything above in order
+//	bench     ns/op, B/op, allocs/op for the matvec variants and BFS, plus a
+//	          per-iteration direction trace (planner costs, frontier format)
+//	all       everything above in order (bench excluded; run it explicitly)
 //
 // Flags:
 //
@@ -26,13 +28,18 @@
 //	-points N   sweep points for table1/fig2 (default 8)
 //	-datasets s comma-separated dataset subset for table4/fig7
 //	-csv        emit CSV instead of aligned tables
+//	-json DIR   additionally write each experiment's tables as
+//	            machine-readable DIR/BENCH_<experiment>.json, so CI tracks
+//	            the perf trajectory across PRs
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"pushpull/internal/harness"
@@ -46,10 +53,11 @@ func main() {
 		points   = flag.Int("points", 8, "sweep points for table1/fig2")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset for table4/fig7")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonDir  = flag.String("json", "", "directory to write BENCH_<experiment>.json files into")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ppbench [flags] <table1|fig2|table2|table3|fig5|fig6|table4|fig7|ablation|all>")
+		fmt.Fprintln(os.Stderr, "usage: ppbench [flags] <table1|fig2|table2|table3|fig5|fig6|table4|fig7|ablation|bench|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -59,6 +67,7 @@ func main() {
 		runs:    *runs,
 		points:  *points,
 		csv:     *csv,
+		jsonDir: *jsonDir,
 		out:     os.Stdout,
 	}
 	if *datasets != "" {
@@ -74,42 +83,84 @@ type config struct {
 	scale, sources, runs, points int
 	only                         []string
 	csv                          bool
+	jsonDir                      string
 	out                          io.Writer
+	// tables accumulates every emitted table of the current experiment for
+	// the -json sink.
+	tables *[]jsonTable
+}
+
+// jsonTable is one emitted table in the machine-readable BENCH_*.json
+// output.
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 func run(experiment string, cfg config) error {
-	switch experiment {
-	case "table1":
-		return table1(cfg)
-	case "fig2":
-		return fig2(cfg)
-	case "table2":
-		return table2(cfg)
-	case "table3":
-		return table3(cfg)
-	case "fig5":
-		return fig5(cfg)
-	case "fig6":
-		return fig6(cfg)
-	case "table4":
-		return table4(cfg)
-	case "fig7":
-		return fig7(cfg)
-	case "ablation":
-		return ablation(cfg)
-	case "all":
+	if experiment == "all" {
 		for _, e := range []string{"table1", "fig2", "table2", "table3", "fig5", "fig6", "table4", "fig7", "ablation"} {
 			if err := run(e, cfg); err != nil {
 				return fmt.Errorf("%s: %w", e, err)
 			}
 		}
 		return nil
+	}
+	if cfg.jsonDir != "" {
+		cfg.tables = &[]jsonTable{}
+	}
+	var err error
+	switch experiment {
+	case "table1":
+		err = table1(cfg)
+	case "fig2":
+		err = fig2(cfg)
+	case "table2":
+		err = table2(cfg)
+	case "table3":
+		err = table3(cfg)
+	case "fig5":
+		err = fig5(cfg)
+	case "fig6":
+		err = fig6(cfg)
+	case "table4":
+		err = table4(cfg)
+	case "fig7":
+		err = fig7(cfg)
+	case "ablation":
+		err = ablation(cfg)
+	case "bench":
+		err = benchExperiment(cfg)
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
+	if err == nil && cfg.tables != nil {
+		err = writeJSON(cfg, experiment)
+	}
+	return err
+}
+
+// writeJSON persists the experiment's accumulated tables as
+// BENCH_<experiment>.json under cfg.jsonDir.
+func writeJSON(cfg config, experiment string) error {
+	payload := struct {
+		Experiment string      `json:"experiment"`
+		Scale      int         `json:"scale"`
+		Tables     []jsonTable `json:"tables"`
+	}{Experiment: experiment, Scale: cfg.scale, Tables: *cfg.tables}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(cfg.jsonDir, "BENCH_"+experiment+".json")
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func emit(cfg config, title string, headers []string, rows [][]string) error {
+	if cfg.tables != nil {
+		*cfg.tables = append(*cfg.tables, jsonTable{Title: title, Headers: headers, Rows: rows})
+	}
 	if cfg.csv {
 		return harness.RenderCSV(cfg.out, headers, rows)
 	}

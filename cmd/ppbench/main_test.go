@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -65,5 +68,61 @@ func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run("nope", tinyConfig(&buf)); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBenchEmitsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.scale = 8
+	cfg.jsonDir = t.TempDir()
+	if err := run("bench", cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.jsonDir, "BENCH_bench.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Experiment string `json:"experiment"`
+		Tables     []struct {
+			Title   string     `json:"title"`
+			Headers []string   `json:"headers"`
+			Rows    [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		t.Fatalf("BENCH_bench.json is not valid JSON: %v", err)
+	}
+	if payload.Experiment != "bench" || len(payload.Tables) != 2 {
+		t.Fatalf("unexpected payload: experiment=%q tables=%d", payload.Experiment, len(payload.Tables))
+	}
+	if got := payload.Tables[0].Headers; len(got) != 4 || got[1] != "ns/op" || got[2] != "B/op" {
+		t.Fatalf("bench table headers = %v", got)
+	}
+	if len(payload.Tables[1].Rows) == 0 {
+		t.Fatal("direction trace is empty")
+	}
+	// The trace must carry the planner's evidence: direction and format
+	// columns populated on every row.
+	for _, row := range payload.Tables[1].Rows {
+		if row[1] != "push" && row[1] != "pull" {
+			t.Fatalf("bad direction %q in trace", row[1])
+		}
+		if row[3] != "sparse" && row[3] != "bitmap" && row[3] != "dense" {
+			t.Fatalf("bad format %q in trace", row[3])
+		}
+	}
+}
+
+func TestRunJSONForTableExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.jsonDir = t.TempDir()
+	if err := run("table2", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(cfg.jsonDir, "BENCH_table2.json")); err != nil {
+		t.Fatalf("table experiment did not write JSON: %v", err)
 	}
 }

@@ -4,7 +4,11 @@
 // The importable library lives in the subpackages:
 //
 //	graphblas   GraphBLAS-style sparse linear algebra with automatic
-//	            push-pull direction optimization in MxV
+//	            push-pull direction optimization in MxV: a three-format
+//	            vector engine (sparse / bitmap / dense) behind
+//	            format-agnostic kernel views, driven by an edge-based
+//	            cost-model direction planner (see the package docs'
+//	            "Storage formats and the direction planner")
 //	algorithms  BFS (Algorithm 1), SSSP, PageRank, triangle counting,
 //	            MIS, betweenness centrality
 //	generate    RMAT/Kronecker, RGG, grid and Erdős–Rényi generators,

@@ -63,18 +63,23 @@ type Descriptor struct {
 	// to express push-pull as one formula.
 	Transpose bool
 
-	// Direction optionally forces push or pull (Optimization 1 override).
+	// Direction optionally forces push or pull, overriding the planner
+	// (Optimization 1 override).
 	Direction Direction
 
-	// SwitchPoint overrides the sparse↔dense conversion ratio; zero means
-	// DefaultSwitchPoint. This is the paper's "user can select this
-	// sparse/dense switching point by passing a floating-point value
-	// through the Descriptor".
+	// SwitchPoint, when positive, replaces the edge-based cost model with
+	// the paper's legacy nnz/n ratio rule at that crossover — the paper's
+	// "user can select this sparse/dense switching point by passing a
+	// floating-point value through the Descriptor". It also sets the
+	// storage-side sparsify threshold. Zero (the default) selects the cost
+	// model with DefaultSwitchPoint as the storage threshold.
 	SwitchPoint float64
 
-	// NoAutoConvert disables the conversion heuristic on the input vector,
-	// leaving its current format (and hence the kernel choice) untouched.
-	// The microbenchmarks use it to measure a fixed kernel across sweeps.
+	// NoAutoConvert freezes storage formats across the call: the input
+	// vector keeps its current format (which also decides the kernel when
+	// Direction is Auto) and the push output stays a sparse list instead
+	// of taking the planner's bitmap-scatter path. The microbenchmarks use
+	// it to measure a fixed kernel pipeline across sweeps.
 	NoAutoConvert bool
 
 	// StructureOnly runs kernels in pattern mode (Optimization 5): matrix
@@ -101,6 +106,13 @@ type Descriptor struct {
 	// Sequential forces single-threaded kernels (profiling/debugging).
 	Sequential bool
 
+	// Plan, when non-nil, receives the direction planner's full decision
+	// record (chosen direction, estimated push/pull costs, trend flags,
+	// rule) for each operation run with this descriptor. ppbench and the
+	// experiment harness use it to plot decision quality against measured
+	// runtimes.
+	Plan *core.Plan
+
 	// Workspace, when non-nil, pins a scratch arena across calls so
 	// iterative algorithms reach a zero-allocation steady state: gather
 	// buffers, sort scratch, mask bitmaps and accumulate targets are all
@@ -109,14 +121,6 @@ type Descriptor struct {
 	// Unlike the other fields a pinned workspace is mutable state: a
 	// descriptor carrying one must not be shared by concurrent operations.
 	Workspace *Workspace
-}
-
-// effSwitchPoint returns the switch-point honouring the zero default.
-func (d *Descriptor) effSwitchPoint() float64 {
-	if d == nil || d.SwitchPoint <= 0 {
-		return DefaultSwitchPoint
-	}
-	return d.SwitchPoint
 }
 
 // coreOpts translates the descriptor into kernel options, threading the

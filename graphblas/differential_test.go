@@ -1,0 +1,209 @@
+package graphblas
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// This file is the differential property suite for the three-format
+// storage engine: random matrices × random frontiers pushed through every
+// combination of
+//
+//	direction   ForcePush, ForcePull, Auto
+//	format      sparse, bitmap, dense (full pattern)
+//	mask        none, plain, structural complement, scmp + allow-list
+//	accumulate  nil, min
+//
+// and compared element-for-element against the dense reference
+// implementation (oracleMxV from mxv_test.go). Every pairing must agree:
+// the format-agnostic kernel views, the planner's dispatch, the sort-free
+// bitmap push output and the format-preserving accumulate all ride through
+// here.
+
+// diffCase names one (direction, format, mask, accum) combination.
+type diffCase struct {
+	dir    Direction
+	format Format
+	mask   int // 0 none, 1 plain, 2 scmp, 3 scmp+allow-list
+	accum  bool
+}
+
+func (c diffCase) String() string {
+	masks := []string{"nomask", "mask", "scmp", "scmp+list"}
+	return fmt.Sprintf("dir=%d format=%v mask=%s accum=%v", c.dir, c.format, masks[c.mask], c.accum)
+}
+
+// inFormat returns a copy of u converted to the requested storage format.
+// Dense requires a full pattern; the caller only asks for it with one.
+func inFormat(u *Vector[float64], f Format) *Vector[float64] {
+	c := u.Dup()
+	switch f {
+	case Sparse:
+		c.ToSparse()
+	case Bitmap:
+		c.ToBitmap()
+		if c.Format() == Dense {
+			// A full vector promotes; force the bitmap label back so the
+			// bitmap code paths are the ones exercised.
+			c.format = Bitmap
+		}
+	case Dense:
+		c.ToDense()
+	}
+	return c
+}
+
+func TestMxVDifferentialAllFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	s := MinPlusFloat64() // min-plus doubles as the accumulate op test bed
+	accumOp := s.Add.Op
+
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(28)
+		a := randMatrix(rng, n, n, 0.15+rng.Float64()*0.25)
+
+		// Partial frontier for sparse/bitmap, full frontier for dense.
+		uPartial := randVec(rng, n, 0.2+rng.Float64()*0.6)
+		uFull := randVec(rng, n, 1.1) // density > 1 → every element present
+
+		mask := NewVector[bool](n)
+		var allow []uint32 // complement of the mask pattern, for scmp
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				_ = mask.SetElement(i, true)
+			} else {
+				allow = append(allow, uint32(i))
+			}
+		}
+
+		w0 := randVec(rng, n, 0.3) // accumulate destination seed
+
+		for _, format := range []Format{Sparse, Bitmap, Dense} {
+			base := uPartial
+			if format == Dense {
+				base = uFull
+			}
+			for _, dir := range []Direction{ForcePush, ForcePull, Auto} {
+				for maskKind := 0; maskKind < 4; maskKind++ {
+					for _, withAccum := range []bool{false, true} {
+						tc := diffCase{dir: dir, format: format, mask: maskKind, accum: withAccum}
+						u := inFormat(base, format)
+						if u.Format() != format {
+							t.Fatalf("%v: setup produced format %v", tc, u.Format())
+						}
+
+						desc := &Descriptor{Direction: dir}
+						var m *Vector[bool]
+						scmp := false
+						switch maskKind {
+						case 1:
+							m = mask
+						case 2, 3:
+							m = mask
+							scmp = true
+							desc.StructuralComplement = true
+							if maskKind == 3 {
+								desc.MaskAllowList = allow
+							}
+						}
+
+						want := oracleMxV(a, base, m, scmp, false, s)
+						var accum BinaryOp[float64]
+						w := NewVector[float64](n)
+						if withAccum {
+							accum = accumOp
+							w = w0.Dup()
+							// Fold the oracle product into the seed by min.
+							merged := map[int]float64{}
+							w0.Iterate(func(i int, x float64) bool { merged[i] = x; return true })
+							for i, x := range want {
+								if old, ok := merged[i]; !ok || x < old {
+									merged[i] = x
+								}
+							}
+							want = merged
+						}
+
+						if _, err := MxV(w, m, accum, s, a, u, desc); err != nil {
+							t.Fatalf("trial %d %v: %v", trial, tc, err)
+						}
+						vecEquals(t, fmt.Sprintf("trial %d %v", trial, tc), w, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMxVDifferentialAccumFormatPreserved pins the satellite fix: an
+// accumulate into a small sparse destination must leave it sparse (the old
+// mergeAccum densified unconditionally), and into bitmap/dense
+// destinations must preserve those formats too.
+func TestMxVDifferentialAccumFormatPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := MinPlusFloat64()
+	n := 60
+	a := randMatrix(rng, n, n, 0.1)
+	u := randVec(rng, n, 0.1)
+
+	w := NewVector[float64](n)
+	_ = w.SetElement(3, 1)
+	if _, err := MxV(w, (*Vector[bool])(nil), s.Add.Op, s, a, u.Dup(), &Descriptor{Direction: ForcePush}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Format() != Sparse {
+		t.Fatalf("sparse accumulate target densified to %v", w.Format())
+	}
+
+	wb := NewVector[float64](n)
+	_ = wb.SetElement(3, 1)
+	wb.ToBitmap()
+	if _, err := MxV(wb, (*Vector[bool])(nil), s.Add.Op, s, a, u.Dup(), &Descriptor{Direction: ForcePush}); err != nil {
+		t.Fatal(err)
+	}
+	if wb.Format() != Bitmap {
+		t.Fatalf("bitmap accumulate target became %v", wb.Format())
+	}
+
+	wd := NewVector[float64](n)
+	wd.Fill(100)
+	if _, err := MxV(wd, (*Vector[bool])(nil), s.Add.Op, s, a, u.Dup(), &Descriptor{Direction: ForcePush}); err != nil {
+		t.Fatal(err)
+	}
+	if wd.Format() != Dense || wd.NVals() != n {
+		t.Fatalf("dense accumulate target became %v (nvals %d)", wd.Format(), wd.NVals())
+	}
+}
+
+// TestMxVBitmapPushOutput drives the sort-free push path directly: a
+// frontier dense enough that the planner estimates a dense output must
+// land the product in bitmap format under Auto, with the same elements the
+// forced sparse-output path produces.
+func TestMxVBitmapPushOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := PlusTimesFloat64()
+	n := 200
+	a := randMatrix(rng, n, n, 0.05)
+	u := randVec(rng, n, 0.5) // half the vertices: push edges ≫ n/4
+
+	want := oracleMxV(a, u, nil, false, false, s)
+
+	// Forced push with NoAutoConvert keeps the legacy sparse output.
+	wSparse := NewVector[float64](n)
+	if _, err := MxV(wSparse, (*Vector[bool])(nil), nil, s, a, u.Dup(), &Descriptor{Direction: ForcePush, NoAutoConvert: true}); err != nil {
+		t.Fatal(err)
+	}
+	vecEquals(t, "forced sparse-output push", wSparse, want)
+
+	// Forced push *with* planning allowed: the plan's PushOutBitmap fires
+	// and the output arrives in bitmap form without a radix pass.
+	wBitmap := NewVector[float64](n)
+	if _, err := MxV(wBitmap, (*Vector[bool])(nil), nil, s, a, u.Dup(), &Descriptor{Direction: ForcePush}); err != nil {
+		t.Fatal(err)
+	}
+	if wBitmap.Format() == Sparse {
+		t.Fatalf("dense push output stayed sparse; bitmap scatter did not engage")
+	}
+	vecEquals(t, "bitmap-output push", wBitmap, want)
+}

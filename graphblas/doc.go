@@ -7,10 +7,55 @@
 // operation, w⟨¬v⟩ = Aᵀ·u over a semiring, differing only in how the
 // multiply is scheduled. A sparse input vector favours the column-based
 // kernel (push, SpMSpV); a dense input with a sparse output mask favours
-// the row-based kernel (pull, masked SpMV). MxV dispatches on the input
-// vector's storage format, and Vector conversion follows the paper's
-// switch-point heuristic with hysteresis, so a BFS written as a plain loop
-// of MxV calls direction-optimizes automatically.
+// the row-based kernel (pull, masked SpMV). MxV plans the direction from
+// an edge-based cost model and the input vector's storage format follows
+// the decision, so a BFS written as a plain loop of MxV calls
+// direction-optimizes automatically.
+//
+// # Storage formats and the direction planner
+//
+// A Vector stores its elements in one of three formats, forming a lattice
+// ordered by how much structure is materialized:
+//
+//	Sparse  sorted (index, value) pairs — the push input and the sparse
+//	        push output (radix merge pipeline)
+//	Bitmap  value array + presence bitmap — O(1) probes for the pull
+//	        input, zero-copy kernel masks, and the sort-free push output
+//	Dense   value array with every position stored — the presence probe
+//	        vanishes from pull inner loops (PageRank-style vectors)
+//
+// Conversion rules: Sparse↔Bitmap moves follow the planned direction (pull
+// requires O(1) probes, so a pulled sparse vector goes bitmap; a pushed
+// bitmap vector sparsifies once it has shrunk below the switch-point while
+// shrinking — the hysteresis that keeps a frontier at the crossover from
+// flapping). Bitmap promotes to Dense for free the moment its pattern
+// fills (nvals == n) and demotes the moment an element is removed;
+// promotion never invents elements — use Fill for the explicit
+// pattern-changing densification. Kernels consume all three formats
+// through format-agnostic views (internal/core.VecView), so a mismatch
+// between storage and kernel never copies more than workspace scratch.
+//
+// Direction choice is a standalone planner, not a side effect of
+// conversion. Under Descriptor.Direction == Auto it compares
+//
+//	push cost ≈ Σ_{i∈frontier} outdeg(i) · log₂ nnz(f)   (read off CSC.Ptr)
+//	pull cost ≈ rows · avg-degree · effective-mask density
+//
+// with hysteresis on the frontier trend (grow to switch into pull, shrink
+// to switch back). When the plan estimates a push output dense enough that
+// the radix sort would dominate, the push kernel scatters straight into
+// bitmap storage instead (Plan.PushOutBitmap — no sort at all). Overrides:
+// ForcePush/ForcePull pin the kernel, a positive Descriptor.SwitchPoint
+// selects the paper's legacy nnz/n ratio rule at that crossover, and
+// NoAutoConvert freezes formats on both sides of the call. Set
+// Descriptor.Plan to capture the full decision record (costs, trend,
+// rule), or use Planner directly when an algorithm needs the direction
+// before issuing the operation (operand reuse, allow-list maintenance).
+//
+// When to force a format: keep a vector Bitmap (ToBitmap) when it is
+// reused as a mask every iteration; Fill a value-complete vector so pull
+// consumes it probe-free; leave frontiers alone — the planner settles
+// them.
 //
 // The paper's five optimizations map onto the API as follows.
 //

@@ -14,10 +14,15 @@ import (
 // where both are present.
 //
 // Direction optimization happens here. With Descriptor.Direction == Auto,
-// the input u is first run through the sparse↔dense conversion heuristic
-// (Section 6.3) and the kernel follows the storage format: dense input →
-// row-based pull, sparse input → column-based push. The chosen direction
-// is returned so callers can trace switching behaviour.
+// a standalone planner compares the estimated push cost (sum of frontier
+// out-degrees read off CSC.Ptr, times the merge's log factor) against the
+// estimated pull cost (rows × average degree, discounted by the effective
+// mask density), with hysteresis on the frontier trend; u's storage format
+// then follows the chosen direction. Descriptor.SwitchPoint selects the
+// legacy nnz/n ratio rule instead, and ForcePush/ForcePull pin the kernel
+// outright. The chosen direction is returned so callers can trace
+// switching behaviour; set Descriptor.Plan to capture the full cost
+// record.
 //
 // w may alias u and/or mask; the product is computed into fresh storage
 // and installed afterwards when aliasing requires it.
@@ -47,7 +52,10 @@ func MxV[T, M comparable](w *Vector[T], mask *Vector[M], accum BinaryOp[T], s Se
 		rowG, colG = colG, rowG
 	}
 
-	dir := chooseDirection(u, desc)
+	plan := planMxV(u, mask, desc, rowG, colG, outDim)
+	if desc != nil && desc.Plan != nil {
+		*desc.Plan = plan
+	}
 	sr := toCoreSR(s)
 
 	// Resolve the scratch workspace: the descriptor's pinned one, or a
@@ -74,16 +82,16 @@ func MxV[T, M comparable](w *Vector[T], mask *Vector[M], accum BinaryOp[T], s Se
 		// Compute the product into the workspace's scratch vector, then
 		// merge into w.
 		t := scratchVectorFor[T](ws, outDim)
-		if err = mxvInto(t, u, mask, useMask, mv, rowG, colG, dir, sr, opts, ws); err == nil {
-			err = mergeAccum(w, t, accum)
+		if err = mxvInto(t, u, useMask, mv, rowG, colG, plan, sr, opts, ws); err == nil {
+			err = mergeAccum(ws, w, t, accum)
 		}
 	} else {
-		err = mxvInto(w, u, mask, useMask, mv, rowG, colG, dir, sr, opts, ws)
+		err = mxvInto(w, u, useMask, mv, rowG, colG, plan, sr, opts, ws)
 	}
 	if pooled {
 		ws.Release()
 	}
-	return dir, err
+	return plan.Dir, err
 }
 
 // VxM computes w⟨mask⟩ = uᵀ·A (GrB_vxm), which equals Aᵀ·u; it simply
@@ -97,38 +105,117 @@ func VxM[T, M comparable](w *Vector[T], mask *Vector[M], accum BinaryOp[T], s Se
 	return MxV(w, mask, accum, s, a, u, &flipped)
 }
 
-// chooseDirection applies Optimization 1: honour a forced direction, else
-// convert u by the switch-point heuristic and follow its format.
-func chooseDirection[T comparable](u *Vector[T], desc *Descriptor) core.Direction {
+// planMxV runs the direction planner for one MxV call and settles u's
+// storage format toward the decision. Overrides keep their historical
+// meaning: ForcePush/ForcePull pin the kernel (costs are still estimated
+// for the trace), an explicit SwitchPoint selects the legacy ratio rule,
+// and NoAutoConvert freezes u's format and dispatches on it.
+func planMxV[T, M comparable](u *Vector[T], mask *Vector[M], desc *Descriptor, rowG, colG *sparse.CSR[T], outDim int) core.Plan {
+	var force *core.Direction
 	if desc != nil {
 		switch desc.Direction {
 		case ForcePush:
-			return core.Push
+			d := core.Push
+			force = &d
 		case ForcePull:
-			return core.Pull
+			d := core.Pull
+			force = &d
 		}
-		if !desc.NoAutoConvert {
-			u.convertAuto(desc.effSwitchPoint())
+	}
+	noAuto := desc != nil && desc.NoAutoConvert
+	if force == nil && noAuto {
+		// Format-follows-storage dispatch: NoAutoConvert under Auto leaves
+		// the current format (and hence the kernel) untouched.
+		dir := core.Push
+		if u.Format() != Sparse {
+			dir = core.Pull
 		}
-	} else {
-		u.convertAuto(DefaultSwitchPoint)
+		return core.Plan{Dir: dir, Rule: core.RuleFormat,
+			FrontierNNZ: u.NVals(), N: u.Size(), Growing: true, Shrinking: true}
 	}
-	if u.Format() == Dense {
-		return core.Pull
+
+	in := core.PlanInput{
+		NNZ:           u.NVals(),
+		N:             u.Size(),
+		OutRows:       outDim,
+		PushEdges:     -1,
+		AvgDeg:        core.AvgRowDegree(rowG.NNZ(), rowG.Rows),
+		MaskAllowFrac: 1,
+		Force:         force,
 	}
-	return core.Push
+	if ind, ok := u.SparseIndices(); ok {
+		// Exact frontier out-degrees off CSC.Ptr. On forced-direction calls
+		// with no plan sink the sum only feeds the bitmap-scatter decision
+		// (algorithm-level planners like BFS's have already paid the full
+		// O(nnz) pass), so stop as soon as it crosses the threshold — the
+		// decision is unchanged and the second degree scan is bounded.
+		limit := float64(len(colG.Ind)) + 1
+		if force != nil && (desc == nil || desc.Plan == nil) {
+			limit = core.BitmapOutFraction * float64(outDim)
+		}
+		edges := 0.0
+		for _, i := range ind {
+			edges += float64(colG.RowLen(int(i)))
+			if edges >= limit {
+				break
+			}
+		}
+		in.PushEdges = edges
+	}
+	if desc != nil {
+		in.SwitchPoint = desc.SwitchPoint
+	}
+	if mask != nil && outDim > 0 {
+		scmp := desc != nil && desc.StructuralComplement
+		if desc != nil && desc.MaskAllowList != nil {
+			in.MaskAllowFrac = float64(len(desc.MaskAllowList)) / float64(outDim)
+		} else {
+			frac := float64(mask.NVals()) / float64(outDim)
+			if scmp {
+				frac = 1 - frac
+			}
+			in.MaskAllowFrac = frac
+		}
+	}
+
+	// Hysteresis rides on the input vector only when the planner actually
+	// decides; forced calls neither read nor disturb it.
+	var st *core.PlanState
+	if force == nil {
+		st = &u.pstate
+	}
+	plan := core.DecideDirection(in, st)
+	if noAuto {
+		// NoAutoConvert freezes formats on both sides of the call: the
+		// input keeps its storage and the push output stays a sparse list
+		// (the microbenchmarks rely on a forced kernel meaning that exact
+		// pipeline).
+		plan.PushOutBitmap = false
+	} else if force == nil {
+		u.settleFormat(plan, effConvertPoint(desc))
+	}
+	return plan
+}
+
+// effConvertPoint returns the storage-side sparsify threshold: the
+// descriptor's SwitchPoint when set, else the paper's default.
+func effConvertPoint(desc *Descriptor) float64 {
+	if desc != nil && desc.SwitchPoint > 0 {
+		return desc.SwitchPoint
+	}
+	return DefaultSwitchPoint
 }
 
 // mxvInto runs the chosen kernel, writing the product into dst. When dst
-// aliases the kernel inputs (pull writing over its own input) the
-// workspace's scratch vector takes the write and storage is swapped in
+// aliases the kernel inputs (an output that is also the input or the mask)
+// the workspace's scratch vector takes the write and storage is swapped in
 // afterwards — the swap leaves dst's old buffers in the workspace, so
 // repeated aliased calls ping-pong between two warm buffers instead of
 // allocating.
-func mxvInto[T, M comparable](dst *Vector[T], u *Vector[T], mask *Vector[M], useMask bool, mv core.MaskView, rowG, colG *sparse.CSR[T], dir core.Direction, sr core.SR[T], opts core.Opts, ws *Workspace) error {
-	switch dir {
+func mxvInto[T comparable](dst *Vector[T], u *Vector[T], useMask bool, mv core.MaskView, rowG, colG *sparse.CSR[T], plan core.Plan, sr core.SR[T], opts core.Opts, ws *Workspace) error {
+	uv := u.kernelView()
+	switch plan.Dir {
 	case core.Pull:
-		uVal, uPresent := u.denseView()
 		target := dst
 		aliased := sameVector(dst, u) || (useMask && sharesBits(dst, mv.Bits))
 		if aliased {
@@ -137,9 +224,9 @@ func mxvInto[T, M comparable](dst *Vector[T], u *Vector[T], mask *Vector[M], use
 		wVal, wPresent := target.ensureDenseBuffers()
 		var nvals int
 		if useMask {
-			nvals = core.RowMaskedMxv(wVal, wPresent, rowG, uVal, uPresent, mv, sr, opts)
+			nvals = core.RowMaskedMxv(wVal, wPresent, rowG, uv, mv, sr, opts)
 		} else {
-			nvals = core.RowMxv(wVal, wPresent, rowG, uVal, uPresent, sr, opts)
+			nvals = core.RowMxv(wVal, wPresent, rowG, uv, sr, opts)
 		}
 		// Kernels report their output count, so no O(n) presence rescan.
 		target.setDenseCount(nvals)
@@ -147,13 +234,29 @@ func mxvInto[T, M comparable](dst *Vector[T], u *Vector[T], mask *Vector[M], use
 			swapStorage(dst, target)
 		}
 	case core.Push:
-		uInd, uVal := u.sparseView()
+		if plan.PushOutBitmap && opts.Merge == core.MergeRadix {
+			// Sort-free output: scatter products straight into bitmap
+			// storage, skipping the radix pass. Gated on the default merge
+			// strategy so the merge ablation still measures what it names.
+			target := dst
+			aliased := sameVector(dst, u) || (useMask && sharesBits(dst, mv.Bits))
+			if aliased {
+				target = scratchVectorFor[T](ws, dst.Size())
+			}
+			wVal, wPresent := target.ensureDenseBuffers()
+			nvals := core.ColMxvBitmap(wVal, wPresent, colG, uv, mv, useMask, sr, opts)
+			target.setDenseCount(nvals)
+			if aliased {
+				swapStorage(dst, target)
+			}
+			return nil
+		}
 		var ind []uint32
 		var val []T
 		if useMask {
-			ind, val = core.ColMaskedMxv(colG, uInd, uVal, mv, sr, opts)
+			ind, val = core.ColMaskedMxv(colG, uv, mv, sr, opts)
 		} else {
-			ind, val = core.ColMxv(colG, uInd, uVal, sr, opts)
+			ind, val = core.ColMxv(colG, uv, sr, opts)
 		}
 		// The kernel result aliases workspace storage (opts.Ws is always
 		// set here); copy into dst's own reusable buffers before the
@@ -166,8 +269,8 @@ func mxvInto[T, M comparable](dst *Vector[T], u *Vector[T], mask *Vector[M], use
 // sameVector reports pointer identity.
 func sameVector[T comparable](a, b *Vector[T]) bool { return a == b }
 
-// sharesBits reports whether v's dense presence array is the exact slice
-// handed out as mask bits (zero-copy masks from dense vectors).
+// sharesBits reports whether v's presence array is the exact slice handed
+// out as mask bits (zero-copy masks from bitmap/dense vectors).
 func sharesBits[T comparable](v *Vector[T], bits []bool) bool {
 	return v.dpresent != nil && len(bits) > 0 && len(v.dpresent) > 0 && &v.dpresent[0] == &bits[0]
 }
@@ -183,22 +286,63 @@ func swapStorage[T comparable](dst, src *Vector[T]) {
 }
 
 // mergeAccum folds t into w: w(i) = accum(w(i), t(i)) where both present,
-// copy where only t is present, keep where only w is.
-func mergeAccum[T comparable](w, t *Vector[T], accum BinaryOp[T]) error {
+// copy where only t is present, keep where only w is. The merge is
+// format-preserving: a bitmap or dense w is updated in place, and a sparse
+// w merges the two sorted streams into the workspace's accumulate scratch
+// and swaps — it is never densified, so a small sparse accumulator target
+// keeps its format (and its conversion hysteresis) across accumulating
+// calls.
+func mergeAccum[T comparable](ws *Workspace, w, t *Vector[T], accum BinaryOp[T]) error {
 	if t.NVals() == 0 {
 		return nil
 	}
-	wVal, wPresent := w.denseView()
+	if w.format != Sparse {
+		wVal, wPresent := w.dval, w.dpresent
+		t.Iterate(func(i int, x T) bool {
+			if wPresent[i] {
+				wVal[i] = accum(wVal[i], x)
+			} else {
+				w.format = Bitmap // pattern grew: settle below
+				wVal[i] = x
+				wPresent[i] = true
+				w.nvals++
+			}
+			return true
+		})
+		w.maybePromoteFull()
+		return nil
+	}
+	// Sparse w: two-pointer merge of w's sorted list with t's ascending
+	// iteration, built in the accumulate scratch vector and swapped in.
+	out := accumScratchFor[T](ws, w.n)
+	oInd := out.ind[:0]
+	oVal := out.val[:0]
+	wi := 0
 	t.Iterate(func(i int, x T) bool {
-		if wPresent[i] {
-			wVal[i] = accum(wVal[i], x)
+		for wi < len(w.ind) && int(w.ind[wi]) < i {
+			oInd = append(oInd, w.ind[wi])
+			oVal = append(oVal, w.val[wi])
+			wi++
+		}
+		if wi < len(w.ind) && int(w.ind[wi]) == i {
+			oInd = append(oInd, w.ind[wi])
+			oVal = append(oVal, accum(w.val[wi], x))
+			wi++
 		} else {
-			wVal[i] = x
-			wPresent[i] = true
-			w.nvals++
+			oInd = append(oInd, uint32(i))
+			oVal = append(oVal, x)
 		}
 		return true
 	})
+	oInd = append(oInd, w.ind[wi:]...)
+	oVal = append(oVal, w.val[wi:]...)
+	out.ind, out.val = oInd, oVal
+	out.format = Sparse
+	out.nvals = 0
+	if out.dpresent != nil {
+		clearBools(out.dpresent)
+	}
+	swapStorage(w, out)
 	return nil
 }
 

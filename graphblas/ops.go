@@ -166,6 +166,7 @@ func AssignVector[T comparable](w *Vector[T], u *Vector[T]) error {
 		wVal[i] = x
 		return true
 	})
+	w.maybePromoteFull()
 	return nil
 }
 
@@ -242,6 +243,11 @@ func Reduce[T comparable](m Monoid[T], u *Vector[T]) T {
 // (GrB_assign with a scalar): for every index the effective mask allows,
 // set w(i) = value; all other positions keep their current contents
 // (replace=false semantics). BFS uses it as v⟨f⟩ = depth.
+//
+// Sparse masks under structural complement materialize into the
+// descriptor's pinned Workspace bitmap (or a pooled one), like MxV's masks
+// — not into a fresh O(n) allocation — so per-iteration masked assigns are
+// allocation-free once warm.
 func AssignScalar[T, M comparable](w *Vector[T], mask *Vector[M], value T, desc *Descriptor) error {
 	if w == nil || mask == nil {
 		return fmt.Errorf("%w: nil operand", ErrInvalidValue)
@@ -260,9 +266,15 @@ func AssignScalar[T, M comparable](w *Vector[T], mask *Vector[M], value T, desc 
 			}
 			wVal[idx] = value
 		}
+		w.maybePromoteFull()
 		return nil
 	}
-	bits := mask.maskBits()
+	ws := desc.workspace()
+	pooled := ws == nil && mask.Format() == Sparse
+	if pooled {
+		ws = AcquireWorkspace(w.Size(), w.Size())
+	}
+	bits := maskBitsFor(ws, mask)
 	for i := 0; i < w.Size(); i++ {
 		if bits[i] != scmp {
 			if !wPresent[i] {
@@ -272,6 +284,10 @@ func AssignScalar[T, M comparable](w *Vector[T], mask *Vector[M], value T, desc 
 			wVal[i] = value
 		}
 	}
+	if pooled {
+		ws.Release()
+	}
+	w.maybePromoteFull()
 	return nil
 }
 

@@ -1,0 +1,76 @@
+package graphblas
+
+import (
+	"pushpull/internal/core"
+	"pushpull/internal/sparse"
+)
+
+// Planner is the algorithm-facing handle on the direction planner: bind it
+// to a matrix (and orientation) once, then ask it for a Plan each
+// iteration. Algorithms that orchestrate their own traversal — BFS needs
+// the direction *before* the matvec to pick operand reuse and the
+// amortized allow-list — use a Planner and then pin the decision through
+// Descriptor.Direction; plain MxV callers get the same machinery
+// implicitly under Direction == Auto.
+//
+// A zero SwitchPoint selects the edge-based cost model (push cost = Σ
+// frontier out-degrees × merge log factor, pull cost = rows × average
+// degree × effective-mask density); a positive SwitchPoint selects the
+// paper's legacy nnz/n ratio rule at that crossover. Hysteresis lives in
+// the Planner, one traversal per Planner (call Reset between traversals).
+type Planner[T comparable] struct {
+	rowG, colG  *sparse.CSR[T]
+	outDim      int
+	avgDeg      float64
+	switchPoint float64
+	state       core.PlanState
+}
+
+// NewPlanner builds a planner for products against a (or aᵀ when transpose
+// is set, the BFS orientation). switchPoint == 0 selects the cost model.
+func NewPlanner[T comparable](a *Matrix[T], transpose bool, switchPoint float64) *Planner[T] {
+	rowG, colG := a.CSR(), a.CSC()
+	if transpose {
+		rowG, colG = colG, rowG
+	}
+	return &Planner[T]{
+		rowG:        rowG,
+		colG:        colG,
+		outDim:      rowG.Rows,
+		avgDeg:      core.AvgRowDegree(rowG.NNZ(), rowG.Rows),
+		switchPoint: switchPoint,
+	}
+}
+
+// Plan decides the direction for a frontier with nnz stored elements.
+// frontierInd, when non-nil, is the frontier's sparse index list: push
+// cost is then the exact Σ outdeg read off the push-side CSR in O(nnz);
+// pass nil (bitmap/dense frontiers) for the nnz·d̄ estimate. maskAllowed is
+// the number of output rows the effective mask lets through (BFS:
+// unvisited count), or a negative value for an unmasked product.
+func (p *Planner[T]) Plan(frontierInd []uint32, nnz, maskAllowed int) core.Plan {
+	in := core.PlanInput{
+		NNZ:           nnz,
+		N:             p.colG.Rows,
+		OutRows:       p.outDim,
+		PushEdges:     -1,
+		AvgDeg:        p.avgDeg,
+		MaskAllowFrac: 1,
+		SwitchPoint:   p.switchPoint,
+	}
+	if frontierInd != nil {
+		edges := 0
+		for _, i := range frontierInd {
+			edges += p.colG.RowLen(int(i))
+		}
+		in.PushEdges = float64(edges)
+	}
+	if maskAllowed >= 0 && p.outDim > 0 {
+		in.MaskAllowFrac = float64(maskAllowed) / float64(p.outDim)
+	}
+	return core.DecideDirection(in, &p.state)
+}
+
+// Reset clears the hysteresis state so the planner can serve a fresh
+// traversal.
+func (p *Planner[T]) Reset() { p.state.Reset() }

@@ -4,38 +4,58 @@ import (
 	"fmt"
 	"sort"
 
+	"pushpull/internal/core"
 	"pushpull/internal/merge"
 )
 
-// Format names a Vector's current storage representation.
+// Format names a Vector's current storage representation. The three
+// formats form a lattice ordered by how much structure they materialize:
+//
+//	Sparse ⊂ Bitmap ⊂ Dense
+//
+// Sparse is a sorted (index, value) pair list — the natural frontier
+// representation for the push phase. Bitmap is a value array plus a
+// presence bitmap (the SPA layout of Gilbert, Moler and Schreiber) — O(1)
+// random access with the pattern still explicit, the natural pull input,
+// mask source, and sort-free push output. Dense is a value array with
+// *every* position stored — the presence probe disappears from kernel
+// inner loops (PageRank ranks, converged depth vectors).
+//
+// Conversion rules: Sparse↔Bitmap moves are driven by the direction
+// planner (format follows the chosen direction, with hysteresis so a
+// frontier hovering at the crossover does not flap). Bitmap promotes to
+// Dense automatically and for free the moment its pattern fills
+// (nvals == n); Dense demotes back to Bitmap the moment an element is
+// removed. Promotion never changes the stored pattern — a partial vector
+// stays Bitmap no matter how it is converted.
 type Format int
 
 const (
-	// Sparse stores sorted (index, value) pairs — the natural frontier
-	// representation for the push phase.
+	// Sparse stores sorted (index, value) pairs.
 	Sparse Format = iota
-	// Dense stores a value array plus a presence bitmap (the SPA layout of
-	// Gilbert, Moler and Schreiber) — the natural representation for the
-	// pull phase and for masks.
+	// Bitmap stores a value array plus a presence bitmap.
+	Bitmap
+	// Dense stores a value array with every position present.
 	Dense
 )
 
-// String returns "sparse" or "dense".
+// String returns "sparse", "bitmap" or "dense".
 func (f Format) String() string {
-	if f == Sparse {
+	switch f {
+	case Sparse:
 		return "sparse"
+	case Bitmap:
+		return "bitmap"
+	default:
+		return "dense"
 	}
-	return "dense"
 }
 
-// Vector is a GraphBLAS vector of length n over element type T. It keeps
-// either a sparse or a dense representation and converts between them
-// following the paper's Section 6.3 heuristic: the ratio nnz/n is compared
-// to the descriptor's switch-point (default 0.01), and a conversion
-// additionally requires nnz to be moving in the right direction since the
-// last check (increasing to densify, decreasing to sparsify). Because MxV
-// dispatches push vs pull on this format, the conversion heuristic *is*
-// the direction-optimization heuristic.
+// Vector is a GraphBLAS vector of length n over element type T, stored in
+// one of three formats (see Format). Kernels consume it through
+// format-agnostic views (internal/core.VecView); MxV's direction planner
+// decides push vs pull from an edge-based cost model and the storage
+// format then follows the chosen direction.
 //
 // A Vector is not safe for concurrent mutation.
 type Vector[T comparable] struct {
@@ -45,15 +65,18 @@ type Vector[T comparable] struct {
 	// Sparse representation: parallel slices, ind sorted ascending, unique.
 	ind []uint32
 	val []T
-	// Dense representation: value + presence arrays of length n.
+	// Bitmap/dense representation: value + presence arrays of length n.
+	// A Dense vector keeps dpresent materialized and all-true so the
+	// object-model paths need no special casing; kernels get a nil
+	// presence view instead.
 	dval     []T
 	dpresent []bool
 	nvals    int
 
-	// Conversion hysteresis (Section 6.3): nnz at the previous convert
-	// check, valid once primed.
-	prevNNZ int
-	primed  bool
+	// Planner hysteresis: previous direction decision and frontier
+	// population for this vector when it is used as an MxV input under
+	// Direction == Auto.
+	pstate core.PlanState
 }
 
 // NewVector returns an empty sparse vector of length n.
@@ -88,8 +111,7 @@ func (v *Vector[T]) Clear() {
 	}
 	v.nvals = 0
 	v.format = Sparse
-	v.prevNNZ = 0
-	v.primed = false
+	v.pstate.Reset()
 }
 
 func clearBools(b []bool) {
@@ -140,10 +162,11 @@ func (v *Vector[T]) SetElement(i int, value T) error {
 	if i < 0 || i >= v.n {
 		return fmt.Errorf("%w: index %d in vector of size %d", ErrIndexOutOfBounds, i, v.n)
 	}
-	if v.format == Dense {
+	if v.format != Sparse {
 		if !v.dpresent[i] {
 			v.dpresent[i] = true
 			v.nvals++
+			v.maybePromoteFull()
 		}
 		v.dval[i] = value
 		return nil
@@ -162,13 +185,15 @@ func (v *Vector[T]) SetElement(i int, value T) error {
 	return nil
 }
 
-// RemoveElement deletes the element at index i if present.
+// RemoveElement deletes the element at index i if present. Removing from a
+// Dense vector demotes it to Bitmap (its pattern is no longer full).
 func (v *Vector[T]) RemoveElement(i int) error {
 	if i < 0 || i >= v.n {
 		return fmt.Errorf("%w: index %d in vector of size %d", ErrIndexOutOfBounds, i, v.n)
 	}
-	if v.format == Dense {
+	if v.format != Sparse {
 		if v.dpresent[i] {
+			v.format = Bitmap
 			v.dpresent[i] = false
 			v.nvals--
 		}
@@ -190,7 +215,7 @@ func (v *Vector[T]) ExtractElement(i int) (T, error) {
 	if i < 0 || i >= v.n {
 		return zero, fmt.Errorf("%w: index %d in vector of size %d", ErrIndexOutOfBounds, i, v.n)
 	}
-	if v.format == Dense {
+	if v.format != Sparse {
 		if v.dpresent[i] {
 			return v.dval[i], nil
 		}
@@ -206,11 +231,10 @@ func (v *Vector[T]) ExtractElement(i int) (T, error) {
 // Dup returns a deep copy.
 func (v *Vector[T]) Dup() *Vector[T] {
 	out := &Vector[T]{
-		n:       v.n,
-		format:  v.format,
-		nvals:   v.nvals,
-		prevNNZ: v.prevNNZ,
-		primed:  v.primed,
+		n:      v.n,
+		format: v.format,
+		nvals:  v.nvals,
+		pstate: v.pstate,
 	}
 	out.ind = append([]uint32(nil), v.ind...)
 	out.val = append([]T(nil), v.val...)
@@ -224,27 +248,39 @@ func (v *Vector[T]) Dup() *Vector[T] {
 // Iterate calls fn for every stored element in ascending index order,
 // stopping early if fn returns false.
 func (v *Vector[T]) Iterate(fn func(i int, value T) bool) {
-	if v.format == Sparse {
+	switch v.format {
+	case Sparse:
 		for k, idx := range v.ind {
 			if !fn(int(idx), v.val[k]) {
 				return
 			}
 		}
-		return
-	}
-	for i := 0; i < v.n; i++ {
-		if v.dpresent[i] {
+	case Dense:
+		for i := 0; i < v.n; i++ {
 			if !fn(i, v.dval[i]) {
 				return
+			}
+		}
+	default:
+		for i := 0; i < v.n; i++ {
+			if v.dpresent[i] {
+				if !fn(i, v.dval[i]) {
+					return
+				}
 			}
 		}
 	}
 }
 
-// ToDense converts to the dense representation (sparse2dense). No-op if
-// already dense.
-func (v *Vector[T]) ToDense() {
-	if v.format == Dense {
+// ToBitmap converts to the bitmap representation (sparse2bitmap). Dense
+// vectors demote in O(1) — their presence array is already materialized
+// all-true. No-op if already bitmap.
+func (v *Vector[T]) ToBitmap() {
+	switch v.format {
+	case Bitmap:
+		return
+	case Dense:
+		v.format = Bitmap
 		return
 	}
 	if v.dval == nil {
@@ -258,12 +294,43 @@ func (v *Vector[T]) ToDense() {
 		v.dpresent[idx] = true
 	}
 	v.nvals = len(v.ind)
-	v.format = Dense
+	v.format = Bitmap
 	v.ind = v.ind[:0]
 	v.val = v.val[:0]
+	v.maybePromoteFull()
 }
 
-// ToSparse converts to the sparse representation (dense2sparse). No-op if
+// ToDense densifies as far as the stored pattern allows: the vector
+// converts to bitmap layout, then promotes to the Dense format exactly
+// when every position is present (nvals == n). Promotion never invents
+// elements — a partial vector lands in (and stays) Bitmap. Use Fill to
+// make a vector genuinely full.
+func (v *Vector[T]) ToDense() {
+	if v.format == Dense {
+		return
+	}
+	v.ToBitmap()
+}
+
+// Fill stores value at every position, leaving the vector Dense. This is
+// the one pattern-changing densification (PageRank-style value-complete
+// vectors); ToDense never invents elements.
+func (v *Vector[T]) Fill(value T) {
+	if v.dval == nil {
+		v.dval = make([]T, v.n)
+		v.dpresent = make([]bool, v.n)
+	}
+	for i := range v.dval {
+		v.dval[i] = value
+		v.dpresent[i] = true
+	}
+	v.ind = v.ind[:0]
+	v.val = v.val[:0]
+	v.nvals = v.n
+	v.format = Dense
+}
+
+// ToSparse converts to the sparse representation (bitmap2sparse). No-op if
 // already sparse.
 func (v *Vector[T]) ToSparse() {
 	if v.format == Sparse {
@@ -282,33 +349,45 @@ func (v *Vector[T]) ToSparse() {
 	v.format = Sparse
 }
 
-// convertAuto applies the Section 6.3 format-switch heuristic: densify
-// when nnz/n has grown past the switch-point, sparsify when it has shrunk
-// below it. It returns the (possibly new) format.
-func (v *Vector[T]) convertAuto(switchPoint float64) Format {
-	if switchPoint <= 0 {
-		switchPoint = DefaultSwitchPoint
+// maybePromoteFull promotes Bitmap to Dense when the pattern has filled.
+// The presence array stays materialized (and all-true), so demotion and
+// the object-model paths cost nothing.
+func (v *Vector[T]) maybePromoteFull() {
+	if v.format == Bitmap && v.nvals == v.n && v.n > 0 {
+		v.format = Dense
 	}
-	nnz := v.NVals()
-	increasing := !v.primed || nnz >= v.prevNNZ
-	decreasing := !v.primed || nnz <= v.prevNNZ
-	v.prevNNZ = nnz
-	v.primed = true
-	if v.n == 0 {
-		return v.format
-	}
-	r := float64(nnz) / float64(v.n)
-	switch v.format {
-	case Sparse:
-		if r > switchPoint && increasing {
-			v.ToDense()
+}
+
+// settleFormat moves the vector's storage toward the planned direction's
+// preferred format, with the plan's trend as the hysteresis gate: pull
+// wants O(1) probes (bitmap or denser, converted unconditionally since the
+// kernel requires it); push wants the sparse list back once the frontier
+// has shrunk below the switch-point while shrinking.
+func (v *Vector[T]) settleFormat(plan core.Plan, switchPoint float64) {
+	switch plan.Dir {
+	case core.Pull:
+		if v.format == Sparse {
+			v.ToBitmap()
 		}
-	case Dense:
-		if r < switchPoint && decreasing {
+	case core.Push:
+		if v.format == Bitmap && v.n > 0 && plan.Shrinking &&
+			float64(v.nvals)/float64(v.n) < switchPoint {
 			v.ToSparse()
 		}
 	}
-	return v.format
+}
+
+// kernelView lowers the vector's current storage into the format-agnostic
+// view the kernels consume, without converting or copying.
+func (v *Vector[T]) kernelView() core.VecView[T] {
+	switch v.format {
+	case Sparse:
+		return core.SparseVec(v.n, v.ind, v.val)
+	case Dense:
+		return core.DenseVec(v.dval)
+	default:
+		return core.BitmapVec(v.dval, v.dpresent, v.nvals)
+	}
 }
 
 // sparseView returns the sparse arrays, converting if needed.
@@ -317,16 +396,21 @@ func (v *Vector[T]) sparseView() ([]uint32, []T) {
 	return v.ind, v.val
 }
 
-// denseView returns the dense arrays, converting if needed.
+// denseView returns the bitmap-layout arrays (values + presence),
+// converting sparse vectors first. Dense vectors hand out their all-true
+// presence array.
 func (v *Vector[T]) denseView() ([]T, []bool) {
-	v.ToDense()
+	if v.format == Sparse {
+		v.ToBitmap()
+	}
 	return v.dval, v.dpresent
 }
 
-// DenseView densifies the vector if needed and exposes its raw value and
-// presence arrays. The slices alias internal storage: callers may read
-// them freely but must not grow them, and writes bypass NVals bookkeeping.
-// Algorithm layers use this to probe bitmaps without per-element calls.
+// DenseView converts the vector to bitmap layout if needed and exposes its
+// raw value and presence arrays. The slices alias internal storage: callers
+// may read them freely but must not grow them, and writes bypass NVals
+// bookkeeping (call RecountDense afterwards). Algorithm layers use this to
+// probe bitmaps without per-element calls.
 func (v *Vector[T]) DenseView() (values []T, present []bool) {
 	return v.denseView()
 }
@@ -338,16 +422,28 @@ func (v *Vector[T]) SparseView() (indices []uint32, values []T) {
 	return v.sparseView()
 }
 
+// SparseIndices returns the vector's index list without converting: ok is
+// false (and indices nil) unless the vector is currently sparse. The
+// direction planner uses it to read frontier out-degrees off CSC.Ptr in
+// O(nnz) without disturbing the storage format.
+func (v *Vector[T]) SparseIndices() (indices []uint32, ok bool) {
+	if v.format != Sparse {
+		return nil, false
+	}
+	return v.ind, true
+}
+
 // RecountDense refreshes NVals after a caller wrote the presence array
-// exposed by DenseView directly. It is a no-op for sparse vectors.
+// exposed by DenseView directly, promoting to Dense if the pattern filled
+// or demoting if it no longer is full. It is a no-op for sparse vectors.
 func (v *Vector[T]) RecountDense() {
-	if v.format == Dense {
+	if v.format != Sparse {
 		v.recountDense()
 	}
 }
 
 // knownEmpty reports, conservatively, that the vector certainly stores no
-// elements. Only the sparse representation answers true: a dense vector's
+// elements. Only the sparse representation answers true: a bitmap vector's
 // nvals can be stale when callers write the presence array through
 // DenseView without RecountDense, so its bitmap — not the counter — must
 // stay the source of truth for kernel masks.
@@ -355,12 +451,13 @@ func (v *Vector[T]) knownEmpty() bool {
 	return v.format == Sparse && len(v.ind) == 0
 }
 
-// maskBits returns a presence bitmap for use as a kernel mask. Dense
-// vectors hand out their presence array zero-copy; sparse vectors
+// maskBits returns a presence bitmap for use as a kernel mask. Bitmap and
+// dense vectors hand out their presence array zero-copy; sparse vectors
 // materialize a scratch bitmap (O(n) once — callers that probe masks every
-// iteration keep them dense).
+// iteration keep them in bitmap form, or route through a Workspace's
+// reusable mask bitmap via maskBitsFor).
 func (v *Vector[T]) maskBits() []bool {
-	if v.format == Dense {
+	if v.format != Sparse {
 		return v.dpresent
 	}
 	bits := make([]bool, v.n)
@@ -398,14 +495,15 @@ func (v *Vector[T]) setSparseCopy(ind []uint32, val []T) {
 }
 
 // setDenseCount records the stored-element count after a kernel reported
-// how many outputs it wrote, replacing the O(n) presence rescan the layer
-// used to do.
+// how many outputs it wrote into the bitmap buffers, promoting to Dense
+// when the pattern filled.
 func (v *Vector[T]) setDenseCount(nvals int) {
 	v.nvals = nvals
+	v.maybePromoteFull()
 }
 
-// ensureDenseBuffers readies zeroed dense arrays for a kernel to write
-// into, leaving the vector in dense format with no stored elements.
+// ensureDenseBuffers readies zeroed bitmap arrays for a kernel to write
+// into, leaving the vector in bitmap format with no stored elements.
 func (v *Vector[T]) ensureDenseBuffers() ([]T, []bool) {
 	if v.dval == nil {
 		v.dval = make([]T, v.n)
@@ -415,12 +513,13 @@ func (v *Vector[T]) ensureDenseBuffers() ([]T, []bool) {
 	}
 	v.ind = v.ind[:0]
 	v.val = v.val[:0]
-	v.format = Dense
+	v.format = Bitmap
 	v.nvals = 0
 	return v.dval, v.dpresent
 }
 
-// recountDense refreshes nvals after a kernel wrote the dense buffers.
+// recountDense refreshes nvals after the bitmap buffers were written raw,
+// and re-settles the Bitmap/Dense split on the recounted pattern.
 func (v *Vector[T]) recountDense() {
 	c := 0
 	for _, p := range v.dpresent {
@@ -429,4 +528,9 @@ func (v *Vector[T]) recountDense() {
 		}
 	}
 	v.nvals = c
+	if c < v.n {
+		v.format = Bitmap
+	} else {
+		v.maybePromoteFull()
+	}
 }

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"pushpull/internal/core"
 )
 
 func TestVectorBasicOps(t *testing.T) {
@@ -45,28 +47,82 @@ func TestVectorBasicOps(t *testing.T) {
 	}
 }
 
-func TestVectorDenseOps(t *testing.T) {
+func TestVectorBitmapOps(t *testing.T) {
 	v := NewVector[int64](5)
+	v.ToBitmap()
+	if v.Format() != Bitmap {
+		t.Fatal("ToBitmap did not switch format")
+	}
+	// ToDense never invents elements: a partial vector stays bitmap.
 	v.ToDense()
-	if v.Format() != Dense {
-		t.Fatal("ToDense did not switch format")
+	if v.Format() != Bitmap {
+		t.Fatal("ToDense promoted a partial vector")
 	}
 	if err := v.SetElement(2, 42); err != nil {
 		t.Fatal(err)
 	}
 	if v.NVals() != 1 {
-		t.Fatalf("dense NVals=%d", v.NVals())
+		t.Fatalf("bitmap NVals=%d", v.NVals())
 	}
 	got, err := v.ExtractElement(2)
 	if err != nil || got != 42 {
-		t.Fatalf("dense extract=%d,%v", got, err)
+		t.Fatalf("bitmap extract=%d,%v", got, err)
 	}
 	if err := v.RemoveElement(2); err != nil || v.NVals() != 0 {
-		t.Fatal("dense remove failed")
+		t.Fatal("bitmap remove failed")
 	}
 	// Removing an absent element is fine.
 	if err := v.RemoveElement(2); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestVectorDensePromotionLattice(t *testing.T) {
+	// Filling a bitmap vector's pattern promotes it to Dense for free;
+	// removing an element demotes it back to Bitmap.
+	n := 4
+	v := NewVector[int64](n)
+	v.ToBitmap()
+	for i := 0; i < n; i++ {
+		if err := v.SetElement(i, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.Format() != Dense {
+		t.Fatalf("full bitmap should promote to dense, got %v", v.Format())
+	}
+	if v.NVals() != n {
+		t.Fatalf("dense NVals=%d want %d", v.NVals(), n)
+	}
+	if err := v.RemoveElement(1); err != nil {
+		t.Fatal(err)
+	}
+	if v.Format() != Bitmap || v.NVals() != n-1 {
+		t.Fatalf("remove should demote to bitmap: %v nvals=%d", v.Format(), v.NVals())
+	}
+	if _, err := v.ExtractElement(1); !errors.Is(err, ErrNoValue) {
+		t.Fatal("removed element still present after demotion")
+	}
+
+	// Fill is the explicit pattern-changing densification.
+	f := NewVector[float64](3)
+	_ = f.SetElement(1, 9)
+	f.Fill(0.5)
+	if f.Format() != Dense || f.NVals() != 3 {
+		t.Fatalf("Fill: format=%v nvals=%d", f.Format(), f.NVals())
+	}
+	if x, _ := f.ExtractElement(1); x != 0.5 {
+		t.Fatalf("Fill overwrote to %g, want 0.5", x)
+	}
+
+	// Dense demotes to bitmap in O(1) via ToBitmap and sparsifies cleanly.
+	f.ToBitmap()
+	if f.Format() != Bitmap || f.NVals() != 3 {
+		t.Fatalf("dense→bitmap demotion: %v nvals=%d", f.Format(), f.NVals())
+	}
+	f.ToSparse()
+	if f.Format() != Sparse || f.NVals() != 3 {
+		t.Fatalf("bitmap→sparse: %v nvals=%d", f.Format(), f.NVals())
 	}
 }
 
@@ -187,7 +243,7 @@ func TestVectorDup(t *testing.T) {
 	if v.NVals() != 1 || d.NVals() != 2 {
 		t.Fatal("Dup is not independent")
 	}
-	if d.Format() != Dense {
+	if d.Format() != Bitmap {
 		t.Fatal("Dup lost format")
 	}
 }
@@ -205,57 +261,50 @@ func TestVectorClear(t *testing.T) {
 	}
 }
 
-func TestConvertAutoHysteresis(t *testing.T) {
-	// Mirrors the Section 6.3 heuristic: densify only past the
-	// switch-point while growing; sparsify only below it while shrinking.
+func TestSettleFormatFollowsPlannedDirection(t *testing.T) {
+	// Format follows the planned direction, with the plan's trend as the
+	// hysteresis gate.
 	n := 1000
 	v := NewVector[bool](n)
-	fill := func(k int) {
-		v.Clear()
-		for i := 0; i < k; i++ {
-			_ = v.SetElement(i, true)
-		}
+	for i := 0; i < 5; i++ {
+		_ = v.SetElement(i, true)
 	}
-	fill(5)
-	if v.convertAuto(0.01) != Sparse {
-		t.Fatal("0.5% full should stay sparse")
+
+	// A pull plan needs O(1) probes: sparse converts to bitmap.
+	v.settleFormat(core.Plan{Dir: core.Pull}, 0.01)
+	if v.Format() != Bitmap {
+		t.Fatalf("pull plan left format %v", v.Format())
 	}
-	// Grow past 1%: densify (nnz increased).
+
+	// A push plan on a bitmap above the switch-point keeps the bitmap
+	// (the kernel compacts a view; no storage churn at the crossover).
 	for i := 5; i < 50; i++ {
 		_ = v.SetElement(i, true)
 	}
-	if v.convertAuto(0.01) != Dense {
-		t.Fatal("5% full and growing should densify")
+	v.settleFormat(core.Plan{Dir: core.Push, Shrinking: true}, 0.01)
+	if v.Format() != Bitmap {
+		t.Fatal("push plan above switch-point must not sparsify")
 	}
-	// Shrink below 1%: sparsify (nnz decreased).
+
+	// Below the switch-point but *growing*: the trend gate holds the
+	// bitmap (this is the anti-flap hysteresis).
 	for i := 2; i < 50; i++ {
 		_ = v.RemoveElement(i)
 	}
-	if v.convertAuto(0.01) != Sparse {
-		t.Fatal("0.2% full and shrinking should sparsify")
+	v.settleFormat(core.Plan{Dir: core.Push, Growing: true}, 0.01)
+	if v.Format() != Bitmap {
+		t.Fatal("growing frontier must not sparsify")
 	}
-	// Growing but still below the switch-point: stay sparse.
-	_ = v.SetElement(2, true)
-	if v.convertAuto(0.01) != Sparse {
-		t.Fatal("growing below switch-point must stay sparse")
-	}
-	// A dense vector that *grows* above the point stays dense even if a
-	// later check sees it shrinking while still above the point.
-	v.ToDense()
-	for i := 0; i < 500; i++ {
-		_ = v.SetElement(i, true)
-	}
-	_ = v.convertAuto(0.01)
-	for i := 400; i < 500; i++ {
-		_ = v.RemoveElement(i)
-	}
-	if v.convertAuto(0.01) != Dense {
-		t.Fatal("shrinking but above switch-point must stay dense")
+
+	// Below the switch-point and shrinking: back to the sparse list.
+	v.settleFormat(core.Plan{Dir: core.Push, Shrinking: true}, 0.01)
+	if v.Format() != Sparse {
+		t.Fatal("shrinking below switch-point should sparsify")
 	}
 }
 
 func TestFormatString(t *testing.T) {
-	if Sparse.String() != "sparse" || Dense.String() != "dense" {
+	if Sparse.String() != "sparse" || Bitmap.String() != "bitmap" || Dense.String() != "dense" {
 		t.Fatal("Format.String mismatch")
 	}
 }

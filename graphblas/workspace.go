@@ -35,7 +35,8 @@ type Workspace struct {
 
 	maskBits    []bool      // sparse-mask bitmap, scrubbed via maskTouched
 	maskTouched []uint32    // indices set in maskBits by the previous mask
-	scratch     map[any]any // zero value of T → *Vector[T]
+	scratch     map[any]any // zero value of T → *Vector[T] (product target)
+	accum       map[any]any // zero value of T → *Vector[T] (accumulate merge)
 }
 
 // NewWorkspace returns an unpooled workspace for operations over a
@@ -65,12 +66,13 @@ func (w *Workspace) Release() {
 }
 
 // maskBitsFor returns a presence bitmap for v suitable as a kernel mask.
-// Dense vectors hand out their presence array zero-copy; sparse vectors
-// materialize into the workspace's reusable bitmap, which is scrubbed via
-// the touched list — O(nnz(previous mask) + nnz(mask)), never O(n) — so
-// per-iteration sparse masks stop allocating and stop rescanning.
+// Bitmap and dense vectors hand out their presence array zero-copy; sparse
+// vectors materialize into the workspace's reusable bitmap, which is
+// scrubbed via the touched list — O(nnz(previous mask) + nnz(mask)), never
+// O(n) — so per-iteration sparse masks stop allocating and stop
+// rescanning.
 func maskBitsFor[M comparable](ws *Workspace, v *Vector[M]) []bool {
-	if v.format == Dense {
+	if v.format != Sparse {
 		return v.dpresent
 	}
 	if ws == nil {
@@ -94,20 +96,39 @@ func maskBitsFor[M comparable](ws *Workspace, v *Vector[M]) []bool {
 }
 
 // scratchVectorFor returns the workspace's scratch vector for element type
-// T, created on first use. It serves as the accumulate target and the
-// aliased-pull bounce buffer; storage swaps with user vectors keep it warm.
+// T, created on first use. It serves as the accumulate product target and
+// the aliased-output bounce buffer; storage swaps with user vectors keep
+// it warm.
 func scratchVectorFor[T comparable](ws *Workspace, n int) *Vector[T] {
+	ws.scratch = vectorFromMap[T](ws.scratch, n)
+	var zero T
+	return ws.scratch[any(zero)].(*Vector[T])
+}
+
+// accumScratchFor returns the workspace's accumulate-merge scratch vector
+// for element type T — distinct from scratchVectorFor's vector, which
+// holds the product being merged. The format-preserving sparse accumulate
+// builds its merged list here and swaps storage with the destination, so
+// repeated accumulating calls ping-pong two warm buffers.
+func accumScratchFor[T comparable](ws *Workspace, n int) *Vector[T] {
+	ws.accum = vectorFromMap[T](ws.accum, n)
+	var zero T
+	return ws.accum[any(zero)].(*Vector[T])
+}
+
+// vectorFromMap resolves the per-element-type scratch vector in m for
+// length n, (re)creating it on first use or dimension change.
+func vectorFromMap[T comparable](m map[any]any, n int) map[any]any {
 	var zero T
 	key := any(zero)
-	if v, ok := ws.scratch[key]; ok {
+	if v, ok := m[key]; ok {
 		if sv := v.(*Vector[T]); sv.n == n {
-			return sv
+			return m
 		}
 	}
-	sv := NewVector[T](n)
-	if ws.scratch == nil {
-		ws.scratch = make(map[any]any, 2)
+	if m == nil {
+		m = make(map[any]any, 2)
 	}
-	ws.scratch[key] = sv
-	return sv
+	m[key] = NewVector[T](n)
+	return m
 }

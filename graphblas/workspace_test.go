@@ -178,6 +178,7 @@ func TestMxVSteadyStateAllocs(t *testing.T) {
 	denseMask := mask.Dup()
 	denseMask.ToDense()
 	w := NewVector[bool](n)
+	accumW := NewVector[bool](n)
 
 	cases := []struct {
 		name string
@@ -208,6 +209,27 @@ func TestMxVSteadyStateAllocs(t *testing.T) {
 			_, err := MxV(w, mask, nil, sr, a, u, desc)
 			return err
 		}},
+		{"col-bitmap-output", func() error {
+			// Forced push without NoAutoConvert: the planner's sort-free
+			// bitmap scatter engages (the frontier's edges exceed n/4).
+			bitmapOutDesc.Workspace = ws
+			_, err := MxV(w, (*Vector[bool])(nil), nil, sr, a, u, bitmapOutDesc)
+			return err
+		}},
+		{"masked-assign-scmp-sparse-mask", func() error {
+			// The masked element-wise assign with a sparse complemented
+			// mask: the bitmap must come from the workspace, not a fresh
+			// O(n) allocation.
+			scmpDesc.Workspace = ws
+			return AssignScalar(w, mask, true, scmpDesc)
+		}},
+		{"accum-sparse-target", func() error {
+			// Accumulate into a sparse destination: the format-preserving
+			// merge must run in workspace scratch.
+			desc := descFor(ForcePush, ws)
+			_, err := MxV(accumW, (*Vector[bool])(nil), orOp, sr, a, u, desc)
+			return err
+		}},
 	}
 	for _, tc := range cases {
 		if err := tc.run(); err != nil { // warm the workspace
@@ -222,6 +244,14 @@ func TestMxVSteadyStateAllocs(t *testing.T) {
 		}
 	}
 }
+
+// Descriptors and operands for the extra steady-state cases, built outside
+// the measured region.
+var (
+	bitmapOutDesc = &Descriptor{Transpose: true, Direction: ForcePush}
+	scmpDesc      = &Descriptor{StructuralComplement: true}
+	orOp          = func(a, b bool) bool { return a || b }
+)
 
 // TestMxVDenseMaskStaleNVals guards the KnownEmpty derivation: a dense
 // mask whose presence bitmap was written raw through DenseView (no

@@ -8,9 +8,10 @@ import (
 
 // ColMxv computes the unmasked column-based matvec w = G·u (the paper's
 // SpMSpV): w = ⊕_{i : u(i)≠0} G(:,i) ⊗ u(i). cscG is the CSC of G — a CSR
-// whose row i stores column i of G. The input is sparse (sorted unique
-// indices uInd with values uVal); the output is sparse, sorted and
-// duplicate-free.
+// whose row i stores column i of G. The input is a format-agnostic view:
+// sparse views feed the gather directly, bitmap and dense views are
+// compacted into an index list in workspace scratch first. The output is
+// sparse, sorted and duplicate-free.
 //
 // With a pinned Opts.Ws the returned slices alias workspace storage and
 // stay valid only until the workspace's next kernel call — the pattern
@@ -20,8 +21,8 @@ import (
 // Cost (Table 1 row 3): only columns selected by the input frontier are
 // touched — O(d·nnz(f)·log nnz(f)) with the heap merge, O(d·nnz(f)·logM)
 // with the radix strategy the paper uses on the GPU.
-func ColMxv[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr SR[T], opts Opts) ([]uint32, []T) {
-	return colMxv(cscG, uInd, uVal, MaskView{}, false, sr, opts)
+func ColMxv[T comparable](cscG *sparse.CSR[T], u VecView[T], sr SR[T], opts Opts) ([]uint32, []T) {
+	return colMxvView(cscG, u, MaskView{}, false, sr, opts)
 }
 
 // ColMaskedMxv computes the masked column-based matvec w = m .⊙ (G·u). As
@@ -31,19 +32,37 @@ func ColMxv[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr SR[T]
 // the filter: a known-empty complemented mask allows everything (the
 // common first iterations of BFS, where ¬visited is almost everything),
 // and a known-empty plain mask allows nothing.
-func ColMaskedMxv[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, mask MaskView, sr SR[T], opts Opts) ([]uint32, []T) {
-	return colMxv(cscG, uInd, uVal, mask, true, sr, opts)
+func ColMaskedMxv[T comparable](cscG *sparse.CSR[T], u VecView[T], mask MaskView, sr SR[T], opts Opts) ([]uint32, []T) {
+	return colMxvView(cscG, u, mask, true, sr, opts)
 }
 
-func colMxv[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, mask MaskView, masked bool, sr SR[T], opts Opts) ([]uint32, []T) {
+func colMxvView[T comparable](cscG *sparse.CSR[T], u VecView[T], mask MaskView, masked bool, sr SR[T], opts Opts) ([]uint32, []T) {
+	ws, transient := kernelWorkspace(opts.Ws, cscG.Rows, cscG.Cols)
+	a := arenaFor[T](ws)
+	uInd, uVal := pushOperands(a, u)
+	wInd, wVal := colMxv(cscG, uInd, uVal, mask, masked, sr, opts, a)
+	if transient {
+		// Auto-pooled call: hand the caller its own copy so releasing the
+		// workspace (and its reuse by the next call) cannot clobber the
+		// result.
+		if len(wInd) > 0 {
+			wInd = append([]uint32(nil), wInd...)
+			wVal = append([]T(nil), wVal...)
+		} else {
+			wInd, wVal = nil, nil
+		}
+		ws.Release()
+	}
+	return wInd, wVal
+}
+
+func colMxv[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, mask MaskView, masked bool, sr SR[T], opts Opts, a *arena[T]) ([]uint32, []T) {
 	if masked && mask.KnownEmpty {
 		if !mask.Scmp {
 			return nil, nil // empty mask allows nothing
 		}
 		masked = false // empty complement allows everything: skip the filter
 	}
-	ws, transient := kernelWorkspace(opts.Ws, cscG.Rows, cscG.Cols)
-	a := arenaFor[T](ws)
 	var wInd []uint32
 	var wVal []T
 	switch opts.Merge {
@@ -68,19 +87,64 @@ func colMxv[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, mask Mas
 		}
 		wInd, wVal = wInd[:out], wVal[:out]
 	}
-	if transient {
-		// Auto-pooled call: hand the caller its own copy so releasing the
-		// workspace (and its reuse by the next call) cannot clobber the
-		// result.
-		if len(wInd) > 0 {
-			wInd = append([]uint32(nil), wInd...)
-			wVal = append([]T(nil), wVal...)
-		} else {
-			wInd, wVal = nil, nil
+	return wInd, wVal
+}
+
+// ColMxvBitmap is the push kernel's sort-free output path: instead of
+// gathering, radix-sorting and segment-reducing into a sparse list, it
+// scatters each product directly into caller-provided bitmap storage
+// (wVal/wPresent, length cscG.Cols), combining duplicates with ⊕ on
+// arrival. The radix pass — "often the bottleneck" per Section 6.2 —
+// disappears entirely; the direction planner selects this path when the
+// estimated output density makes the sort dominate (Plan.PushOutBitmap).
+// The mask is applied inline during the scatter, so masked-out positions
+// are never written. wPresent must arrive cleared; the call returns the
+// number of present outputs.
+func ColMxvBitmap[T comparable](wVal []T, wPresent []bool, cscG *sparse.CSR[T], u VecView[T], mask MaskView, masked bool, sr SR[T], opts Opts) int {
+	if masked && mask.KnownEmpty {
+		if !mask.Scmp {
+			return 0 // empty mask allows nothing; wPresent is already clear
 		}
+		masked = false // empty complement allows everything
+	}
+	ws, transient := kernelWorkspace(opts.Ws, cscG.Rows, cscG.Cols)
+	a := arenaFor[T](ws)
+	uInd, uVal := pushOperands(a, u)
+	nvals := 0
+	for i, col := range uInd {
+		ind, val := cscG.RowSpan(int(col))
+		if opts.StructureOnly {
+			for _, out := range ind {
+				if masked && !mask.Allows(int(out)) {
+					continue
+				}
+				if !wPresent[out] {
+					wPresent[out] = true
+					wVal[out] = sr.One
+					nvals++
+				}
+			}
+			continue
+		}
+		x := uVal[i]
+		for j, out := range ind {
+			if masked && !mask.Allows(int(out)) {
+				continue
+			}
+			product := sr.Mul(val[j], x)
+			if wPresent[out] {
+				wVal[out] = sr.Add(wVal[out], product)
+			} else {
+				wPresent[out] = true
+				wVal[out] = sr.Add(sr.Id, product)
+				nvals++
+			}
+		}
+	}
+	if transient {
 		ws.Release()
 	}
-	return wInd, wVal
+	return nvals
 }
 
 // colMxvRadix is the paper's GPU strategy (Algorithm 3) transplanted to the

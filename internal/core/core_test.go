@@ -123,23 +123,43 @@ func randVector(rng *rand.Rand, n int, density float64) ([]float64, []bool) {
 	return v, p
 }
 
+// bitmapView wraps raw value/presence arrays as a bitmap VecView,
+// recounting the presence bits.
+func bitmapView[T comparable](val []T, present []bool) VecView[T] {
+	c := 0
+	for _, p := range present {
+		if p {
+			c++
+		}
+	}
+	return BitmapVec(val, present, c)
+}
+
 func TestRowMxvMatchesOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(20))
 	for trial := 0; trial < 30; trial++ {
 		n := 1 + rng.Intn(40)
 		g := randCSR(rng, n, n, 0.15)
 		uVal, uPresent := randVector(rng, n, 0.4)
+		uInd, uSparse := denseToSparse(uVal, uPresent)
 		for _, sr := range []SR[float64]{plusTimes(), minPlus()} {
 			wantV, wantP := denseMxv(g, uVal, uPresent, sr)
-			w := make([]float64, n)
-			p := make([]bool, n)
-			RowMxv(w, p, g, uVal, uPresent, sr, Opts{})
-			for i := 0; i < n; i++ {
-				if p[i] != wantP[i] {
-					t.Fatalf("trial %d: presence[%d]=%v want %v", trial, i, p[i], wantP[i])
-				}
-				if p[i] && !close(w[i], wantV[i]) {
-					t.Fatalf("trial %d: w[%d]=%g want %g", trial, i, w[i], wantV[i])
+			// Bitmap view (the direct layout) and sparse view (kernel-side
+			// materialization into workspace scratch) must agree.
+			for _, uv := range []VecView[float64]{
+				bitmapView(uVal, uPresent),
+				SparseVec(n, uInd, uSparse),
+			} {
+				w := make([]float64, n)
+				p := make([]bool, n)
+				RowMxv(w, p, g, uv, sr, Opts{})
+				for i := 0; i < n; i++ {
+					if p[i] != wantP[i] {
+						t.Fatalf("trial %d %v: presence[%d]=%v want %v", trial, uv.Kind, i, p[i], wantP[i])
+					}
+					if p[i] && !close(w[i], wantV[i]) {
+						t.Fatalf("trial %d %v: w[%d]=%g want %g", trial, uv.Kind, i, w[i], wantV[i])
+					}
 				}
 			}
 		}
@@ -162,19 +182,26 @@ func TestColMxvAllMergeStrategiesMatchOracle(t *testing.T) {
 		sr := plusTimes()
 		wantV, wantP := denseMxv(g, uVal, uPresent, sr)
 		for _, mk := range []MergeKind{MergeRadix, MergeHeap, MergeSPA} {
-			wInd, wVal := ColMxv(cscG, uInd, uSparse, sr, Opts{Merge: mk})
-			gotV, gotP := sparseToDense(n, wInd, wVal)
-			for i := 0; i < n; i++ {
-				if gotP[i] != wantP[i] {
-					t.Fatalf("trial %d merge %d: presence[%d]=%v want %v", trial, mk, i, gotP[i], wantP[i])
+			// Sparse view (direct gather) and bitmap view (kernel-side
+			// compaction into an index list) must agree.
+			for _, uv := range []VecView[float64]{
+				SparseVec(n, uInd, uSparse),
+				bitmapView(uVal, uPresent),
+			} {
+				wInd, wVal := ColMxv(cscG, uv, sr, Opts{Merge: mk})
+				gotV, gotP := sparseToDense(n, wInd, wVal)
+				for i := 0; i < n; i++ {
+					if gotP[i] != wantP[i] {
+						t.Fatalf("trial %d merge %d %v: presence[%d]=%v want %v", trial, mk, uv.Kind, i, gotP[i], wantP[i])
+					}
+					if gotP[i] && !close(gotV[i], wantV[i]) {
+						t.Fatalf("trial %d merge %d %v: w[%d]=%g want %g", trial, mk, uv.Kind, i, gotV[i], wantV[i])
+					}
 				}
-				if gotP[i] && !close(gotV[i], wantV[i]) {
-					t.Fatalf("trial %d merge %d: w[%d]=%g want %g", trial, mk, i, gotV[i], wantV[i])
-				}
-			}
-			for k := 1; k < len(wInd); k++ {
-				if wInd[k-1] >= wInd[k] {
-					t.Fatalf("trial %d merge %d: output indices unsorted", trial, mk)
+				for k := 1; k < len(wInd); k++ {
+					if wInd[k-1] >= wInd[k] {
+						t.Fatalf("trial %d merge %d %v: output indices unsorted", trial, mk, uv.Kind)
+					}
 				}
 			}
 		}
@@ -205,7 +232,7 @@ func TestMaskedVariantsRespectMask(t *testing.T) {
 			// Row masked.
 			w := make([]float64, n)
 			p := make([]bool, n)
-			RowMaskedMxv(w, p, g, uVal, uPresent, mask, sr, Opts{})
+			RowMaskedMxv(w, p, g, bitmapView(uVal, uPresent), mask, sr, Opts{})
 			for i := 0; i < n; i++ {
 				if p[i] != wantP[i] || (p[i] && !close(w[i], wantV[i])) {
 					t.Fatalf("trial %d scmp=%v row: mismatch at %d", trial, scmp, i)
@@ -220,14 +247,14 @@ func TestMaskedVariantsRespectMask(t *testing.T) {
 			}
 			w2 := make([]float64, n)
 			p2 := make([]bool, n)
-			RowMaskedMxv(w2, p2, g, uVal, uPresent, MaskView{Bits: maskBits, Scmp: scmp, List: list}, sr, Opts{})
+			RowMaskedMxv(w2, p2, g, bitmapView(uVal, uPresent), MaskView{Bits: maskBits, Scmp: scmp, List: list}, sr, Opts{})
 			for i := 0; i < n; i++ {
 				if p2[i] != wantP[i] || (p2[i] && !close(w2[i], wantV[i])) {
 					t.Fatalf("trial %d scmp=%v row-list: mismatch at %d", trial, scmp, i)
 				}
 			}
 			// Column masked.
-			wInd, wVal := ColMaskedMxv(cscG, uInd, uSparse, mask, sr, Opts{})
+			wInd, wVal := ColMaskedMxv(cscG, SparseVec(n, uInd, uSparse), mask, sr, Opts{})
 			gotV, gotP := sparseToDense(n, wInd, wVal)
 			for i := 0; i < n; i++ {
 				if gotP[i] != wantP[i] || (gotP[i] && !close(gotV[i], wantV[i])) {
@@ -261,7 +288,7 @@ func TestEarlyExitPreservesBooleanResults(t *testing.T) {
 		run := func(opts Opts) ([]bool, []bool) {
 			w := make([]bool, n)
 			p := make([]bool, n)
-			RowMaskedMxv(w, p, g, uVal, uPresent, mask, sr, opts)
+			RowMaskedMxv(w, p, g, bitmapView(uVal, uPresent), mask, sr, opts)
 			return w, p
 		}
 		baseW, baseP := run(Opts{})
@@ -289,10 +316,10 @@ func TestEarlyExitIgnoredWithoutTerminal(t *testing.T) {
 	sr := plusTimes() // no terminal
 	w1 := make([]float64, n)
 	p1 := make([]bool, n)
-	RowMxv(w1, p1, g, uVal, uPresent, sr, Opts{})
+	RowMxv(w1, p1, g, bitmapView(uVal, uPresent), sr, Opts{})
 	w2 := make([]float64, n)
 	p2 := make([]bool, n)
-	RowMxv(w2, p2, g, uVal, uPresent, sr, Opts{EarlyExit: true})
+	RowMxv(w2, p2, g, bitmapView(uVal, uPresent), sr, Opts{EarlyExit: true})
 	for i := 0; i < n; i++ {
 		if p1[i] != p2[i] || (p1[i] && !close(w1[i], w2[i])) {
 			t.Fatalf("early-exit changed plus-times result at %d", i)
@@ -317,8 +344,8 @@ func TestStructureOnlyColumnEquivalence(t *testing.T) {
 			}
 		}
 		for _, mk := range []MergeKind{MergeRadix, MergeHeap, MergeSPA} {
-			aInd, aVal := ColMxv(cscG, uInd, uVal, sr, Opts{Merge: mk})
-			bInd, bVal := ColMxv(cscG, uInd, uVal, sr, Opts{Merge: mk, StructureOnly: true})
+			aInd, aVal := ColMxv(cscG, SparseVec(n, uInd, uVal), sr, Opts{Merge: mk})
+			bInd, bVal := ColMxv(cscG, SparseVec(n, uInd, uVal), sr, Opts{Merge: mk, StructureOnly: true})
 			if len(aInd) != len(bInd) {
 				t.Fatalf("trial %d merge %d: nnz %d vs %d", trial, mk, len(aInd), len(bInd))
 			}
@@ -344,7 +371,7 @@ func TestCountedKernelsMatchUncounted(t *testing.T) {
 
 		w1 := make([]float64, n)
 		p1 := make([]bool, n)
-		RowMxv(w1, p1, g, uVal, uPresent, sr, Opts{})
+		RowMxv(w1, p1, g, bitmapView(uVal, uPresent), sr, Opts{})
 		w2 := make([]float64, n)
 		p2 := make([]bool, n)
 		RowMxvCounted(w2, p2, g, uVal, uPresent, sr, Opts{}, &c)
@@ -357,7 +384,7 @@ func TestCountedKernelsMatchUncounted(t *testing.T) {
 			t.Fatal("counted kernel recorded no matrix accesses")
 		}
 
-		i1, v1 := ColMxv(cscG, uInd, uSparse, sr, Opts{Merge: MergeHeap})
+		i1, v1 := ColMxv(cscG, SparseVec(n, uInd, uSparse), sr, Opts{Merge: MergeHeap})
 		var c2 Counter
 		i2, v2 := ColMxvCounted(cscG, uInd, uSparse, sr, Opts{}, &c2)
 		if len(i1) != len(i2) {
@@ -422,55 +449,6 @@ func TestCounterScaling(t *testing.T) {
 	}
 	if m1, m9 := countMaskedRow(0.1), countMaskedRow(0.9); m9 < 5*m1 {
 		t.Fatalf("masked row accesses should scale with nnz(m): %d vs %d", m1, m9)
-	}
-}
-
-func TestSwitchStateHysteresis(t *testing.T) {
-	var s SwitchState
-	n := 1000
-	d := Push
-	// Growing frontier crosses the switch-point: push → pull.
-	d = s.Decide(5, n, d, 0.01)
-	if d != Push {
-		t.Fatal("tiny frontier should stay push")
-	}
-	d = s.Decide(50, n, d, 0.01)
-	if d != Pull {
-		t.Fatal("growing past switch-point should go pull")
-	}
-	// Still large: stay pull.
-	d = s.Decide(400, n, d, 0.01)
-	if d != Pull {
-		t.Fatal("large frontier should stay pull")
-	}
-	// Shrinking below switch-point: pull → push.
-	d = s.Decide(5, n, d, 0.01)
-	if d != Push {
-		t.Fatal("shrinking below switch-point should go push")
-	}
-	// A *rising* frontier below the switch-point must not bounce to pull...
-	s.Reset()
-	d = Pull
-	d = s.Decide(3, n, d, 0.01)
-	if d != Push {
-		t.Fatal("first decision has no history; falling ratio goes push")
-	}
-	// ...and a *falling* frontier above the switch-point stays put.
-	s.Reset()
-	s.Decide(900, n, Pull, 0.01)
-	d = s.Decide(500, n, Push, 0.01)
-	if d != Push {
-		t.Fatal("falling frontier must not switch push→pull even above sp")
-	}
-}
-
-func TestSwitchStateDefaults(t *testing.T) {
-	var s SwitchState
-	if d := s.Decide(500, 1000, Push, 0); d != Pull {
-		t.Fatal("sp<=0 should fall back to the default switch-point")
-	}
-	if d := s.Decide(0, 0, Pull, 0.01); d != Pull {
-		t.Fatal("n==0 should keep the current direction")
 	}
 }
 
@@ -570,7 +548,7 @@ func TestColMxvEmptyInput(t *testing.T) {
 	g := randCSR(rand.New(rand.NewSource(28)), 10, 10, 0.3)
 	cscG := sparse.Transpose(g)
 	for _, mk := range []MergeKind{MergeRadix, MergeHeap, MergeSPA} {
-		ind, val := ColMxv(cscG, nil, nil, plusTimes(), Opts{Merge: mk})
+		ind, val := ColMxv(cscG, SparseVec[float64](10, nil, nil), plusTimes(), Opts{Merge: mk})
 		if len(ind) != 0 || len(val) != 0 {
 			t.Fatalf("merge %d: empty input produced output", mk)
 		}

@@ -139,8 +139,8 @@ func TestSequentialColumnKernelsMatchParallel(t *testing.T) {
 			}
 		}
 		for _, mk := range []MergeKind{MergeRadix, MergeHeap, MergeSPA} {
-			pi, pv := ColMxv(g, uInd, uVal, sr, Opts{Merge: mk})
-			si, sv := ColMxv(g, uInd, uVal, sr, Opts{Merge: mk, Sequential: true})
+			pi, pv := ColMxv(g, SparseVec(n, uInd, uVal), sr, Opts{Merge: mk})
+			si, sv := ColMxv(g, SparseVec(n, uInd, uVal), sr, Opts{Merge: mk, Sequential: true})
 			if len(pi) != len(si) {
 				t.Fatalf("trial %d merge %d: nnz %d vs %d", trial, mk, len(pi), len(si))
 			}
@@ -152,8 +152,8 @@ func TestSequentialColumnKernelsMatchParallel(t *testing.T) {
 		}
 		// Structure-only sequential path too.
 		for _, mk := range []MergeKind{MergeRadix, MergeHeap, MergeSPA} {
-			pi, _ := ColMxv(g, uInd, uVal, sr, Opts{Merge: mk, StructureOnly: true})
-			si, _ := ColMxv(g, uInd, uVal, sr, Opts{Merge: mk, StructureOnly: true, Sequential: true})
+			pi, _ := ColMxv(g, SparseVec(n, uInd, uVal), sr, Opts{Merge: mk, StructureOnly: true})
+			si, _ := ColMxv(g, SparseVec(n, uInd, uVal), sr, Opts{Merge: mk, StructureOnly: true, Sequential: true})
 			if len(pi) != len(si) {
 				t.Fatalf("trial %d merge %d structure-only: nnz differs", trial, mk)
 			}

@@ -1,16 +1,15 @@
 package core
 
-// This file implements the paper's Section 6.3 direction-optimization
-// heuristic. Beamer's original DOBFS switches push→pull when
-// nnz(m_f)/nnz(m_u) > α and pull→push when nnz(f)/M < β. The paper avoids
-// computing m_f speculatively by observing nnz(m_f) ≈ d·nnz(f) and
-// nnz(m_u) ≈ d·M near the switch, collapsing both tests to a single ratio
-// r = nnz(f)/M compared against one switch-point (α = β, default 0.01),
-// with hysteresis: r must be *increasing* to go dense (push→pull) and
-// *decreasing* to go sparse (pull→push).
+// This file keeps the direction vocabulary and the paper's Section 6.3
+// switch-point constant. The single-ratio heuristic itself — nnz/n against
+// the switch-point with trend hysteresis — lives in the planner
+// (legacyRatioRule in planner.go), where it serves as the explicit
+// SwitchPoint override of the default edge-based cost model.
 
 // DefaultSwitchPoint is the paper's α = β = 0.01: "once we have visited 1%
 // of vertices in the graph in a BFS, we are sure to have hit a supernode."
+// The planner's legacy ratio rule compares nnz/n against it; the storage
+// layer uses it as the bitmap→sparse settle threshold.
 const DefaultSwitchPoint = 0.01
 
 // Direction names the matvec orientation chosen for an operation.
@@ -32,41 +31,3 @@ func (d Direction) String() string {
 	}
 	return "pull"
 }
-
-// SwitchState carries the between-iteration memory the hysteresis needs:
-// the previous nonzero count of the vector being converted.
-type SwitchState struct {
-	prevNNZ int
-	primed  bool
-}
-
-// Decide returns the direction for a frontier with nnz nonzeroes out of n
-// possible, given the current direction and the switch-point ratio
-// (DefaultSwitchPoint if sp <= 0). It updates the hysteresis state.
-func (s *SwitchState) Decide(nnz, n int, current Direction, sp float64) Direction {
-	if sp <= 0 {
-		sp = DefaultSwitchPoint
-	}
-	increasing := !s.primed || nnz >= s.prevNNZ
-	decreasing := !s.primed || nnz <= s.prevNNZ
-	s.prevNNZ = nnz
-	s.primed = true
-	if n == 0 {
-		return current
-	}
-	r := float64(nnz) / float64(n)
-	switch current {
-	case Push:
-		if r > sp && increasing {
-			return Pull
-		}
-	case Pull:
-		if r < sp && decreasing {
-			return Push
-		}
-	}
-	return current
-}
-
-// Reset clears the hysteresis state (used when a new traversal starts).
-func (s *SwitchState) Reset() { *s = SwitchState{} }

@@ -11,17 +11,21 @@ import (
 const rowGrain = 256
 
 // RowMxv computes the unmasked row-based matvec w = G·u (the paper's SpMV):
-// for every row i, w(i) = ⊕_j G(i,j) ⊗ u(j). The input u is dense
-// (uVal/uPresent); absent entries contribute nothing. Outputs are written
+// for every row i, w(i) = ⊕_j G(i,j) ⊗ u(j). The input is a format-agnostic
+// view: bitmap views are probed through their presence bits, dense views
+// skip the presence probe entirely (every position is stored), and sparse
+// views are materialized into workspace scratch first. Outputs are written
 // into caller-allocated w/wPresent (length G.Rows); rows with no
 // contributing terms are marked absent. Returns the number of present
 // outputs, so callers never rescan the presence bitmap to recount.
 //
 // Cost (Table 1 row 1): every stored entry of G is examined regardless of
 // input or output sparsity — O(d·M).
-func RowMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], uVal []T, uPresent []bool, sr SR[T], opts Opts) int {
+func RowMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], u VecView[T], sr SR[T], opts Opts) int {
 	ws, transient := kernelWorkspace(opts.Ws, g.Rows, g.Cols)
-	rl := &arenaFor[T](ws).row
+	a := arenaFor[T](ws)
+	uVal, uPresent := pullOperands(a, u)
+	rl := &a.row
 	rl.ensure()
 	rl.stage(w, wPresent, g, uVal, uPresent, MaskView{}, sr, opts)
 	if opts.Sequential {
@@ -31,6 +35,9 @@ func RowMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], uVal []T, uP
 	}
 	nvals := int(rl.nvals.Load())
 	rl.clear()
+	if u.Kind == KindSparse {
+		scrubPull(a)
+	}
 	if transient {
 		ws.Release()
 	}
@@ -45,7 +52,7 @@ func RowMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], uVal []T, uP
 // written, so the caller must hand in wPresent already cleared (the vector
 // layer reuses one zeroed bitmap across iterations). Returns the number of
 // present outputs.
-func RowMaskedMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], uVal []T, uPresent []bool, mask MaskView, sr SR[T], opts Opts) int {
+func RowMaskedMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], u VecView[T], mask MaskView, sr SR[T], opts Opts) int {
 	if mask.KnownEmpty && mask.List == nil {
 		if !mask.Scmp {
 			// Empty mask allows nothing: clear the output and stop.
@@ -56,10 +63,12 @@ func RowMaskedMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], uVal [
 		}
 		// Empty complement allows everything: identical write pattern to
 		// the unmasked kernel, without the per-row bitmap probe.
-		return RowMxv(w, wPresent, g, uVal, uPresent, sr, opts)
+		return RowMxv(w, wPresent, g, u, sr, opts)
 	}
 	ws, transient := kernelWorkspace(opts.Ws, g.Rows, g.Cols)
-	rl := &arenaFor[T](ws).row
+	a := arenaFor[T](ws)
+	uVal, uPresent := pullOperands(a, u)
+	rl := &a.row
 	rl.ensure()
 	rl.stage(w, wPresent, g, uVal, uPresent, mask, sr, opts)
 	if mask.List != nil {
@@ -77,6 +86,9 @@ func RowMaskedMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], uVal [
 	}
 	nvals := int(rl.nvals.Load())
 	rl.clear()
+	if u.Kind == KindSparse {
+		scrubPull(a)
+	}
 	if transient {
 		ws.Release()
 	}
@@ -94,12 +106,41 @@ func kernelWorkspace(ws *Workspace, rows, cols int) (*Workspace, bool) {
 }
 
 // rowAccumulate folds row i of G against u into w[i]. It implements the
-// inner loop of Algorithm 2, including the optional early-exit break and
-// the structure-only value bypass. It reports whether w[i] was written
-// present, so chunk bodies can count output nonzeroes as they go.
+// inner loop of Algorithm 2, including the optional early-exit break, the
+// structure-only value bypass, and the dense-input fast path (uPresent ==
+// nil means every position is stored, so the presence probe disappears).
+// It reports whether w[i] was written present, so chunk bodies can count
+// output nonzeroes as they go.
 func rowAccumulate[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], i int, uVal []T, uPresent []bool, sr SR[T], opts Opts) bool {
 	lo, hi := g.Ptr[i], g.Ptr[i+1]
 	earlyExit := opts.EarlyExit && sr.Terminal != nil
+	if uPresent == nil {
+		// Dense input: no presence probes, and any nonempty row produces an
+		// output.
+		if hi == lo {
+			wPresent[i] = false
+			return false
+		}
+		if opts.StructureOnly && earlyExit {
+			w[i] = *sr.Terminal
+			wPresent[i] = true
+			return true
+		}
+		acc := sr.Id
+		for k := lo; k < hi; k++ {
+			if opts.StructureOnly {
+				acc = sr.Add(acc, sr.One)
+			} else {
+				acc = sr.Add(acc, sr.Mul(g.Val[k], uVal[g.Ind[k]]))
+			}
+			if earlyExit && acc == *sr.Terminal {
+				break
+			}
+		}
+		w[i] = acc
+		wPresent[i] = true
+		return true
+	}
 	if opts.StructureOnly && earlyExit {
 		// Pure existence scan — the exact BFS pull inner loop: stop at the
 		// first present parent (Algorithm 2 Line 8).

@@ -1,0 +1,141 @@
+package core
+
+// This file defines the format-agnostic vector view the kernels consume.
+// The public graphblas layer stores vectors in one of three formats —
+// sparse list, bitmap (presence bits + values), dense (every position
+// stored) — and lowers whichever one a vector currently holds into a
+// VecView without copying. Kernels dispatch on the view's kind: the pull
+// side gets an O(1)-probe layout (materializing one into workspace scratch
+// if handed a sparse view), the push side gets an index list (compacting
+// one from bitmap bits if needed), and dense views let the pull inner loop
+// skip the presence probe entirely.
+
+// VecKind names the storage layout a VecView describes.
+type VecKind uint8
+
+const (
+	// KindSparse is a sorted unique (index, value) pair list.
+	KindSparse VecKind = iota
+	// KindBitmap is a value array plus a presence bitmap: O(1) random
+	// access, nvals may be far below n.
+	KindBitmap
+	// KindDense is a value array with every position stored: the presence
+	// probe disappears from kernel inner loops.
+	KindDense
+)
+
+// String returns "sparse", "bitmap" or "dense".
+func (k VecKind) String() string {
+	switch k {
+	case KindSparse:
+		return "sparse"
+	case KindBitmap:
+		return "bitmap"
+	default:
+		return "dense"
+	}
+}
+
+// VecView is a zero-copy, read-only window onto a vector's storage in
+// whatever format it currently holds. Exactly the fields implied by Kind
+// are valid: Ind/Val for sparse, Dval/Present for bitmap, Dval alone for
+// dense (Present is nil and every position is stored).
+type VecView[T comparable] struct {
+	Kind VecKind
+	// N is the vector length.
+	N int
+	// NVals is the stored-element count (len(Ind) for sparse, N for dense).
+	NVals int
+
+	// Sparse: parallel slices, Ind sorted ascending and unique.
+	Ind []uint32
+	Val []T
+
+	// Bitmap/dense: value array of length N; Present is nil for dense.
+	Dval    []T
+	Present []bool
+}
+
+// SparseVec builds a sparse view over sorted unique (ind, val) pairs.
+func SparseVec[T comparable](n int, ind []uint32, val []T) VecView[T] {
+	return VecView[T]{Kind: KindSparse, N: n, NVals: len(ind), Ind: ind, Val: val}
+}
+
+// BitmapVec builds a bitmap view over value/presence arrays of equal
+// length. nvals is the number of true presence bits; pass a recount if the
+// caller does not track it.
+func BitmapVec[T comparable](dval []T, present []bool, nvals int) VecView[T] {
+	return VecView[T]{Kind: KindBitmap, N: len(dval), NVals: nvals, Dval: dval, Present: present}
+}
+
+// DenseVec builds a dense view: every position of dval is a stored element.
+func DenseVec[T comparable](dval []T) VecView[T] {
+	return VecView[T]{Kind: KindDense, N: len(dval), NVals: len(dval), Dval: dval}
+}
+
+// pullOperands lowers the view into the (values, present) pair the row
+// kernels probe, materializing a sparse view into arena scratch (scrubbed
+// before reuse via the touched list, so repeated calls stay allocation-free
+// past the high-water mark). present == nil means every position is stored.
+func pullOperands[T comparable](a *arena[T], u VecView[T]) (val []T, present []bool) {
+	switch u.Kind {
+	case KindDense:
+		return u.Dval, nil
+	case KindBitmap:
+		return u.Dval, u.Present
+	default:
+		a.pullVal = grow(a.pullVal, u.N)
+		a.pullPresent = growCleared(a.pullPresent, u.N)
+		for k, idx := range u.Ind {
+			a.pullVal[idx] = u.Val[k]
+			a.pullPresent[idx] = true
+		}
+		a.pullTouched = append(a.pullTouched[:0], u.Ind...)
+		return a.pullVal, a.pullPresent
+	}
+}
+
+// scrubPull restores the all-false invariant of the arena's pull-scratch
+// presence bitmap after a materialized sparse view is done with it.
+func scrubPull[T comparable](a *arena[T]) {
+	for _, idx := range a.pullTouched {
+		a.pullPresent[idx] = false
+	}
+	a.pullTouched = a.pullTouched[:0]
+}
+
+// pushOperands lowers the view into the (indices, values) pair the column
+// kernels gather from, compacting bitmap/dense views into arena scratch.
+// For dense views every index is listed.
+func pushOperands[T comparable](a *arena[T], u VecView[T]) (ind []uint32, val []T) {
+	switch u.Kind {
+	case KindSparse:
+		return u.Ind, u.Val
+	case KindDense:
+		a.pushInd = grow(a.pushInd, u.N)
+		for i := range a.pushInd {
+			a.pushInd[i] = uint32(i)
+		}
+		return a.pushInd, u.Dval
+	default:
+		a.pushInd = a.pushInd[:0]
+		a.pushVal = a.pushVal[:0]
+		for i, p := range u.Present {
+			if p {
+				a.pushInd = append(a.pushInd, uint32(i))
+				a.pushVal = append(a.pushVal, u.Dval[i])
+			}
+		}
+		return a.pushInd, a.pushVal
+	}
+}
+
+// growCleared returns buf resized to n with every element false,
+// reallocating only past the high-water mark. Unlike grow it guarantees the
+// cleared invariant on first use; reuse relies on callers scrubbing.
+func growCleared(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}

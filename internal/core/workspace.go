@@ -105,6 +105,16 @@ type arena[T comparable] struct {
 	seen    []bool   // SPA presence (cols-sized, kept all-false between calls)
 	touched []uint32 // SPA touched-index list
 
+	// View-materialization scratch: a sparse view handed to a pull kernel
+	// scatters into pullVal/pullPresent (scrubbed via pullTouched); a
+	// bitmap/dense view handed to a push kernel compacts into
+	// pushInd/pushVal.
+	pullVal     []T
+	pullPresent []bool
+	pullTouched []uint32
+	pushInd     []uint32
+	pushVal     []T
+
 	row   rowLoop[T]
 	col   colLoop[T]
 	fused fusedLoop[T]

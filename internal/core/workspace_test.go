@@ -36,10 +36,10 @@ func TestKernelsWithWorkspaceMatchFresh(t *testing.T) {
 			// Row unmasked.
 			w1 := make([]float64, n)
 			p1 := make([]bool, n)
-			nv1 := RowMxv(w1, p1, g, uVal, uPresent, sr, wsOpts(MergeRadix))
+			nv1 := RowMxv(w1, p1, g, bitmapView(uVal, uPresent), sr, wsOpts(MergeRadix))
 			w2 := make([]float64, n)
 			p2 := make([]bool, n)
-			nv2 := RowMxv(w2, p2, g, uVal, uPresent, sr, Opts{})
+			nv2 := RowMxv(w2, p2, g, bitmapView(uVal, uPresent), sr, Opts{})
 			if nv1 != nv2 {
 				t.Fatalf("trial %d rep %d: RowMxv nvals %d != %d", trial, rep, nv1, nv2)
 			}
@@ -48,10 +48,10 @@ func TestKernelsWithWorkspaceMatchFresh(t *testing.T) {
 			// Row masked.
 			m1 := make([]float64, n)
 			q1 := make([]bool, n)
-			mv1 := RowMaskedMxv(m1, q1, g, uVal, uPresent, mask, sr, wsOpts(MergeRadix))
+			mv1 := RowMaskedMxv(m1, q1, g, bitmapView(uVal, uPresent), mask, sr, wsOpts(MergeRadix))
 			m2 := make([]float64, n)
 			q2 := make([]bool, n)
-			mv2 := RowMaskedMxv(m2, q2, g, uVal, uPresent, mask, sr, Opts{})
+			mv2 := RowMaskedMxv(m2, q2, g, bitmapView(uVal, uPresent), mask, sr, Opts{})
 			if mv1 != mv2 {
 				t.Fatalf("trial %d rep %d: RowMaskedMxv nvals %d != %d", trial, rep, mv1, mv2)
 			}
@@ -59,15 +59,23 @@ func TestKernelsWithWorkspaceMatchFresh(t *testing.T) {
 
 			// Column unmasked + masked, every merge strategy.
 			for _, mk := range []MergeKind{MergeRadix, MergeHeap, MergeSPA} {
-				i1, v1 := ColMxv(cscG, uInd, uSparse, sr, wsOpts(mk))
-				i2, v2 := ColMxv(cscG, uInd, uSparse, sr, Opts{Merge: mk})
+				i1, v1 := ColMxv(cscG, SparseVec(n, uInd, uSparse), sr, wsOpts(mk))
+				i2, v2 := ColMxv(cscG, SparseVec(n, uInd, uSparse), sr, Opts{Merge: mk})
 				compareSparse(t, "ColMxv", i1, v1, i2, v2)
 
-				j1, x1 := ColMaskedMxv(cscG, uInd, uSparse, mask, sr, wsOpts(mk))
-				j2, x2 := ColMaskedMxv(cscG, uInd, uSparse, mask, sr, Opts{Merge: mk})
+				j1, x1 := ColMaskedMxv(cscG, SparseVec(n, uInd, uSparse), mask, sr, wsOpts(mk))
+				j2, x2 := ColMaskedMxv(cscG, SparseVec(n, uInd, uSparse), mask, sr, Opts{Merge: mk})
 				compareSparse(t, "ColMaskedMxv", j1, x1, j2, x2)
 			}
 		}
+	}
+}
+
+// clearBoolsTest resets a presence bitmap between ColMxvBitmap runs (the
+// kernel contract wants it cleared on entry).
+func clearBoolsTest(p []bool) {
+	for i := range p {
+		p[i] = false
 	}
 }
 
@@ -109,14 +117,14 @@ func TestColMaskedMxvDegenerateMasks(t *testing.T) {
 		uInd, uSparse := denseToSparse(uVal, uPresent)
 		empty := MaskView{Bits: make([]bool, n), KnownEmpty: true}
 
-		wantInd, wantVal := ColMxv(cscG, uInd, uSparse, sr, Opts{})
+		wantInd, wantVal := ColMxv(cscG, SparseVec(n, uInd, uSparse), sr, Opts{})
 
 		allowAll := empty
 		allowAll.Scmp = true
-		gotInd, gotVal := ColMaskedMxv(cscG, uInd, uSparse, allowAll, sr, Opts{})
+		gotInd, gotVal := ColMaskedMxv(cscG, SparseVec(n, uInd, uSparse), allowAll, sr, Opts{})
 		compareSparse(t, "empty-complement", gotInd, gotVal, wantInd, wantVal)
 
-		noneInd, _ := ColMaskedMxv(cscG, uInd, uSparse, empty, sr, Opts{})
+		noneInd, _ := ColMaskedMxv(cscG, SparseVec(n, uInd, uSparse), empty, sr, Opts{})
 		if len(noneInd) != 0 {
 			t.Fatalf("empty plain mask produced %d entries, want 0", len(noneInd))
 		}
@@ -124,13 +132,13 @@ func TestColMaskedMxvDegenerateMasks(t *testing.T) {
 		// Same degenerate masks through the row kernels.
 		w := make([]float64, n)
 		p := make([]bool, n)
-		RowMaskedMxv(w, p, g, uVal, uPresent, allowAll, sr, Opts{})
+		RowMaskedMxv(w, p, g, bitmapView(uVal, uPresent), allowAll, sr, Opts{})
 		w2 := make([]float64, n)
 		p2 := make([]bool, n)
-		RowMxv(w2, p2, g, uVal, uPresent, sr, Opts{})
+		RowMxv(w2, p2, g, bitmapView(uVal, uPresent), sr, Opts{})
 		compareDense(t, "row empty-complement", w, p, w2, p2)
 
-		nv := RowMaskedMxv(w, p, g, uVal, uPresent, empty, sr, Opts{})
+		nv := RowMaskedMxv(w, p, g, bitmapView(uVal, uPresent), empty, sr, Opts{})
 		if nv != 0 {
 			t.Fatalf("row empty plain mask reported %d outputs, want 0", nv)
 		}
@@ -188,10 +196,16 @@ func TestKernelSteadyStateAllocs(t *testing.T) {
 		name string
 		run  func()
 	}{
-		{"RowMxv", func() { RowMxv(w, p, g, uVal, uPresent, sr, opts) }},
-		{"RowMaskedMxv", func() { RowMaskedMxv(w, p, g, uVal, uPresent, mask, sr, opts) }},
-		{"ColMxv", func() { ColMxv(cscG, uInd, uSparse, sr, opts) }},
-		{"ColMaskedMxv", func() { ColMaskedMxv(cscG, uInd, uSparse, mask, sr, opts) }},
+		{"RowMxv", func() { RowMxv(w, p, g, BitmapVec(uVal, uPresent, 0), sr, opts) }},
+		{"RowMxv-sparse-view", func() { RowMxv(w, p, g, SparseVec(n, uInd, uSparse), sr, opts) }},
+		{"RowMaskedMxv", func() { RowMaskedMxv(w, p, g, BitmapVec(uVal, uPresent, 0), mask, sr, opts) }},
+		{"ColMxv", func() { ColMxv(cscG, SparseVec(n, uInd, uSparse), sr, opts) }},
+		{"ColMxv-bitmap-view", func() { ColMxv(cscG, BitmapVec(uVal, uPresent, 0), sr, opts) }},
+		{"ColMaskedMxv", func() { ColMaskedMxv(cscG, SparseVec(n, uInd, uSparse), mask, sr, opts) }},
+		{"ColMxvBitmap", func() {
+			clearBoolsTest(p)
+			ColMxvBitmap(w, p, cscG, SparseVec(n, uInd, uSparse), mask, true, sr, opts)
+		}},
 	}
 	for _, tc := range cases {
 		tc.run() // warm the workspace

@@ -134,7 +134,7 @@ func Fig5(scale int) ([]Fig5Row, error) {
 		// before this iteration.
 		frontier := graphblas.NewVector[bool](n)
 		visited := graphblas.NewVector[bool](n)
-		visited.ToDense()
+		visited.ToBitmap()
 		for v, d := range res.Depths {
 			if d == depth-1 {
 				_ = frontier.SetElement(v, true)

@@ -175,18 +175,21 @@ func MicroSweep(scale, points int, counted bool) (*MicroReport, error) {
 			core.ColMaskedMxvCounted(csc, ind, val, core.MaskView{Bits: colMaskBits}, sr, core.Opts{}, &c)
 			pt.ColMask = float64(c.Total())
 		} else {
+			uView := core.BitmapVec(denseVal, densePresent, k)
+			fullView := core.DenseVec(fullVal)
+			sparseView := core.SparseVec(n, ind, val)
 			pt.RowNoMask = ms(perf.TimeN(1, runs, func() {
-				core.RowMxv(w, wp, csr, denseVal, densePresent, sr, core.Opts{})
+				core.RowMxv(w, wp, csr, uView, sr, core.Opts{})
 			}))
 			pt.RowMask = ms(perf.TimeN(1, runs, func() {
-				core.RowMaskedMxv(w, wp, csr, fullVal, fullPresent,
+				core.RowMaskedMxv(w, wp, csr, fullView,
 					core.MaskView{Bits: maskBits, List: maskList}, sr, core.Opts{})
 			}))
 			pt.ColNoMask = ms(perf.TimeN(1, runs, func() {
-				core.ColMxv(csc, ind, val, sr, core.Opts{})
+				core.ColMxv(csc, sparseView, sr, core.Opts{})
 			}))
 			pt.ColMask = ms(perf.TimeN(1, runs, func() {
-				core.ColMaskedMxv(csc, ind, val, core.MaskView{Bits: colMaskBits}, sr, core.Opts{})
+				core.ColMaskedMxv(csc, sparseView, core.MaskView{Bits: colMaskBits}, sr, core.Opts{})
 			}))
 		}
 		rep.Points = append(rep.Points, pt)
