@@ -37,6 +37,11 @@ func BetweennessCentrality(a *graphblas.Matrix[bool], sources []int) ([]float64,
 	fwdDesc := &graphblas.Descriptor{Transpose: true, StructuralComplement: true, Workspace: ws}
 	backDesc := &graphblas.Descriptor{Workspace: ws}
 
+	// The c and contrib vectors are rebuilt each backward level, so one
+	// pair serves every source.
+	c := graphblas.NewVector[float64](n)
+	contrib := graphblas.NewVector[float64](n)
+
 	for _, s := range sources {
 		// Forward: level frontiers carrying σ (shortest-path counts).
 		var levels []*graphblas.Vector[float64]
@@ -50,7 +55,7 @@ func BetweennessCentrality(a *graphblas.Matrix[bool], sources []int) ([]float64,
 		_ = f.SetElement(s, 1)
 		for f.NVals() > 0 {
 			next := graphblas.NewVector[float64](n)
-			if _, err := graphblas.MxV(next, visited, nil, sr, counts, f, fwdDesc); err != nil {
+			if _, err := graphblas.Into(next).Mask(visited).With(fwdDesc).MxV(sr, counts, f); err != nil {
 				return nil, err
 			}
 			if next.NVals() == 0 {
@@ -60,7 +65,9 @@ func BetweennessCentrality(a *graphblas.Matrix[bool], sources []int) ([]float64,
 				sigma[i] = x
 				return true
 			})
-			if err := graphblas.AssignScalar(visited, next, true, nil); err != nil {
+			// visited⟨next⟩ = true: the float64 frontier masks the Boolean
+			// visited vector directly (masks are structural).
+			if err := graphblas.Into(visited).Mask(next).With(backDesc).AssignScalar(true); err != nil {
 				return nil, err
 			}
 			levels = append(levels, next)
@@ -69,27 +76,24 @@ func BetweennessCentrality(a *graphblas.Matrix[bool], sources []int) ([]float64,
 
 		// Backward: dependency accumulation δ(u) = σ(u)·Σ_{v∈succ(u)} (1+δ(v))/σ(v).
 		delta := make([]float64, n)
+		weight := func(i int, _ float64) float64 { return (1 + delta[i]) / sigma[i] }
+		srcMask := graphblas.NewVector[bool](n)
+		_ = srcMask.SetElement(s, true)
 		for t := len(levels) - 1; t >= 0; t-- {
-			// c(v) = (1+δ(v))/σ(v) over level t's pattern.
-			c := graphblas.NewVector[float64](n)
-			levels[t].Iterate(func(i int, _ float64) bool {
-				_ = c.SetElement(i, (1+delta[i])/sigma[i])
-				return true
-			})
+			// c(v) = (1+δ(v))/σ(v) over level t's pattern — an indexed
+			// apply instead of a hand-rolled rebuild loop.
+			if err := graphblas.Into(c).With(backDesc).ApplyIndexed(weight, levels[t]); err != nil {
+				return nil, err
+			}
 			// Contributions flow backwards along edges: u→v contributes
 			// c(v) to u, i.e. contrib = A·c, restricted to the previous
-			// level (or the source at t == 0).
-			prevMask := graphblas.NewVector[bool](n)
-			if t == 0 {
-				_ = prevMask.SetElement(s, true)
-			} else {
-				levels[t-1].Iterate(func(i int, _ float64) bool {
-					_ = prevMask.SetElement(i, true)
-					return true
-				})
+			// level (or the source at t == 0) — the level vector itself is
+			// the mask, no Boolean copy.
+			var prevMask graphblas.MaskVector = srcMask
+			if t > 0 {
+				prevMask = levels[t-1]
 			}
-			contrib := graphblas.NewVector[float64](n)
-			if _, err := graphblas.MxV(contrib, prevMask, nil, sr, counts, c, backDesc); err != nil {
+			if _, err := graphblas.Into(contrib).Mask(prevMask).With(backDesc).MxV(sr, counts, c); err != nil {
 				return nil, err
 			}
 			contrib.Iterate(func(i int, x float64) bool {

@@ -171,6 +171,10 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 		Merge:         opt.Merge,
 		Workspace:     ws,
 	}
+	// Post-filter for the unmasked configuration: f⟨¬visited⟩ = f as a
+	// masked identity apply through the same pipeline.
+	filterDesc := &graphblas.Descriptor{StructuralComplement: true, Workspace: ws}
+	keep := func(x bool) bool { return x }
 
 	for f.NVals() > 0 {
 		iterStart := time.Now()
@@ -214,12 +218,11 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 		var err error
 		if opt.DisableMasking {
 			// Unmasked mxv, then filter out already-visited vertices as a
-			// separate step (the pre-masking formulation).
-			if _, err = graphblas.MxV(f, (*graphblas.Vector[bool])(nil), nil, sr, a, input, desc); err != nil {
+			// separate masked-identity step (the pre-masking formulation).
+			if _, err = graphblas.Into(f).With(desc).MxV(sr, a, input); err != nil {
 				return res, err
 			}
-			_, visBits := visited.DenseView()
-			if err = graphblas.Select(f, func(i int, _ bool) bool { return !visBits[i] }, f); err != nil {
+			if err = graphblas.Into(f).Mask(visited).With(filterDesc).Apply(keep, f); err != nil {
 				return res, err
 			}
 		} else {
@@ -229,7 +232,7 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 				desc.MaskAllowList = nil
 			}
 			desc.StructuralComplement = true
-			if _, err = graphblas.MxV(f, visited, nil, sr, a, input, desc); err != nil {
+			if _, err = graphblas.Into(f).Mask(visited).With(desc).MxV(sr, a, input); err != nil {
 				return res, err
 			}
 		}
@@ -245,7 +248,7 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 			}
 			return true
 		})
-		if err := graphblas.AssignVector(visited, f); err != nil {
+		if err := graphblas.Into(visited).AssignVector(f); err != nil {
 			return res, err
 		}
 		res.Visited += newly

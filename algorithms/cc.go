@@ -27,12 +27,16 @@ func ConnectedComponents(a *graphblas.Matrix[bool]) ([]uint32, error) {
 	ids := graphblas.NewMatrixFromCSR(idValuedCopy(a.CSR()))
 	sr := graphblas.MinSecondUint32()
 
-	labels := make([]uint32, n)
-	active := graphblas.NewVector[uint32](n)
-	for i := range labels {
-		labels[i] = uint32(i)
-		_ = active.SetElement(i, uint32(i))
+	// Labels live in a Dense vector (labels(i) = i initially, stamped by an
+	// in-place indexed apply) so the improvement select probes the value
+	// array and the fold is a format-preserving in-place min-merge.
+	labels := graphblas.NewVector[uint32](n)
+	labels.Fill(0)
+	if err := graphblas.Into(labels).ApplyIndexed(func(i int, _ uint32) uint32 { return uint32(i) }, labels); err != nil {
+		return nil, err
 	}
+	labVal, _ := labels.DenseView()
+	active := labels.Dup()
 	cand := graphblas.NewVector[uint32](n)
 
 	// One workspace serves both propagation passes for the whole run; the
@@ -41,28 +45,32 @@ func ConnectedComponents(a *graphblas.Matrix[bool]) ([]uint32, error) {
 	defer ws.Release()
 	fwdDesc := &graphblas.Descriptor{Transpose: true, Workspace: ws}
 	revDesc := &graphblas.Descriptor{Workspace: ws}
+	improves := func(i int, l uint32) bool { return l < labVal[i] }
+	minOp := sr.Add.Op
 
 	for round := 0; round < n && active.NVals() > 0; round++ {
 		// cand = min over in-neighbours' labels (Aᵀ), then folded with the
 		// out-neighbour pass (A) for asymmetric graphs.
-		if _, err := graphblas.MxV(cand, (*graphblas.Vector[bool])(nil), nil, sr, ids, active, fwdDesc); err != nil {
+		if _, err := graphblas.Into(cand).With(fwdDesc).MxV(sr, ids, active); err != nil {
 			return nil, err
 		}
 		if !a.Symmetric() {
-			if _, err := graphblas.MxV(cand, (*graphblas.Vector[bool])(nil), sr.Add.Op, sr, ids, active, revDesc); err != nil {
+			if _, err := graphblas.Into(cand).Accum(minOp).With(revDesc).MxV(sr, ids, active); err != nil {
 				return nil, err
 			}
 		}
-		active.Clear()
-		cand.Iterate(func(i int, l uint32) bool {
-			if l < labels[i] {
-				labels[i] = l
-				_ = active.SetElement(i, l)
-			}
-			return true
-		})
+		// Relax: the next active set is the candidates that improve, and
+		// the fold is a min-accumulating assign — labels min= active.
+		if err := graphblas.Into(active).With(fwdDesc).Select(improves, cand); err != nil {
+			return nil, err
+		}
+		if err := graphblas.Into(labels).Accum(minOp).With(fwdDesc).AssignVector(active); err != nil {
+			return nil, err
+		}
 	}
-	return labels, nil
+	out := make([]uint32, n)
+	copy(out, labVal)
+	return out, nil
 }
 
 // idValuedCopy re-types a Boolean pattern with uint32 values (unused by

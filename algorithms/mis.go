@@ -68,7 +68,7 @@ func MIS(a *graphblas.Matrix[bool], seed int64) ([]bool, error) {
 			}
 		}
 		// nbrMax⟨candidates⟩ = max over candidate neighbours' weights.
-		if _, err := graphblas.MxV(nbrMax, candMask, nil, sr, weighted, weights, desc); err != nil {
+		if _, err := graphblas.Into(nbrMax).Mask(candMask).With(desc).MxV(sr, weighted, weights); err != nil {
 			return nil, err
 		}
 		// Winners: weight strictly greater than every candidate

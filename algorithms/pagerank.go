@@ -105,12 +105,15 @@ func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (Pa
 
 	// The ranks vector is value-complete, so it lives in the true Dense
 	// format: the pull kernel consumes it through a presence-free view and
-	// its inner loop skips the probe entirely.
+	// its inner loop skips the probe entirely; the eWise teleport update
+	// below loops over the value arrays with no presence probes either.
 	ranks := graphblas.NewVector[float64](n)
 	ranks.Fill(1 / float64(n))
-	rv, _ := ranks.DenseView()
 
 	next := graphblas.NewVector[float64](n)
+	tele := graphblas.NewVector[float64](n)     // teleport + dangling mass, value-complete
+	newRanks := graphblas.NewVector[float64](n) // next iterate, swapped with ranks
+	newRanks.Fill(0)
 	active := graphblas.NewVector[bool](n) // adaptive mask: still-moving rows
 	active.Fill(true)
 	_, ap := active.DenseView()
@@ -124,8 +127,13 @@ func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (Pa
 	ws := graphblas.AcquireWorkspace(n, n)
 	defer ws.Release()
 	desc := &graphblas.Descriptor{Transpose: true, Direction: graphblas.ForcePull, Workspace: ws}
+	// Frozen rows carry their old rank: newRanks⟨¬active⟩ = ranks.
+	carryDesc := &graphblas.Descriptor{StructuralComplement: true, Workspace: ws}
+	scale := func(x float64) float64 { return opt.Damping * x }
+	plus := func(a, b float64) float64 { return a + b }
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		res.Iterations++
+		rv, _ := ranks.DenseView()
 		// Dangling mass: ranks parked on sink vertices redistribute
 		// uniformly.
 		dangling := 0.0
@@ -139,28 +147,43 @@ func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (Pa
 		var err error
 		if adaptive {
 			res.MaskedMatvecRows += int64(activeRows)
-			_, err = graphblas.MxV(next, active, nil, sr, wm, ranks, desc)
+			_, err = graphblas.Into(next).Mask(active).With(desc).MxV(sr, wm, ranks)
 		} else {
 			res.MaskedMatvecRows += int64(n)
-			_, err = graphblas.MxV(next, (*graphblas.Vector[bool])(nil), nil, sr, wm, ranks, desc)
+			_, err = graphblas.Into(next).With(desc).MxV(sr, wm, ranks)
 		}
 		if err != nil {
 			return res, err
 		}
 
-		nv, np := next.DenseView()
+		// The teleport/accumulate step as masked eWise pipeline calls:
+		// next ← α·next in place (pattern unchanged), then
+		// newRanks = tele ⊕ next — a dense∘bitmap union that lands dense,
+		// giving every row teleport plus its (possibly absent) pull
+		// contribution without a sparse round-trip.
+		tele.Fill(teleport)
+		if err := graphblas.Into(next).With(desc).Apply(scale, next); err != nil {
+			return res, err
+		}
+		if err := graphblas.Into(newRanks).With(desc).EWiseAdd(plus, tele, next); err != nil {
+			return res, err
+		}
+		if adaptive {
+			// newRanks⟨¬active⟩ = ranks: frozen rows keep their old rank.
+			if err := graphblas.Into(newRanks).Mask(active).With(carryDesc).AssignVector(ranks); err != nil {
+				return res, err
+			}
+		}
+
+		// Convergence and freeze bookkeeping on the old/new pair.
+		nv, _ := newRanks.DenseView()
 		delta := 0.0
 		for i := 0; i < n; i++ {
 			if adaptive && !ap[i] {
 				continue // frozen: rank carries over unchanged
 			}
-			x := teleport
-			if np[i] {
-				x += opt.Damping * nv[i]
-			}
-			d := math.Abs(x - rv[i])
+			d := math.Abs(nv[i] - rv[i])
 			delta += d
-			rv[i] = x
 			if adaptive {
 				if d < opt.AdaptiveTol {
 					streak[i]++
@@ -173,12 +196,14 @@ func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (Pa
 				}
 			}
 		}
+		ranks, newRanks = newRanks, ranks
 		if delta < opt.Tol || (adaptive && activeRows == 0) {
 			break
 		}
 	}
 	refreshNVals(active)
 	out := make([]float64, n)
+	rv, _ := ranks.DenseView()
 	copy(out, rv)
 	res.Ranks = out
 	return res, nil

@@ -48,21 +48,25 @@ func ParentBFS(a *graphblas.Matrix[bool], source int) ([]int64, error) {
 	ws := graphblas.AcquireWorkspace(n, n)
 	defer ws.Release()
 	desc := &graphblas.Descriptor{Transpose: true, StructuralComplement: true, Workspace: ws}
+	assignDesc := &graphblas.Descriptor{Workspace: ws}
 
+	stamp := func(i int, _ uint32) uint32 { return uint32(i) }
 	for f.NVals() > 0 {
-		if _, err := graphblas.MxV(f, visited, nil, sr, ids, f, desc); err != nil {
+		if _, err := graphblas.Into(f).Mask(visited).With(desc).MxV(sr, ids, f); err != nil {
 			return nil, err
 		}
 		f.Iterate(func(i int, parent uint32) bool {
 			parents[i] = int64(parent)
 			return true
 		})
-		if err := graphblas.AssignVector(visited, boolFromPattern(f)); err != nil {
+		// visited⟨f⟩ = true: masks are structural, so the uint32 frontier
+		// masks the Boolean visited vector directly — no pattern copy.
+		if err := graphblas.Into(visited).Mask(f).With(assignDesc).AssignScalar(true); err != nil {
 			return nil, err
 		}
 		// Re-stamp each newly discovered vertex with its own id so the
-		// next hop forwards the right parent.
-		if err := graphblas.ApplyIndexed(f, func(i int, _ uint32) uint32 { return uint32(i) }, f); err != nil {
+		// next hop forwards the right parent (in place: same pattern).
+		if err := graphblas.Into(f).ApplyIndexed(stamp, f); err != nil {
 			return nil, err
 		}
 	}
@@ -81,15 +85,4 @@ func boolToIDCSR(a *graphblas.Matrix[bool]) *sparse.CSR[uint32] {
 		Ind:  src.Ind,
 		Val:  make([]uint32, len(src.Ind)),
 	}
-}
-
-// boolFromPattern builds a Boolean vector with u's pattern, without
-// disturbing u's storage format (bitmap frontiers stay bitmap).
-func boolFromPattern(u *graphblas.Vector[uint32]) *graphblas.Vector[bool] {
-	out := graphblas.NewVector[bool](u.Size())
-	u.Iterate(func(i int, _ uint32) bool {
-		_ = out.SetElement(i, true)
-		return true
-	})
-	return out
 }

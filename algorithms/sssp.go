@@ -51,11 +51,15 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 	}
 	sr := graphblas.MinPlusFloat64()
 
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
+	// Distances live in a true Dense vector (every position stored, +Inf =
+	// unreached) so the relax fold is a format-preserving in-place merge
+	// and the improvement test probes the value array directly.
+	dist := graphblas.NewVector[float64](n)
+	dist.Fill(math.Inf(1))
+	if err := dist.SetElement(source, 0); err != nil {
+		return nil, err
 	}
-	dist[source] = 0
+	distVal, _ := dist.DenseView()
 
 	active := graphblas.NewVector[float64](n)
 	if err := active.SetElement(source, 0); err != nil {
@@ -66,10 +70,13 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 	planner := graphblas.NewPlanner(a, true, opt.SwitchPoint)
 	dir := core.Push
 
-	// One workspace and descriptor for the whole relaxation loop.
+	// One workspace and descriptor for the whole relaxation loop; the
+	// improvement predicate reads dist's stable dense storage.
 	ws := graphblas.AcquireWorkspace(n, n)
 	defer ws.Release()
 	desc := &graphblas.Descriptor{Transpose: true, Workspace: ws}
+	improves := func(i int, d float64) bool { return d < distVal[i] }
+	minOp := sr.Add.Op
 
 	for round := 0; round < n && active.NVals() > 0; round++ {
 		start := time.Now()
@@ -88,18 +95,19 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 		}
 		// cand = Aᵀ min.+ active: tentative distances through last round's
 		// improvements.
-		if _, err := graphblas.MxV(cand, (*graphblas.Vector[bool])(nil), nil, sr, a, active, desc); err != nil {
+		if _, err := graphblas.Into(cand).With(desc).MxV(sr, a, active); err != nil {
 			return nil, err
 		}
-		// active = positions where cand improves dist; fold improvements in.
-		active.Clear()
-		cand.Iterate(func(i int, d float64) bool {
-			if d < dist[i] {
-				dist[i] = d
-				_ = active.SetElement(i, d)
-			}
-			return true
-		})
+		// Relax, as two pipeline calls: the new active set is the
+		// candidates that improve (a select against dist), and the fold is
+		// a min-accumulating assign — dist min= active — in place of the
+		// hand-rolled merge loop.
+		if err := graphblas.Into(active).With(desc).Select(improves, cand); err != nil {
+			return nil, err
+		}
+		if err := graphblas.Into(dist).Accum(minOp).With(desc).AssignVector(active); err != nil {
+			return nil, err
+		}
 		if opt.Trace != nil {
 			opt.Trace(IterStats{
 				Iteration:   round + 1,
@@ -109,5 +117,7 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 			})
 		}
 	}
-	return dist, nil
+	out := make([]float64, n)
+	copy(out, distVal)
+	return out, nil
 }

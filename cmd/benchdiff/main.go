@@ -1,0 +1,204 @@
+// Command benchdiff compares two perf snapshots produced by
+// `ppbench -json` (BENCH_<experiment>.json) and fails when a benchmark
+// regressed: CI runs it against the previous main build's artifact so the
+// perf trajectory is a gate, not just a graph.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.10] [-col ns/op] <baseline> <current>
+//
+// Baseline and current are either two BENCH_*.json files or two
+// directories holding them (matched by file name). Every table with the
+// named column is compared row by row, keyed on the row's first cell
+// (the benchmark name); a current value exceeding baseline·(1+threshold)
+// is a regression. Rows or tables present on only one side are reported
+// but never fail the run, and a missing baseline (first build, expired
+// artifact) exits 0 so the gate cannot wedge CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+type snapshot struct {
+	Experiment string  `json:"experiment"`
+	Scale      int     `json:"scale"`
+	Tables     []table `json:"tables"`
+}
+
+type table struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "allowed relative increase before a row fails")
+	col := flag.String("col", "ns/op", "metric column to compare")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-col ns/op] <baseline> <current>")
+		os.Exit(2)
+	}
+	base, cur := flag.Arg(0), flag.Arg(1)
+
+	pairs, err := pairFiles(base, cur)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	if len(pairs) == 0 {
+		fmt.Println("benchdiff: no baseline snapshots to compare against; skipping (first build?)")
+		return
+	}
+	regressions := 0
+	for _, p := range pairs {
+		r, err := diffSnapshots(p[0], p[1], *col, *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		regressions += r
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+// pairFiles resolves (baseline, current) into matched file pairs. A
+// baseline path that does not exist yields no pairs (first run).
+func pairFiles(base, cur string) ([][2]string, error) {
+	bi, err := os.Stat(base)
+	if err != nil {
+		return nil, nil // no baseline: nothing to gate on
+	}
+	ci, err := os.Stat(cur)
+	if err != nil {
+		return nil, fmt.Errorf("current %s: %w", cur, err)
+	}
+	if !bi.IsDir() && !ci.IsDir() {
+		return [][2]string{{base, cur}}, nil
+	}
+	if !bi.IsDir() || !ci.IsDir() {
+		return nil, fmt.Errorf("baseline and current must both be files or both directories")
+	}
+	curFiles, err := filepath.Glob(filepath.Join(cur, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var pairs [][2]string
+	for _, cf := range curFiles {
+		bf := filepath.Join(base, filepath.Base(cf))
+		if _, err := os.Stat(bf); err != nil {
+			fmt.Printf("benchdiff: %s has no baseline; skipping\n", filepath.Base(cf))
+			continue
+		}
+		pairs = append(pairs, [2]string{bf, cf})
+	}
+	return pairs, nil
+}
+
+func load(path string) (snapshot, error) {
+	var s snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// diffSnapshots compares the metric column of every shared table and
+// returns the number of regressed rows.
+func diffSnapshots(basePath, curPath, col string, threshold float64) (int, error) {
+	base, err := load(basePath)
+	if err != nil {
+		return 0, err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return 0, err
+	}
+	if base.Scale != cur.Scale {
+		fmt.Printf("benchdiff: %s: scale changed %d → %d; skipping (not comparable)\n",
+			filepath.Base(curPath), base.Scale, cur.Scale)
+		return 0, nil
+	}
+	baseTables := map[string]table{}
+	for _, t := range base.Tables {
+		baseTables[t.Title] = t
+	}
+	regressions := 0
+	for _, ct := range cur.Tables {
+		ci := columnIndex(ct.Headers, col)
+		if ci < 0 {
+			continue
+		}
+		bt, ok := baseTables[ct.Title]
+		if !ok {
+			fmt.Printf("benchdiff: new table %q (no baseline)\n", ct.Title)
+			continue
+		}
+		bi := columnIndex(bt.Headers, col)
+		if bi < 0 {
+			continue
+		}
+		baseRows := map[string]float64{}
+		for _, r := range bt.Rows {
+			if len(r) > bi {
+				if v, err := strconv.ParseFloat(strings.TrimSpace(r[bi]), 64); err == nil {
+					baseRows[r[0]] = v
+				}
+			}
+		}
+		for _, r := range ct.Rows {
+			if len(r) <= ci {
+				continue
+			}
+			curV, err := strconv.ParseFloat(strings.TrimSpace(r[ci]), 64)
+			if err != nil {
+				continue
+			}
+			baseV, ok := baseRows[r[0]]
+			if !ok {
+				fmt.Printf("  %s: new row (no baseline), %s %s=%.0f\n", r[0], filepath.Base(curPath), col, curV)
+				continue
+			}
+			if baseV > 0 && curV > baseV*(1+threshold) {
+				fmt.Printf("  REGRESSION %s: %s %.0f → %.0f (%+.1f%%)\n",
+					r[0], col, baseV, curV, 100*(curV/baseV-1))
+				regressions++
+			} else {
+				fmt.Printf("  %s: %s %.0f → %.0f (%+.1f%%)\n",
+					r[0], col, baseV, curV, pctChange(baseV, curV))
+			}
+		}
+	}
+	return regressions, nil
+}
+
+func pctChange(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (cur/base - 1)
+}
+
+func columnIndex(headers []string, col string) int {
+	for i, h := range headers {
+		if h == col {
+			return i
+		}
+	}
+	return -1
+}

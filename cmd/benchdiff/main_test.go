@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSnap(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const baseSnap = `{"experiment":"bench","scale":11,"tables":[
+  {"title":"Benchmark","headers":["name","ns/op","B/op","allocs/op"],
+   "rows":[["row-nomask","1000","0","0"],["col-nomask","2000","0","0"]]}]}`
+
+func TestDiffDetectsRegression(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	writeSnap(t, dirA, "BENCH_bench.json", baseSnap)
+	writeSnap(t, dirB, "BENCH_bench.json",
+		`{"experiment":"bench","scale":11,"tables":[
+		  {"title":"Benchmark","headers":["name","ns/op","B/op","allocs/op"],
+		   "rows":[["row-nomask","1200","0","0"],["col-nomask","2000","0","0"]]}]}`)
+	pairs, err := pairFiles(dirA, dirB)
+	if err != nil || len(pairs) != 1 {
+		t.Fatalf("pairs=%v err=%v", pairs, err)
+	}
+	n, err := diffSnapshots(pairs[0][0], pairs[0][1], "ns/op", 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("regressions=%d want 1 (row-nomask +20%%)", n)
+	}
+}
+
+func TestDiffWithinThreshold(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	writeSnap(t, dirA, "BENCH_bench.json", baseSnap)
+	writeSnap(t, dirB, "BENCH_bench.json",
+		`{"experiment":"bench","scale":11,"tables":[
+		  {"title":"Benchmark","headers":["name","ns/op","B/op","allocs/op"],
+		   "rows":[["row-nomask","1050","0","0"],["col-nomask","1500","0","0"],["new-op","9","0","0"]]}]}`)
+	pairs, _ := pairFiles(dirA, dirB)
+	n, err := diffSnapshots(pairs[0][0], pairs[0][1], "ns/op", 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("regressions=%d want 0 (+5%% is within threshold; new rows never fail)", n)
+	}
+}
+
+func TestDiffScaleMismatchSkips(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	writeSnap(t, dirA, "BENCH_bench.json", baseSnap)
+	writeSnap(t, dirB, "BENCH_bench.json",
+		`{"experiment":"bench","scale":12,"tables":[
+		  {"title":"Benchmark","headers":["name","ns/op"],"rows":[["row-nomask","99999"]]}]}`)
+	pairs, _ := pairFiles(dirA, dirB)
+	n, err := diffSnapshots(pairs[0][0], pairs[0][1], "ns/op", 0.10)
+	if err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v; scale mismatch must not gate", n, err)
+	}
+}
+
+func TestMissingBaselineYieldsNoPairs(t *testing.T) {
+	dirB := t.TempDir()
+	writeSnap(t, dirB, "BENCH_bench.json", baseSnap)
+	pairs, err := pairFiles(filepath.Join(dirB, "nonexistent"), dirB)
+	if err != nil || pairs != nil {
+		t.Fatalf("pairs=%v err=%v; missing baseline must be a clean skip", pairs, err)
+	}
+}

@@ -47,6 +47,24 @@ func benchExperiment(cfg config) error {
 	}
 	pullDesc := &graphblas.Descriptor{NoAutoConvert: true, Direction: graphblas.ForcePull, Workspace: ws}
 	pushDesc := &graphblas.Descriptor{NoAutoConvert: true, Direction: graphblas.ForcePush, Workspace: ws}
+
+	// Unified-pipeline operands: the masked eWise/apply steady state the
+	// OpSpec pipeline is responsible for keeping allocation-free.
+	ewDesc := &graphblas.Descriptor{Workspace: ws}
+	scmpDesc := &graphblas.Descriptor{StructuralComplement: true, Workspace: ws}
+	ranks := graphblas.NewVector[float64](n)
+	ranks.Fill(1)
+	tele := graphblas.NewVector[float64](n)
+	tele.Fill(0.15)
+	sums := graphblas.NewVector[float64](n)
+	fvals := graphblas.NewVector[float64](n)
+	for i := 0; i < n; i += 8 {
+		_ = fvals.SetElement(i, float64(i))
+	}
+	fout := graphblas.NewVector[float64](n)
+	orOp := func(a, b bool) bool { return a || b }
+	plus := func(a, b float64) float64 { return a + b }
+	scale := func(x float64) float64 { return 0.85 * x }
 	variants := []variant{
 		{"row-nomask", func() error {
 			_, err := graphblas.MxV(w, (*graphblas.Vector[bool])(nil), nil, sr, g, denseU, pullDesc)
@@ -63,6 +81,23 @@ func benchExperiment(cfg config) error {
 		{"col-mask", func() error {
 			_, err := graphblas.MxV(w, mask, nil, sr, g, u, pushDesc)
 			return err
+		}},
+		{"ewise-add-masked", func() error {
+			// w⟨m⟩ = u ⊕ f: sparse∘sparse union under a bitmap mask.
+			return graphblas.Into(w).Mask(mask).With(ewDesc).EWiseAdd(orOp, u, u)
+		}},
+		{"ewise-add-dense", func() error {
+			// Dense∘dense union: the probe-free value-array loop.
+			return graphblas.Into(sums).With(ewDesc).EWiseAdd(plus, tele, ranks)
+		}},
+		{"apply-dense", func() error {
+			// Apply over a PageRank-style dense vector: bitmap-out path,
+			// no sparse round-trip.
+			return graphblas.Into(sums).With(ewDesc).Apply(scale, ranks)
+		}},
+		{"apply-masked-scmp", func() error {
+			// f⟨¬m⟩ = f: the BFS post-filter as a masked identity apply.
+			return graphblas.Into(fout).Mask(mask).With(scmpDesc).Apply(scale, fvals)
 		}},
 		{"bfs-full", func() error {
 			_, err := algorithms.BFS(g, 0, algorithms.BFSOptions{})

@@ -8,7 +8,12 @@
 //	            vector engine (sparse / bitmap / dense) behind
 //	            format-agnostic kernel views, driven by an edge-based
 //	            cost-model direction planner (see the package docs'
-//	            "Storage formats and the direction planner")
+//	            "Storage formats and the direction planner"). Every
+//	            vector operation — MxV/VxM, eWise, apply, select,
+//	            assign, extract — takes masks, accumulators and
+//	            descriptors through one declarative OpSpec builder:
+//	            Into(w).Mask(m).Accum(op).With(desc).Op(...) (see "The
+//	            OpSpec operation pipeline")
 //	algorithms  BFS (Algorithm 1), SSSP, PageRank, triangle counting,
 //	            MIS, betweenness centrality
 //	generate    RMAT/Kronecker, RGG, grid and Erdős–Rényi generators,

@@ -106,11 +106,13 @@ type Descriptor struct {
 	// Sequential forces single-threaded kernels (profiling/debugging).
 	Sequential bool
 
-	// Plan, when non-nil, receives the direction planner's full decision
-	// record (chosen direction, estimated push/pull costs, trend flags,
-	// rule) for each operation run with this descriptor. ppbench and the
-	// experiment harness use it to plot decision quality against measured
-	// runtimes.
+	// Plan, when non-nil, receives the pipeline's decision record for each
+	// operation run with this descriptor: for MxV the direction planner's
+	// full record (chosen direction, estimated push/pull costs, trend
+	// flags, rule), and for every op the operation name (Plan.Op) and the
+	// storage kind the output was produced in (Plan.OutKind). ppbench and
+	// the experiment harness use it to plot decision quality against
+	// measured runtimes.
 	Plan *core.Plan
 
 	// Workspace, when non-nil, pins a scratch arena across calls so

@@ -77,6 +77,64 @@
 // can express BFS, SSSP, PageRank and friends by choosing (⊕, ⊗, I) — the
 // generalized-semiring mechanism of the GraphBLAS C API.
 //
+// # The OpSpec operation pipeline
+//
+// Every vector operation runs through one declarative builder, so masks,
+// accumulators, descriptors and workspaces behave identically across the
+// whole surface:
+//
+//	graphblas.Into(w).Mask(m).Accum(op).With(desc).MxV(sr, a, u)
+//	graphblas.Into(w).Mask(m).With(desc).EWiseAdd(plus, u, v)
+//	graphblas.Into(dist).Accum(min).AssignVector(improved)   // dist min= improved
+//
+// Builder modifiers are optional and order-free. The uniform semantics:
+//
+//	mask    restricts the computed output pattern: only positions the
+//	        effective mask allows are produced. StructuralComplement
+//	        flips the test (¬m). Masks are structural (pattern-only), so
+//	        any element type masks any op — a float64 frontier can mask a
+//	        Boolean visited update (MaskVector).
+//	accum   merges the masked result t into the existing w instead of
+//	        replacing it: w(i) = accum(w(i), t(i)) where both present,
+//	        w(i) = t(i) where only t is, w keeps the rest. Without an
+//	        accumulator the op replaces w with the masked result.
+//	assign  Assign/AssignScalar are merges by definition (replace=false):
+//	        they touch only the positions the mask and operand pattern
+//	        select, with or without an accumulator.
+//	desc    carries complement/transpose/direction/plan/workspace exactly
+//	        as for MxV; Descriptor.Plan records the op name and output
+//	        storage kind for every pipeline op, not just matvec.
+//
+// The pipeline is format-aware end to end: kernels consume operands
+// through the same core.VecView seam as matvec, and the *output* format
+// follows the operand lattice — an eWise intersection lands in the sparser
+// operand's format, a union in the denser one's, apply and select follow
+// their input — so a dense PageRank vector never round-trips through a
+// sparse copy and dense∘dense eWise loops run probe-free over the value
+// arrays. Steady-state calls with a pinned Workspace allocate nothing:
+// sparse results build in the destination's own reusable buffers, bitmap
+// results in its value/presence arrays, and aliased outputs bounce through
+// the workspace scratch vector with a constant-time storage swap.
+//
+// Migration from the positional signatures (which remain as thin
+// deprecated wrappers over the pipeline):
+//
+//	MxV(w, m, acc, s, a, u, d)   →  Into(w).Mask(m).Accum(acc).With(d).MxV(s, a, u)
+//	VxM(w, m, acc, s, u, a, d)   →  Into(w).Mask(m).Accum(acc).With(d).VxM(s, u, a)
+//	EWiseMult(w, op, u, v)       →  Into(w).EWiseMult(op, u, v)
+//	EWiseAdd(w, op, u, v)        →  Into(w).EWiseAdd(op, u, v)
+//	Apply(w, f, u)               →  Into(w).Apply(f, u)
+//	ApplyIndexed(w, f, u)        →  Into(w).ApplyIndexed(f, u)
+//	Select(w, pred, u)           →  Into(w).Select(pred, u)
+//	AssignVector(w, u)           →  Into(w).AssignVector(u)
+//	AssignScalar(w, m, x, d)     →  Into(w).Mask(m).With(d).AssignScalar(x)
+//	Extract(w, u, idx)           →  Into(w).Extract(u, idx)
+//
+// The positional forms accept no mask/accum (except AssignScalar's mask);
+// the builder forms accept all modifiers on every op. VxM is a pure
+// descriptor-transposed view over the MxV pipeline entry — it flips
+// Descriptor.Transpose and delegates, sharing all planning and dispatch.
+//
 // # Workspace lifecycle
 //
 // Iterative programs — the library's whole reason to exist — reach a

@@ -8,10 +8,15 @@ import (
 )
 
 // MxV computes w⟨mask⟩ = A ⊕.⊗ u (GrB_mxv): the masked matrix-vector
-// product over semiring s, written into w. Pass a nil mask for the
-// unmasked variant and a nil accum for replace semantics; with accum, the
-// product t is merged into the existing w by w(i) = accum(w(i), t(i))
-// where both are present.
+// product over semiring sr, written into the spec's output vector. This is
+// the pipeline entry point the whole operation surface shares; build the
+// call as
+//
+//	Into(w).Mask(m).Accum(op).With(desc).MxV(sr, a, u)
+//
+// with any subset of the modifiers. Without an accumulator the product
+// replaces w; with one, the product t is merged into the existing w by
+// w(i) = accum(w(i), t(i)) where both are present.
 //
 // Direction optimization happens here. With Descriptor.Direction == Auto,
 // a standalone planner compares the estimated push cost (sum of frontier
@@ -24,9 +29,10 @@ import (
 // switching behaviour; set Descriptor.Plan to capture the full cost
 // record.
 //
-// w may alias u and/or mask; the product is computed into fresh storage
-// and installed afterwards when aliasing requires it.
-func MxV[T, M comparable](w *Vector[T], mask *Vector[M], accum BinaryOp[T], s Semiring[T], a *Matrix[T], u *Vector[T], desc *Descriptor) (core.Direction, error) {
+// w may alias u and/or the mask; the product is computed into fresh
+// storage and installed afterwards when aliasing requires it.
+func (s OpSpec[T]) MxV(sr Semiring[T], a *Matrix[T], u *Vector[T]) (TraversalDirection, error) {
+	w, mask, accum, desc := s.w, s.mask, s.accum, s.desc
 	if w == nil || a == nil || u == nil {
 		return core.Push, fmt.Errorf("%w: nil operand", ErrInvalidValue)
 	}
@@ -56,7 +62,7 @@ func MxV[T, M comparable](w *Vector[T], mask *Vector[M], accum BinaryOp[T], s Se
 	if desc != nil && desc.Plan != nil {
 		*desc.Plan = plan
 	}
-	sr := toCoreSR(s)
+	csr := toCoreSR(sr)
 
 	// Resolve the scratch workspace: the descriptor's pinned one, or a
 	// pooled one for the duration of this call (auto-pooling).
@@ -70,7 +76,7 @@ func MxV[T, M comparable](w *Vector[T], mask *Vector[M], accum BinaryOp[T], s Se
 	var mv core.MaskView
 	useMask := mask != nil
 	if useMask {
-		mv = core.MaskView{Bits: maskBitsFor(ws, mask), KnownEmpty: mask.knownEmpty()}
+		mv = core.MaskView{Bits: mask.maskBitsWS(ws), KnownEmpty: mask.maskKnownEmpty()}
 		if desc != nil {
 			mv.Scmp = desc.StructuralComplement
 			mv.List = desc.MaskAllowList
@@ -82,27 +88,37 @@ func MxV[T, M comparable](w *Vector[T], mask *Vector[M], accum BinaryOp[T], s Se
 		// Compute the product into the workspace's scratch vector, then
 		// merge into w.
 		t := scratchVectorFor[T](ws, outDim)
-		if err = mxvInto(t, u, useMask, mv, rowG, colG, plan, sr, opts, ws); err == nil {
-			err = mergeAccum(ws, w, t, accum)
+		if err = mxvInto(t, u, useMask, mv, rowG, colG, plan, csr, opts, ws); err == nil {
+			mergeInto(ws, w, t, accum, false, core.MaskView{})
 		}
 	} else {
-		err = mxvInto(w, u, useMask, mv, rowG, colG, plan, sr, opts, ws)
+		err = mxvInto(w, u, useMask, mv, rowG, colG, plan, csr, opts, ws)
 	}
 	if pooled {
 		ws.Release()
 	}
+	if err == nil && desc != nil && desc.Plan != nil {
+		desc.Plan.OutKind = kindOf(w.format)
+	}
 	return plan.Dir, err
 }
 
-// VxM computes w⟨mask⟩ = uᵀ·A (GrB_vxm), which equals Aᵀ·u; it simply
-// flips the descriptor's transpose flag and calls MxV.
+// MxV is the positional form of OpSpec.MxV.
+//
+// Deprecated: use Into(w).Mask(mask).Accum(accum).With(desc).MxV(s, a, u);
+// this wrapper remains for source compatibility and delegates to the
+// unified pipeline.
+func MxV[T, M comparable](w *Vector[T], mask *Vector[M], accum BinaryOp[T], s Semiring[T], a *Matrix[T], u *Vector[T], desc *Descriptor) (core.Direction, error) {
+	return Into(w).Mask(mask).Accum(accum).With(desc).MxV(s, a, u)
+}
+
+// VxM is the positional form of OpSpec.VxM.
+//
+// Deprecated: use Into(w).Mask(mask).Accum(accum).With(desc).VxM(s, u, a);
+// this wrapper remains for source compatibility and delegates to the
+// unified pipeline.
 func VxM[T, M comparable](w *Vector[T], mask *Vector[M], accum BinaryOp[T], s Semiring[T], u *Vector[T], a *Matrix[T], desc *Descriptor) (core.Direction, error) {
-	var flipped Descriptor
-	if desc != nil {
-		flipped = *desc
-	}
-	flipped.Transpose = !flipped.Transpose
-	return MxV(w, mask, accum, s, a, u, &flipped)
+	return Into(w).Mask(mask).Accum(accum).With(desc).VxM(s, u, a)
 }
 
 // planMxV runs the direction planner for one MxV call and settles u's
@@ -110,7 +126,7 @@ func VxM[T, M comparable](w *Vector[T], mask *Vector[M], accum BinaryOp[T], s Se
 // meaning: ForcePush/ForcePull pin the kernel (costs are still estimated
 // for the trace), an explicit SwitchPoint selects the legacy ratio rule,
 // and NoAutoConvert freezes u's format and dispatches on it.
-func planMxV[T, M comparable](u *Vector[T], mask *Vector[M], desc *Descriptor, rowG, colG *sparse.CSR[T], outDim int) core.Plan {
+func planMxV[T comparable](u *Vector[T], mask MaskVector, desc *Descriptor, rowG, colG *sparse.CSR[T], outDim int) core.Plan {
 	var force *core.Direction
 	if desc != nil {
 		switch desc.Direction {
@@ -130,7 +146,7 @@ func planMxV[T, M comparable](u *Vector[T], mask *Vector[M], desc *Descriptor, r
 		if u.Format() != Sparse {
 			dir = core.Pull
 		}
-		return core.Plan{Dir: dir, Rule: core.RuleFormat,
+		return core.Plan{Op: core.OpMxV, Dir: dir, Rule: core.RuleFormat,
 			FrontierNNZ: u.NVals(), N: u.Size(), Growing: true, Shrinking: true}
 	}
 
@@ -185,6 +201,7 @@ func planMxV[T, M comparable](u *Vector[T], mask *Vector[M], desc *Descriptor, r
 		st = &u.pstate
 	}
 	plan := core.DecideDirection(in, st)
+	plan.Op = core.OpMxV
 	if noAuto {
 		// NoAutoConvert freezes formats on both sides of the call: the
 		// input keeps its storage and the push output stays a sparse list
@@ -285,64 +302,10 @@ func swapStorage[T comparable](dst, src *Vector[T]) {
 	dst.nvals = src.nvals
 }
 
-// mergeAccum folds t into w: w(i) = accum(w(i), t(i)) where both present,
-// copy where only t is present, keep where only w is. The merge is
-// format-preserving: a bitmap or dense w is updated in place, and a sparse
-// w merges the two sorted streams into the workspace's accumulate scratch
-// and swaps — it is never densified, so a small sparse accumulator target
-// keeps its format (and its conversion hysteresis) across accumulating
-// calls.
+// mergeAccum folds t into w: the no-mask form of mergeInto (see
+// execute.go), kept under its historical name for the accumulate tests.
 func mergeAccum[T comparable](ws *Workspace, w, t *Vector[T], accum BinaryOp[T]) error {
-	if t.NVals() == 0 {
-		return nil
-	}
-	if w.format != Sparse {
-		wVal, wPresent := w.dval, w.dpresent
-		t.Iterate(func(i int, x T) bool {
-			if wPresent[i] {
-				wVal[i] = accum(wVal[i], x)
-			} else {
-				w.format = Bitmap // pattern grew: settle below
-				wVal[i] = x
-				wPresent[i] = true
-				w.nvals++
-			}
-			return true
-		})
-		w.maybePromoteFull()
-		return nil
-	}
-	// Sparse w: two-pointer merge of w's sorted list with t's ascending
-	// iteration, built in the accumulate scratch vector and swapped in.
-	out := accumScratchFor[T](ws, w.n)
-	oInd := out.ind[:0]
-	oVal := out.val[:0]
-	wi := 0
-	t.Iterate(func(i int, x T) bool {
-		for wi < len(w.ind) && int(w.ind[wi]) < i {
-			oInd = append(oInd, w.ind[wi])
-			oVal = append(oVal, w.val[wi])
-			wi++
-		}
-		if wi < len(w.ind) && int(w.ind[wi]) == i {
-			oInd = append(oInd, w.ind[wi])
-			oVal = append(oVal, accum(w.val[wi], x))
-			wi++
-		} else {
-			oInd = append(oInd, uint32(i))
-			oVal = append(oVal, x)
-		}
-		return true
-	})
-	oInd = append(oInd, w.ind[wi:]...)
-	oVal = append(oVal, w.val[wi:]...)
-	out.ind, out.val = oInd, oVal
-	out.format = Sparse
-	out.nvals = 0
-	if out.dpresent != nil {
-		clearBools(out.dpresent)
-	}
-	swapStorage(w, out)
+	mergeInto(ws, w, t, accum, false, core.MaskView{})
 	return nil
 }
 

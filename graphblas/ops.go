@@ -6,66 +6,31 @@ import (
 	"pushpull/internal/core"
 )
 
-// EWiseMult computes w = u .⊗ v on the *intersection* of the operand
-// patterns (GrB_eWiseMult). The output is written in sparse form.
+// This file holds the positional operation signatures, kept as thin
+// deprecated wrappers over the unified OpSpec pipeline (opspec.go,
+// execute.go) so existing call sites compile unchanged, plus the matrix
+// and reduction operations that do not take the vector pipeline.
+
+// EWiseMult is the positional form of OpSpec.EWiseMult (unmasked,
+// non-accumulating).
+//
+// Deprecated: use Into(w).EWiseMult(op, u, v), which also accepts a mask,
+// accumulator and descriptor.
 func EWiseMult[T comparable](w *Vector[T], op BinaryOp[T], u, v *Vector[T]) error {
-	if err := conformEWise(w, u, v); err != nil {
-		return err
-	}
-	uInd, uVal := u.sparseView()
-	vInd, vVal := v.sparseView()
-	var ind []uint32
-	var val []T
-	i, j := 0, 0
-	for i < len(uInd) && j < len(vInd) {
-		switch {
-		case uInd[i] < vInd[j]:
-			i++
-		case uInd[i] > vInd[j]:
-			j++
-		default:
-			ind = append(ind, uInd[i])
-			val = append(val, op(uVal[i], vVal[j]))
-			i++
-			j++
-		}
-	}
-	w.setSparseResult(ind, val)
-	return nil
+	return Into(w).EWiseMult(op, u, v)
 }
 
-// EWiseAdd computes w = u ⊕ v on the *union* of the operand patterns
-// (GrB_eWiseAdd): positions present in only one operand pass through.
+// EWiseAdd is the positional form of OpSpec.EWiseAdd (unmasked,
+// non-accumulating).
+//
+// Deprecated: use Into(w).EWiseAdd(op, u, v), which also accepts a mask,
+// accumulator and descriptor.
 func EWiseAdd[T comparable](w *Vector[T], op BinaryOp[T], u, v *Vector[T]) error {
-	if err := conformEWise(w, u, v); err != nil {
-		return err
-	}
-	uInd, uVal := u.sparseView()
-	vInd, vVal := v.sparseView()
-	var ind []uint32
-	var val []T
-	i, j := 0, 0
-	for i < len(uInd) || j < len(vInd) {
-		switch {
-		case j >= len(vInd) || (i < len(uInd) && uInd[i] < vInd[j]):
-			ind = append(ind, uInd[i])
-			val = append(val, uVal[i])
-			i++
-		case i >= len(uInd) || vInd[j] < uInd[i]:
-			ind = append(ind, vInd[j])
-			val = append(val, vVal[j])
-			j++
-		default:
-			ind = append(ind, uInd[i])
-			val = append(val, op(uVal[i], vVal[j]))
-			i++
-			j++
-		}
-	}
-	w.setSparseResult(ind, val)
-	return nil
+	return Into(w).EWiseAdd(op, u, v)
 }
 
+// conformEWise checks the three-operand dimension agreement of the eWise
+// ops.
 func conformEWise[T comparable](w, u, v *Vector[T]) error {
 	if w == nil || u == nil || v == nil {
 		return fmt.Errorf("%w: nil operand", ErrInvalidValue)
@@ -76,148 +41,61 @@ func conformEWise[T comparable](w, u, v *Vector[T]) error {
 	return nil
 }
 
-// Apply computes w = f(u) elementwise over u's pattern (GrB_apply). w may
-// alias u.
+// Apply is the positional form of OpSpec.Apply. w may alias u.
+//
+// Deprecated: use Into(w).Apply(f, u), which also accepts a mask,
+// accumulator and descriptor.
 func Apply[T comparable](w *Vector[T], f func(T) T, u *Vector[T]) error {
-	if w == nil || u == nil {
-		return fmt.Errorf("%w: nil operand", ErrInvalidValue)
-	}
-	if w.Size() != u.Size() {
-		return fmt.Errorf("%w: apply sizes %d, %d", ErrDimensionMismatch, w.Size(), u.Size())
-	}
-	if w == u {
-		if u.format == Sparse {
-			for i := range u.val {
-				u.val[i] = f(u.val[i])
-			}
-			return nil
-		}
-		for i := 0; i < u.n; i++ {
-			if u.dpresent[i] {
-				u.dval[i] = f(u.dval[i])
-			}
-		}
-		return nil
-	}
-	uInd, uVal := u.sparseView()
-	ind := append([]uint32(nil), uInd...)
-	val := make([]T, len(uVal))
-	for i, x := range uVal {
-		val[i] = f(x)
-	}
-	w.setSparseResult(ind, val)
-	return nil
+	return Into(w).Apply(f, u)
 }
 
-// ApplyIndexed computes w = f(i, u(i)) elementwise over u's pattern, the
-// index-aware variant of Apply (GrB_apply with an index-unary operator).
-// Parent-tracking BFS uses it to stamp each frontier vertex with its own
-// id. w may alias u.
+// ApplyIndexed is the positional form of OpSpec.ApplyIndexed. w may alias
+// u.
+//
+// Deprecated: use Into(w).ApplyIndexed(f, u), which also accepts a mask,
+// accumulator and descriptor.
 func ApplyIndexed[T comparable](w *Vector[T], f func(i int, x T) T, u *Vector[T]) error {
-	if w == nil || u == nil {
-		return fmt.Errorf("%w: nil operand", ErrInvalidValue)
-	}
-	if w.Size() != u.Size() {
-		return fmt.Errorf("%w: apply sizes %d, %d", ErrDimensionMismatch, w.Size(), u.Size())
-	}
-	if w == u {
-		if u.format == Sparse {
-			for k := range u.val {
-				u.val[k] = f(int(u.ind[k]), u.val[k])
-			}
-			return nil
-		}
-		for i := 0; i < u.n; i++ {
-			if u.dpresent[i] {
-				u.dval[i] = f(i, u.dval[i])
-			}
-		}
-		return nil
-	}
-	uInd, uVal := u.sparseView()
-	ind := append([]uint32(nil), uInd...)
-	val := make([]T, len(uVal))
-	for k, x := range uVal {
-		val[k] = f(int(ind[k]), x)
-	}
-	w.setSparseResult(ind, val)
-	return nil
+	return Into(w).ApplyIndexed(f, u)
 }
 
-// AssignVector merges u's stored elements into w: w(i) = u(i) wherever u
-// has an element, leaving the rest of w intact (GrB_assign with a vector
-// and replace=false).
+// AssignVector is the positional form of OpSpec.AssignVector: w(i) = u(i)
+// wherever u has an element, leaving the rest of w intact.
+//
+// Deprecated: use Into(w).AssignVector(u), which also accepts a mask,
+// accumulator and descriptor.
 func AssignVector[T comparable](w *Vector[T], u *Vector[T]) error {
-	if w == nil || u == nil {
-		return fmt.Errorf("%w: nil operand", ErrInvalidValue)
-	}
-	if w.Size() != u.Size() {
-		return fmt.Errorf("%w: assign sizes %d, %d", ErrDimensionMismatch, w.Size(), u.Size())
-	}
-	if w == u {
-		return nil
-	}
-	wVal, wPresent := w.denseView()
-	u.Iterate(func(i int, x T) bool {
-		if !wPresent[i] {
-			wPresent[i] = true
-			w.nvals++
-		}
-		wVal[i] = x
-		return true
-	})
-	w.maybePromoteFull()
-	return nil
+	return Into(w).AssignVector(u)
 }
 
-// Select keeps the elements of u for which pred(i, value) is true
-// (GxB_select). w may alias u.
+// Select is the positional form of OpSpec.Select. w may alias u.
+//
+// Deprecated: use Into(w).Select(pred, u), which also accepts a mask,
+// accumulator and descriptor.
 func Select[T comparable](w *Vector[T], pred func(i int, value T) bool, u *Vector[T]) error {
-	if w == nil || u == nil {
-		return fmt.Errorf("%w: nil operand", ErrInvalidValue)
-	}
-	if w.Size() != u.Size() {
-		return fmt.Errorf("%w: select sizes %d, %d", ErrDimensionMismatch, w.Size(), u.Size())
-	}
-	uInd, uVal := u.sparseView()
-	var ind []uint32
-	var val []T
-	for k, idx := range uInd {
-		if pred(int(idx), uVal[k]) {
-			ind = append(ind, idx)
-			val = append(val, uVal[k])
-		}
-	}
-	w.setSparseResult(ind, val)
-	return nil
+	return Into(w).Select(pred, u)
 }
 
-// Extract copies the elements of u at the given indices into w, compacted:
-// w(k) = u(indices[k]) where present (GrB_extract with an index list).
-// Indices must be in range; duplicates are allowed.
+// Extract is the positional form of OpSpec.Extract.
+//
+// Deprecated: use Into(w).Extract(u, indices), which also accepts a mask,
+// accumulator and descriptor.
 func Extract[T comparable](w *Vector[T], u *Vector[T], indices []uint32) error {
-	if w == nil || u == nil {
+	return Into(w).Extract(u, indices)
+}
+
+// AssignScalar is the positional form of OpSpec.AssignScalar, the masked
+// scalar assign of Algorithm 1 Line 7 (GrB_assign with a scalar): for
+// every index the effective mask allows, set w(i) = value; all other
+// positions keep their current contents (replace=false semantics). BFS
+// uses it as v⟨f⟩ = depth.
+//
+// Deprecated: use Into(w).Mask(mask).With(desc).AssignScalar(value), which
+// also accepts an accumulator and a nil mask (assign everywhere).
+func AssignScalar[T, M comparable](w *Vector[T], mask *Vector[M], value T, desc *Descriptor) error {
+	if w == nil || mask == nil {
 		return fmt.Errorf("%w: nil operand", ErrInvalidValue)
 	}
-	if w.Size() != len(indices) {
-		return fmt.Errorf("%w: extract output size %d, %d indices", ErrDimensionMismatch, w.Size(), len(indices))
-	}
-	for _, idx := range indices {
-		if int(idx) >= u.Size() {
-			return fmt.Errorf("%w: extract index %d in vector of size %d", ErrIndexOutOfBounds, idx, u.Size())
-		}
-	}
-	uVal, uPresent := u.denseView()
-	var ind []uint32
-	var val []T
-	for k, idx := range indices {
-		if uPresent[idx] {
-			ind = append(ind, uint32(k))
-			val = append(val, uVal[idx])
-		}
-	}
-	w.setSparseResult(ind, val)
-	return nil
+	return Into(w).Mask(mask).With(desc).AssignScalar(value)
 }
 
 // Transpose returns Aᵀ as a new matrix. Because Matrix already stores both
@@ -237,58 +115,6 @@ func Reduce[T comparable](m Monoid[T], u *Vector[T]) T {
 		return m.Terminal == nil || acc != *m.Terminal
 	})
 	return acc
-}
-
-// AssignScalar implements the masked scalar assign of Algorithm 1 Line 7
-// (GrB_assign with a scalar): for every index the effective mask allows,
-// set w(i) = value; all other positions keep their current contents
-// (replace=false semantics). BFS uses it as v⟨f⟩ = depth.
-//
-// Sparse masks under structural complement materialize into the
-// descriptor's pinned Workspace bitmap (or a pooled one), like MxV's masks
-// — not into a fresh O(n) allocation — so per-iteration masked assigns are
-// allocation-free once warm.
-func AssignScalar[T, M comparable](w *Vector[T], mask *Vector[M], value T, desc *Descriptor) error {
-	if w == nil || mask == nil {
-		return fmt.Errorf("%w: nil operand", ErrInvalidValue)
-	}
-	if w.Size() != mask.Size() {
-		return fmt.Errorf("%w: assign sizes %d, %d", ErrDimensionMismatch, w.Size(), mask.Size())
-	}
-	scmp := desc != nil && desc.StructuralComplement
-	wVal, wPresent := w.denseView()
-	if !scmp && mask.Format() == Sparse {
-		// Fast path: walk the mask's nonzero list directly.
-		for _, idx := range mask.ind {
-			if !wPresent[idx] {
-				wPresent[idx] = true
-				w.nvals++
-			}
-			wVal[idx] = value
-		}
-		w.maybePromoteFull()
-		return nil
-	}
-	ws := desc.workspace()
-	pooled := ws == nil && mask.Format() == Sparse
-	if pooled {
-		ws = AcquireWorkspace(w.Size(), w.Size())
-	}
-	bits := maskBitsFor(ws, mask)
-	for i := 0; i < w.Size(); i++ {
-		if bits[i] != scmp {
-			if !wPresent[i] {
-				wPresent[i] = true
-				w.nvals++
-			}
-			wVal[i] = value
-		}
-	}
-	if pooled {
-		ws.Release()
-	}
-	w.maybePromoteFull()
-	return nil
 }
 
 // MxM computes the masked matrix-matrix product C⟨M⟩ = A ⊕.⊗ B with the

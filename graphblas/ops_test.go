@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"pushpull/internal/core"
 )
 
 func TestEWiseMultIntersection(t *testing.T) {
@@ -199,6 +201,90 @@ func TestAssignScalar(t *testing.T) {
 	bad := NewVector[bool](3)
 	if err := AssignScalar(v, bad, 0, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Fatalf("dim mismatch: %v", err)
+	}
+}
+
+func TestOpSpecPolymorphicMask(t *testing.T) {
+	// Masks are structural: a float64 vector masks a bool op and vice
+	// versa, and a typed-nil mask pointer means "no mask".
+	n := 6
+	f := NewVector[float64](n)
+	_ = f.SetElement(1, 0.5)
+	_ = f.SetElement(4, 2.5)
+	v := NewVector[bool](n)
+	if err := Into(v).Mask(f).AssignScalar(true); err != nil {
+		t.Fatal(err)
+	}
+	if v.NVals() != 2 {
+		t.Fatalf("NVals=%d want 2", v.NVals())
+	}
+	if _, err := v.ExtractElement(4); err != nil {
+		t.Fatal("masked-in index missing")
+	}
+	var nilMask *Vector[bool]
+	w := NewVector[float64](n)
+	if err := Into(w).Mask(nilMask).Apply(func(x float64) float64 { return -x }, f); err != nil {
+		t.Fatal(err)
+	}
+	if w.NVals() != 2 {
+		t.Fatalf("typed-nil mask: NVals=%d want 2 (unmasked)", w.NVals())
+	}
+}
+
+func TestOpSpecPlanRecording(t *testing.T) {
+	// Every pipeline op reports what ran through Descriptor.Plan.
+	n := 8
+	u := NewVector[float64](n)
+	_ = u.SetElement(2, 1)
+	v := NewVector[float64](n)
+	_ = v.SetElement(2, 2)
+	var plan core.Plan
+	desc := &Descriptor{Plan: &plan}
+	w := NewVector[float64](n)
+	if err := Into(w).With(desc).EWiseMult(func(a, b float64) float64 { return a * b }, u, v); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Op != core.OpEWiseMult || plan.OutKind != core.KindSparse {
+		t.Fatalf("plan = %q/%v, want ewise-mult/sparse", plan.Op, plan.OutKind)
+	}
+	ub := u.Dup()
+	ub.ToBitmap()
+	if err := Into(w).With(desc).Apply(func(x float64) float64 { return x }, ub); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Op != core.OpApply || plan.OutKind != core.KindBitmap {
+		t.Fatalf("plan = %q/%v, want apply/bitmap", plan.Op, plan.OutKind)
+	}
+}
+
+func TestOpSpecAccumVsReplace(t *testing.T) {
+	// Without an accumulator the op replaces w; with one it merges.
+	n := 5
+	u := NewVector[float64](n)
+	_ = u.SetElement(1, 10)
+	w := NewVector[float64](n)
+	_ = w.SetElement(0, 1)
+	_ = w.SetElement(1, 2)
+	if err := Into(w).Apply(func(x float64) float64 { return x }, u); err != nil {
+		t.Fatal(err)
+	}
+	if w.NVals() != 1 {
+		t.Fatalf("replace semantics: NVals=%d want 1", w.NVals())
+	}
+	w2 := NewVector[float64](n)
+	_ = w2.SetElement(0, 1)
+	_ = w2.SetElement(1, 2)
+	if err := Into(w2).Accum(func(a, b float64) float64 { return a + b }).Apply(func(x float64) float64 { return x }, u); err != nil {
+		t.Fatal(err)
+	}
+	if w2.NVals() != 2 {
+		t.Fatalf("accum semantics: NVals=%d want 2", w2.NVals())
+	}
+	if x, _ := w2.ExtractElement(1); x != 12 {
+		t.Fatalf("accum w2[1]=%g want 12", x)
+	}
+	if x, _ := w2.ExtractElement(0); x != 1 {
+		t.Fatalf("accum w2[0]=%g want 1 (kept)", x)
 	}
 }
 

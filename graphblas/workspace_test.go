@@ -253,6 +253,109 @@ var (
 	orOp          = func(a, b bool) bool { return a || b }
 )
 
+// Operators for the eWise/apply steady-state cases, package-level so the
+// measured region never constructs a closure.
+var (
+	plusOp   = func(a, b float64) float64 { return a + b }
+	minOpVar = MinPlusFloat64().Add.Op
+	triple   = func(x float64) float64 { return 3 * x }
+	stampIdx = func(i int, _ float64) float64 { return float64(i) }
+	posPred  = func(_ int, x float64) bool { return x > 0 }
+)
+
+// TestOpsSteadyStateAllocs extends the zero-alloc guarantee to the whole
+// pipeline: masked and accumulating eWise, apply, select, assign and
+// extract calls with a pinned workspace must allocate nothing once warm,
+// in both the sparse-out and bitmap-out kernel configurations.
+func TestOpsSteadyStateAllocs(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	rng := rand.New(rand.NewSource(12))
+	n := 200
+	ws := NewWorkspace(n, n)
+	desc := &Descriptor{Workspace: ws}
+	scmpWsDesc := &Descriptor{StructuralComplement: true, Workspace: ws}
+
+	newSparse := func(stride, off int) *Vector[float64] {
+		v := NewVector[float64](n)
+		for i := off; i < n; i += stride {
+			_ = v.SetElement(i, float64(i+1))
+		}
+		return v
+	}
+	uS, vS := newSparse(3, 0), newSparse(4, 1)
+	uB, vB := newSparse(3, 0), newSparse(2, 0)
+	uB.ToBitmap()
+	vB.ToBitmap()
+	uD := NewVector[float64](n)
+	uD.Fill(2)
+	sparseMask := newSparse(5, 0)
+	bitmapMask := newSparse(2, 1)
+	bitmapMask.ToBitmap()
+	indices := make([]uint32, n)
+	for k := range indices {
+		indices[k] = uint32((k * 7) % n)
+	}
+
+	w := NewVector[float64](n)
+	accumW := NewVector[float64](n)
+	accumW.Fill(100)
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"ewise-mult-sparse-masked", func() error {
+			return Into(w).Mask(sparseMask).With(desc).EWiseMult(plusOp, uS, vS)
+		}},
+		{"ewise-mult-bitmap-masked-scmp", func() error {
+			return Into(w).Mask(sparseMask).With(scmpWsDesc).EWiseMult(plusOp, uB, vB)
+		}},
+		{"ewise-add-sparse-masked", func() error {
+			return Into(w).Mask(bitmapMask).With(desc).EWiseAdd(plusOp, uS, vS)
+		}},
+		{"ewise-add-dense-accum", func() error {
+			return Into(accumW).Accum(minOpVar).With(desc).EWiseAdd(plusOp, uD, uB)
+		}},
+		{"apply-masked-sparse", func() error {
+			return Into(w).Mask(sparseMask).With(desc).Apply(triple, uS)
+		}},
+		{"apply-masked-bitmap-accum", func() error {
+			return Into(accumW).Mask(bitmapMask).Accum(minOpVar).With(desc).Apply(triple, uB)
+		}},
+		{"apply-indexed-inplace", func() error {
+			return Into(uB).With(desc).ApplyIndexed(stampIdx, uB)
+		}},
+		{"apply-aliased-masked", func() error {
+			return Into(uB).Mask(bitmapMask).With(desc).Apply(triple, uB)
+		}},
+		{"select-masked", func() error {
+			return Into(w).Mask(sparseMask).With(desc).Select(posPred, uS)
+		}},
+		{"assign-vector-masked", func() error {
+			return Into(accumW).Mask(bitmapMask).With(desc).AssignVector(uB)
+		}},
+		{"assign-scalar-accum", func() error {
+			return Into(accumW).Mask(sparseMask).Accum(minOpVar).With(desc).AssignScalar(7)
+		}},
+		{"extract-masked", func() error {
+			return Into(w).Mask(sparseMask).With(desc).Extract(uB, indices)
+		}},
+	}
+	_ = rng
+	for _, tc := range cases {
+		if err := tc.run(); err != nil { // warm the workspace
+			t.Fatal(err)
+		}
+		if avg := testing.AllocsPerRun(20, func() {
+			if err := tc.run(); err != nil {
+				t.Fatal(err)
+			}
+		}); avg != 0 {
+			t.Errorf("%s: %v allocs per warmed op, want 0", tc.name, avg)
+		}
+	}
+}
+
 // TestMxVDenseMaskStaleNVals guards the KnownEmpty derivation: a dense
 // mask whose presence bitmap was written raw through DenseView (no
 // RecountDense — so NVals() is a stale 0) must still mask by its bitmap,

@@ -22,6 +22,18 @@ import "math"
 // go push), so a frontier hovering at the crossover does not flap — and
 // with it, neither does the vector's storage format.
 
+// Operation names recorded in Plan.Op by the unified pipeline.
+const (
+	OpMxV          = "mxv"
+	OpEWiseMult    = "ewise-mult"
+	OpEWiseAdd     = "ewise-add"
+	OpApply        = "apply"
+	OpSelect       = "select"
+	OpAssign       = "assign"
+	OpAssignScalar = "assign-scalar"
+	OpExtract      = "extract"
+)
+
 // Plan rule names, recorded for traces so decision quality can be audited.
 const (
 	// RuleForced marks a plan pinned by ForcePush/ForcePull.
@@ -37,8 +49,16 @@ const (
 
 // Plan is one direction decision plus the evidence it was made on. MxV
 // surfaces it through Descriptor.Plan and BFS through IterStats, so the
-// harness can plot estimated costs against measured runtimes.
+// harness can plot estimated costs against measured runtimes. The unified
+// operation pipeline records every op it runs here — not just matvec — so
+// a trace shows which kernel family executed and what storage layout the
+// output landed in.
 type Plan struct {
+	// Op names the operation the record describes: "mxv", "ewise-mult",
+	// "ewise-add", "apply", "select", "assign", "assign-scalar", "extract".
+	Op string
+	// OutKind is the storage layout the output was produced in.
+	OutKind VecKind
 	// Dir is the chosen kernel orientation.
 	Dir Direction
 	// PushCost and PullCost are the model's work estimates (edge touches;
