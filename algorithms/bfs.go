@@ -73,13 +73,17 @@ func AllOff() BFSOptions {
 // in, so traces witness both the decision evidence and the bitmap
 // frontiers it yields.
 type IterStats struct {
-	Iteration      int
-	Direction      core.Direction
-	FrontierNNZ    int
-	UnvisitedNNZ   int
-	Duration       time.Duration
-	PushCost       float64
-	PullCost       float64
+	Iteration    int
+	Direction    core.Direction
+	FrontierNNZ  int
+	UnvisitedNNZ int
+	Duration     time.Duration
+	PushCost     float64
+	PullCost     float64
+	// MaskDensity is the effective ¬visited mask density the planner
+	// discounted the pull cost by (exact, read off the bitset visited set;
+	// zero when the direction was forced rather than planned).
+	MaskDensity    float64
 	FrontierFormat graphblas.Format
 }
 
@@ -132,7 +136,10 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 		return BFSResult{}, err
 	}
 	visited := graphblas.NewVector[bool](n) // mask + operand-reuse input
-	visited.ToBitmap()
+	// The visited set lives word-packed: the ¬visited mask probe, the
+	// operand-reuse pull input and the unvisited-list compaction all read
+	// single bits of an n/8-byte pattern instead of n presence bytes.
+	visited.ToBitset()
 	if err := visited.SetElement(source, true); err != nil {
 		return BFSResult{}, err
 	}
@@ -254,10 +261,10 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 		res.Visited += newly
 
 		if unvisited != nil && newly > 0 {
-			_, visBits := visited.DenseView()
+			_, visWords := visited.BitsetView()
 			w := 0
 			for _, u := range unvisited {
-				if !visBits[u] {
+				if !core.BitsetGet(visWords, int(u)) {
 					unvisited[w] = u
 					w++
 				}
@@ -274,6 +281,7 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 				Duration:       time.Since(iterStart),
 				PushCost:       plan.PushCost,
 				PullCost:       plan.PullCost,
+				MaskDensity:    plan.MaskAllowFrac,
 				FrontierFormat: f.Format(),
 			})
 		}

@@ -38,8 +38,10 @@ func FusedBFS(a *graphblas.Matrix[bool], source int, switchPoint float64) (BFSRe
 		depths[i] = -1
 	}
 	depths[source] = 0
-	visited := make([]bool, n)
-	visited[source] = true
+	// Word-packed visited set: 1/8 the bitmap's footprint, which is most of
+	// what the fused pull probe touches once the frontier is wide.
+	visited := make([]uint64, core.BitsetWords(n))
+	core.BitsetSet(visited, source)
 	unvisited := make([]uint32, 0, n-1)
 	for v := 0; v < n; v++ {
 		if v != source {
@@ -81,7 +83,7 @@ func FusedBFS(a *graphblas.Matrix[bool], source int, switchPoint float64) (BFSRe
 			if len(frontier) > 0 && len(frontier) > n/256 {
 				w := 0
 				for _, v := range unvisited {
-					if !visited[v] {
+					if !core.BitsetGet(visited, int(v)) {
 						unvisited[w] = v
 						w++
 					}

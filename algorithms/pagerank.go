@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"pushpull/graphblas"
+	"pushpull/internal/core"
 	"pushpull/internal/sparse"
 )
 
@@ -116,7 +117,11 @@ func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (Pa
 	newRanks.Fill(0)
 	active := graphblas.NewVector[bool](n) // adaptive mask: still-moving rows
 	active.Fill(true)
-	_, ap := active.DenseView()
+	// The carry mask is word-packed: the masked matvec and the ¬active
+	// carry-assign read it zero-copy as bitset words, freezing a vertex is
+	// one bit clear, and the planner popcounts its density exactly.
+	active.ToBitset()
+	_, aw := active.BitsetView()
 	activeRows := n
 	streak := make([]int, n) // consecutive sub-threshold deltas per vertex
 
@@ -179,7 +184,7 @@ func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (Pa
 		nv, _ := newRanks.DenseView()
 		delta := 0.0
 		for i := 0; i < n; i++ {
-			if adaptive && !ap[i] {
+			if adaptive && !core.BitsetGet(aw, i) {
 				continue // frozen: rank carries over unchanged
 			}
 			d := math.Abs(nv[i] - rv[i])
@@ -188,7 +193,7 @@ func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (Pa
 				if d < opt.AdaptiveTol {
 					streak[i]++
 					if streak[i] >= opt.FreezeAfter {
-						ap[i] = false
+						core.BitsetUnset(aw, i)
 						activeRows--
 					}
 				} else {
@@ -209,8 +214,9 @@ func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (Pa
 	return res, nil
 }
 
-// refreshNVals recounts a dense vector's stored elements after its raw
-// arrays were written directly through DenseView.
+// refreshNVals recounts a vector's stored elements after its raw arrays
+// were written directly through DenseView or BitsetView (a popcount for
+// bitset vectors).
 func refreshNVals[T comparable](v *graphblas.Vector[T]) {
 	v.RecountDense()
 }

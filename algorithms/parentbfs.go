@@ -34,7 +34,9 @@ func ParentBFS(a *graphblas.Matrix[bool], source int) ([]int64, error) {
 	parents[source] = int64(source)
 
 	visited := graphblas.NewVector[bool](n)
-	visited.ToBitmap()
+	// Word-packed visited set: the masked matvec reads it as packed words
+	// zero-copy and the per-level scalar assign flips single bits in place.
+	visited.ToBitset()
 	if err := visited.SetElement(source, true); err != nil {
 		return nil, err
 	}

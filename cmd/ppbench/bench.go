@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"pushpull/algorithms"
@@ -38,6 +39,17 @@ func benchExperiment(cfg config) error {
 		_ = mask.SetElement(i, true)
 	}
 	mask.ToBitmap()
+	// Word-packed twin of the mask, plus a visited-style bitset (dense-ish,
+	// the BFS mid-traversal shape) for the complemented-mask pull row.
+	bsMask := mask.Dup()
+	bsMask.ToBitset()
+	visited := graphblas.NewVector[bool](n)
+	for i := 0; i < n; i++ {
+		if i%3 != 0 {
+			_ = visited.SetElement(i, true)
+		}
+	}
+	visited.ToBitset()
 	ws := graphblas.NewWorkspace(n, n)
 	w := graphblas.NewVector[bool](n)
 
@@ -47,6 +59,8 @@ func benchExperiment(cfg config) error {
 	}
 	pullDesc := &graphblas.Descriptor{NoAutoConvert: true, Direction: graphblas.ForcePull, Workspace: ws}
 	pushDesc := &graphblas.Descriptor{NoAutoConvert: true, Direction: graphblas.ForcePush, Workspace: ws}
+	scmpPullDesc := &graphblas.Descriptor{NoAutoConvert: true, Direction: graphblas.ForcePull,
+		StructuralComplement: true, StructureOnly: true, Workspace: ws}
 
 	// Unified-pipeline operands: the masked eWise/apply steady state the
 	// OpSpec pipeline is responsible for keeping allocation-free.
@@ -63,8 +77,27 @@ func benchExperiment(cfg config) error {
 	}
 	fout := graphblas.NewVector[float64](n)
 	orOp := func(a, b bool) bool { return a || b }
+	andOp := func(a, b bool) bool { return a && b }
 	plus := func(a, b float64) float64 { return a + b }
 	scale := func(x float64) float64 { return 0.85 * x }
+	notOp := func(x bool) bool { return !x }
+
+	// Boolean eWise operand pairs in both dense-pattern layouts, so the
+	// bitset rows gate the word-parallel kernels against the []bool
+	// baseline.
+	boolA := graphblas.NewVector[bool](n)
+	boolB := graphblas.NewVector[bool](n)
+	for i := 0; i < n; i++ {
+		_ = boolA.SetElement(i, i%2 == 0)
+		_ = boolB.SetElement(i, i%3 == 0)
+	}
+	boolABitmap, boolBBitmap := boolA.Dup(), boolB.Dup()
+	boolABitmap.ToBitmap()
+	boolBBitmap.ToBitmap()
+	boolABitset, boolBBitset := boolA.Dup(), boolB.Dup()
+	boolABitset.ToBitset()
+	boolBBitset.ToBitset()
+	boolOut := graphblas.NewVector[bool](n)
 	variants := []variant{
 		{"row-nomask", func() error {
 			_, err := graphblas.MxV(w, (*graphblas.Vector[bool])(nil), nil, sr, g, denseU, pullDesc)
@@ -99,22 +132,61 @@ func benchExperiment(cfg config) error {
 			// f⟨¬m⟩ = f: the BFS post-filter as a masked identity apply.
 			return graphblas.Into(fout).Mask(mask).With(scmpDesc).Apply(scale, fvals)
 		}},
+		{"row-mask-bitset-scmp", func() error {
+			// The paper's headline masked pull against a word-packed
+			// ¬visited mask: scmp flips 64 rows per word.
+			_, err := graphblas.MxV(w, visited, nil, sr, g, denseU, scmpPullDesc)
+			return err
+		}},
+		{"col-mask-bitset", func() error {
+			// Push with the bitset mask applied as the post-merge filter.
+			_, err := graphblas.MxV(w, bsMask, nil, sr, g, u, pushDesc)
+			return err
+		}},
+		{"ewise-bool-dense", func() error {
+			// Baseline: dense∘dense Boolean AND, one op call per element.
+			return graphblas.Into(boolOut).With(ewDesc).EWiseMult(andOp, boolABitmap, boolBBitmap)
+		}},
+		{"ewise-bool-bitset", func() error {
+			// Word-parallel twin: truth-tabled AND over packed words, 64
+			// elements per step.
+			return graphblas.Into(boolOut).With(ewDesc).EWiseMult(andOp, boolABitset, boolBBitset)
+		}},
+		{"ewise-bool-bitset-or", func() error {
+			return graphblas.Into(boolOut).With(ewDesc).EWiseAdd(orOp, boolABitset, boolBBitset)
+		}},
+		{"apply-bool-bitset", func() error {
+			// Truth-tabled NOT over packed words.
+			return graphblas.Into(boolOut).With(ewDesc).Apply(notOp, boolABitset)
+		}},
 		{"bfs-full", func() error {
 			_, err := algorithms.BFS(g, 0, algorithms.BFSOptions{})
 			return err
 		}},
 	}
+	// Each variant runs -count times and reports the run with the median
+	// ns/op, de-flaking the CI regression gate without raising the floor a
+	// best-of-N would hide behind.
+	count := cfg.count
+	if count < 1 {
+		count = 1
+	}
 	rows := make([][]string, 0, len(variants))
 	for _, v := range variants {
 		v := v
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if err := v.run(); err != nil {
-					b.Fatal(err)
+		results := make([]testing.BenchmarkResult, 0, count)
+		for rep := 0; rep < count; rep++ {
+			results = append(results, testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := v.run(); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			}))
+		}
+		sort.Slice(results, func(i, j int) bool { return results[i].NsPerOp() < results[j].NsPerOp() })
+		r := results[len(results)/2]
 		rows = append(rows, []string{
 			v.name,
 			harness.I(int(r.NsPerOp())),
@@ -122,8 +194,21 @@ func benchExperiment(cfg config) error {
 			harness.I(int(r.AllocsPerOp())),
 		})
 	}
-	title := fmt.Sprintf("Benchmark — matvec variants and BFS (kron scale=%d)", cfg.scale)
+	title := fmt.Sprintf("Benchmark — matvec variants and BFS (kron scale=%d, median of %d)", cfg.scale, count)
 	if err := emit(cfg, title, []string{"name", "ns/op", "B/op", "allocs/op"}, rows); err != nil {
+		return err
+	}
+
+	// Mask storage footprint: the visited-mask bytes a masked pull probes,
+	// per representation (the ≥4× claim is 8× here — one bit vs one byte).
+	bitmapBytes := n
+	bitsetBytes := 8 * ((n + 63) / 64)
+	if err := emit(cfg, "Visited-mask storage footprint (bytes)",
+		[]string{"representation", "bytes", "ratio"},
+		[][]string{
+			{"bitmap ([]bool)", harness.I(bitmapBytes), "1.0"},
+			{"bitset ([]uint64)", harness.I(bitsetBytes), harness.F(float64(bitmapBytes) / float64(bitsetBytes))},
+		}); err != nil {
 		return err
 	}
 
@@ -139,11 +224,12 @@ func benchExperiment(cfg config) error {
 			s.FrontierFormat.String(),
 			harness.F(s.PushCost),
 			harness.F(s.PullCost),
+			harness.F(s.MaskDensity),
 			harness.F(float64(s.Duration.Nanoseconds()) / 1e6),
 		})
 	}}); err != nil {
 		return err
 	}
 	return emit(cfg, "Direction trace — planned BFS iterations",
-		[]string{"iter", "direction", "frontier", "format", "push-cost", "pull-cost", "ms"}, trace)
+		[]string{"iter", "direction", "frontier", "format", "push-cost", "pull-cost", "mask-density", "ms"}, trace)
 }

@@ -25,6 +25,8 @@
 //	-scale N    log2 of the base vertex count (default 14)
 //	-sources N  BFS roots per measurement (default 10, paper uses 10-1000)
 //	-runs N     timed repetitions per root (default 3)
+//	-count N    bench experiment: repetitions per variant, median reported
+//	            (default 1; CI uses 3 to de-flake the regression gate)
 //	-points N   sweep points for table1/fig2 (default 8)
 //	-datasets s comma-separated dataset subset for table4/fig7
 //	-csv        emit CSV instead of aligned tables
@@ -50,6 +52,7 @@ func main() {
 		scale    = flag.Int("scale", 14, "log2 of the base vertex count")
 		sources  = flag.Int("sources", 10, "BFS roots per measurement")
 		runs     = flag.Int("runs", 3, "timed repetitions per root")
+		count    = flag.Int("count", 1, "bench experiment: median-of-N repetitions per variant")
 		points   = flag.Int("points", 8, "sweep points for table1/fig2")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset for table4/fig7")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -66,6 +69,7 @@ func main() {
 		sources: *sources,
 		runs:    *runs,
 		points:  *points,
+		count:   *count,
 		csv:     *csv,
 		jsonDir: *jsonDir,
 		out:     os.Stdout,
@@ -81,10 +85,12 @@ func main() {
 
 type config struct {
 	scale, sources, runs, points int
-	only                         []string
-	csv                          bool
-	jsonDir                      string
-	out                          io.Writer
+	// count is the bench experiment's median-of-N repetition count.
+	count   int
+	only    []string
+	csv     bool
+	jsonDir string
+	out     io.Writer
 	// tables accumulates every emitted table of the current experiment for
 	// the -json sink.
 	tables *[]jsonTable

@@ -94,22 +94,37 @@ func TestRunBenchEmitsJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &payload); err != nil {
 		t.Fatalf("BENCH_bench.json is not valid JSON: %v", err)
 	}
-	if payload.Experiment != "bench" || len(payload.Tables) != 2 {
+	if payload.Experiment != "bench" || len(payload.Tables) != 3 {
 		t.Fatalf("unexpected payload: experiment=%q tables=%d", payload.Experiment, len(payload.Tables))
 	}
 	if got := payload.Tables[0].Headers; len(got) != 4 || got[1] != "ns/op" || got[2] != "B/op" {
 		t.Fatalf("bench table headers = %v", got)
 	}
-	if len(payload.Tables[1].Rows) == 0 {
+	// The bitset rows must be present so BENCH_bench.json gates the
+	// word-packed paths.
+	seen := map[string]bool{}
+	for _, row := range payload.Tables[0].Rows {
+		seen[row[0]] = true
+	}
+	for _, name := range []string{"row-mask-bitset-scmp", "col-mask-bitset", "ewise-bool-bitset", "apply-bool-bitset"} {
+		if !seen[name] {
+			t.Fatalf("bench table is missing the %q row", name)
+		}
+	}
+	// The footprint table records the ≥4× (here 8×) mask shrink.
+	if got := payload.Tables[1].Title; !strings.Contains(got, "footprint") {
+		t.Fatalf("second table = %q, want the mask footprint table", got)
+	}
+	if len(payload.Tables[2].Rows) == 0 {
 		t.Fatal("direction trace is empty")
 	}
 	// The trace must carry the planner's evidence: direction and format
 	// columns populated on every row.
-	for _, row := range payload.Tables[1].Rows {
+	for _, row := range payload.Tables[2].Rows {
 		if row[1] != "push" && row[1] != "pull" {
 			t.Fatalf("bad direction %q in trace", row[1])
 		}
-		if row[3] != "sparse" && row[3] != "bitmap" && row[3] != "dense" {
+		if row[3] != "sparse" && row[3] != "bitmap" && row[3] != "bitset" && row[3] != "dense" {
 			t.Fatalf("bad format %q in trace", row[3])
 		}
 	}

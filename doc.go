@@ -4,11 +4,13 @@
 // The importable library lives in the subpackages:
 //
 //	graphblas   GraphBLAS-style sparse linear algebra with automatic
-//	            push-pull direction optimization in MxV: a three-format
-//	            vector engine (sparse / bitmap / dense) behind
-//	            format-agnostic kernel views, driven by an edge-based
-//	            cost-model direction planner (see the package docs'
-//	            "Storage formats and the direction planner"). Every
+//	            push-pull direction optimization in MxV: a four-format
+//	            vector engine (sparse / bitset / bitmap / dense, the
+//	            bitset packing presence 64-to-a-word for 8×-smaller
+//	            masks, popcount density and word-parallel Boolean eWise)
+//	            behind format-agnostic kernel views, driven by an
+//	            edge-based cost-model direction planner (see the package
+//	            docs' "Storage formats and the direction planner"). Every
 //	            vector operation — MxV/VxM, eWise, apply, select,
 //	            assign, extract — takes masks, accumulators and
 //	            descriptors through one declarative OpSpec builder:
@@ -20,9 +22,10 @@
 //	            MatrixMarket I/O (generate/mmio)
 //
 // Iterative algorithms reach a zero-allocation steady state: every kernel
-// transient (gather buffers, sort scratch, SPA arrays, mask bitmaps) lives
-// in a reusable Workspace that algorithms pin across their run — and that
-// operations auto-acquire from a dimension-keyed pool when none is pinned.
+// transient (gather buffers, sort scratch, SPA arrays, mask word buffers)
+// lives in a reusable Workspace that algorithms pin across their run — and
+// that operations auto-acquire from a dimension-keyed pool when none is
+// pinned.
 // See graphblas.Workspace for the lifecycle and internal/core.Workspace for
 // the kernel-level arena.
 //

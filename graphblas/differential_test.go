@@ -6,12 +6,12 @@ import (
 	"testing"
 )
 
-// This file is the differential property suite for the three-format
+// This file is the differential property suite for the four-format
 // storage engine: random matrices × random frontiers pushed through every
 // combination of
 //
 //	direction   ForcePush, ForcePull, Auto
-//	format      sparse, bitmap, dense (full pattern)
+//	format      sparse, bitmap, bitset, dense (full pattern)
 //	mask        none, plain, structural complement, scmp + allow-list
 //	accumulate  nil, min
 //
@@ -48,6 +48,8 @@ func inFormat(u *Vector[float64], f Format) *Vector[float64] {
 			// bitmap code paths are the ones exercised.
 			c.format = Bitmap
 		}
+	case Bitset:
+		c.ToBitset()
 	case Dense:
 		c.ToDense()
 	}
@@ -79,7 +81,7 @@ func TestMxVDifferentialAllFormats(t *testing.T) {
 
 		w0 := randVec(rng, n, 0.3) // accumulate destination seed
 
-		for _, format := range []Format{Sparse, Bitmap, Dense} {
+		for _, format := range []Format{Sparse, Bitmap, Bitset, Dense} {
 			base := uPartial
 			if format == Dense {
 				base = uFull
@@ -187,7 +189,7 @@ func TestOpsDifferentialUnified(t *testing.T) {
 	add := func(a, b float64) float64 { return a + b }
 	minOp := MinPlusFloat64().Add.Op
 
-	formats := []Format{Sparse, Bitmap, Dense}
+	formats := []Format{Sparse, Bitmap, Bitset, Dense}
 	for trial := 0; trial < 12; trial++ {
 		n := 1 + rng.Intn(24)
 		uPartial := randVec(rng, n, 0.2+rng.Float64()*0.5)

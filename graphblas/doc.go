@@ -14,26 +14,48 @@
 //
 // # Storage formats and the direction planner
 //
-// A Vector stores its elements in one of three formats, forming a lattice
+// A Vector stores its elements in one of four formats, forming a lattice
 // ordered by how much structure is materialized:
 //
 //	Sparse  sorted (index, value) pairs — the push input and the sparse
 //	        push output (radix merge pipeline)
-//	Bitmap  value array + presence bitmap — O(1) probes for the pull
+//	Bitset  value array + word-packed presence ([]uint64, 64 positions
+//	        per word, tail bits zero) — O(1) single-bit probes at 1/8 the
+//	        bitmap footprint, NVals by popcount, zero-copy word-packed
+//	        kernel masks, and word-parallel Boolean pattern algebra; the
+//	        representation for visited sets and reusable masks (ToBitset /
+//	        BitsetView)
+//	Bitmap  value array + presence bytes — O(1) probes for the pull
 //	        input, zero-copy kernel masks, and the sort-free push output
 //	Dense   value array with every position stored — the presence probe
 //	        vanishes from pull inner loops (PageRank-style vectors)
 //
-// Conversion rules: Sparse↔Bitmap moves follow the planned direction (pull
-// requires O(1) probes, so a pulled sparse vector goes bitmap; a pushed
-// bitmap vector sparsifies once it has shrunk below the switch-point while
-// shrinking — the hysteresis that keeps a frontier at the crossover from
-// flapping). Bitmap promotes to Dense for free the moment its pattern
-// fills (nvals == n) and demotes the moment an element is removed;
-// promotion never invents elements — use Fill for the explicit
-// pattern-changing densification. Kernels consume all three formats
-// through format-agnostic views (internal/core.VecView), so a mismatch
-// between storage and kernel never copies more than workspace scratch.
+// Conversion rules: Sparse↔{Bitset, Bitmap} moves follow the planned
+// direction (pull requires O(1) probes, so a pulled sparse vector packs
+// into the bitset; a pushed bitset or bitmap vector sparsifies once it
+// has shrunk below the switch-point while shrinking — the hysteresis that
+// keeps a frontier at the crossover from flapping). Bitmap promotes to
+// Dense for free the moment its pattern fills (nvals == n) and demotes
+// the moment an element is removed; a full Bitset stays Bitset, its words
+// remaining the pattern authority. Promotion never invents elements — use
+// Fill for the explicit pattern-changing densification. Kernels consume
+// all four formats through format-agnostic views (internal/core.VecView),
+// so a mismatch between storage and kernel never copies more than
+// workspace scratch.
+//
+// Masks lower to one of two kernel layouts: packed words — bitset masks
+// zero-copy, sparse masks materialized into the workspace's pooled word
+// buffer — or presence bytes (bitmap/dense masks zero-copy). Word-packed
+// masks are what the paper's headline kernel wants: the masked pull scans
+// the ¬visited test 64 rows per word (the structural complement flips
+// whole words, and a fully disallowed word skips 64 rows on one load),
+// and the planner reads the mask's exact density by popcount instead of
+// trusting a possibly stale count — recorded in Plan.MaskAllowFrac and
+// BFS IterStats.MaskDensity. Boolean eWiseMult/Add and index-free Apply
+// over bitset operands go further: the operator's truth table is
+// evaluated once and both pattern and values are synthesized as word
+// arithmetic (AND/OR/XOR-shaped ops literally become word AND/OR/XOR),
+// 64 elements per step with no per-element branch or call.
 //
 // Direction choice is a standalone planner, not a side effect of
 // conversion. Under Descriptor.Direction == Auto it compares
@@ -141,9 +163,9 @@
 // zero-allocation steady state through the Workspace: a reusable scratch
 // arena holding every transient the operation stack needs (the push
 // kernel's gather buffers, the radix sort's ping-pong arrays and
-// histograms, the SPA accumulator, the sparse-mask bitmap, the accumulate
-// target, the aliased-output bounce vector, and the pinned parallel loop
-// bodies that keep goroutine dispatch closure-free).
+// histograms, the SPA accumulator, the sparse-mask word buffer, the
+// accumulate target, the aliased-output bounce vector, and the pinned
+// parallel loop bodies that keep goroutine dispatch closure-free).
 //
 // Pin one across an algorithm's iterations:
 //

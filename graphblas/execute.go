@@ -2,6 +2,7 @@ package graphblas
 
 import (
 	"fmt"
+	"math/bits"
 
 	"pushpull/internal/core"
 )
@@ -62,15 +63,16 @@ func (s OpSpec[T]) begin(rows, cols int) exec[T] {
 			e.useMask = false
 		}
 		if e.useMask && !e.emptyResult() {
-			// Only a sparse mask materializes through the workspace;
-			// bitmap/dense masks hand out their presence array zero-copy.
+			// Only a sparse mask materializes through the workspace (into
+			// its packed word buffer); bitset masks hand out their words and
+			// bitmap/dense masks their presence array, both zero-copy.
 			ws := e.ws
 			if ws == nil {
 				if _, sparseMask := s.mask.maskSparseIndices(); sparseMask {
 					ws = e.workspace()
 				}
 			}
-			e.mv.Bits = s.mask.maskBitsWS(ws)
+			e.mv.Words, e.mv.Bits = s.mask.maskLowerWS(ws)
 		}
 	}
 	return e
@@ -89,6 +91,12 @@ func (e *exec[T]) workspace() *Workspace {
 // emptyResult reports that the effective mask allows no output at all.
 func (e *exec[T]) emptyResult() bool {
 	return e.useMask && e.mv.KnownEmpty && !e.mv.Scmp
+}
+
+// aliasesMask reports whether v's presence storage is the exact array the
+// mask was lowered to (zero-copy masks from bitmap/dense/bitset vectors).
+func (e *exec[T]) aliasesMask(v *Vector[T]) bool {
+	return e.useMask && (sharesBits(v, e.mv.Bits) || sharesWords(v, e.mv.Words))
 }
 
 // end releases an auto-pooled workspace.
@@ -142,6 +150,8 @@ func kindOf(f Format) core.VecKind {
 		return core.KindSparse
 	case Bitmap:
 		return core.KindBitmap
+	case Bitset:
+		return core.KindBitset
 	default:
 		return core.KindDense
 	}
@@ -188,16 +198,34 @@ func (s OpSpec[T]) ewise(union bool, op BinaryOp[T], u, v *Vector[T]) error {
 
 	// Output format follows the operand lattice: an intersection is at most
 	// as dense as its sparser operand, a union at least as dense as its
-	// denser one.
-	bitmapOut := u.format != Sparse && v.format != Sparse
-	if union {
+	// denser one; when a bitset operand is involved (and no sparse one),
+	// the output lands word-packed and the pattern is computed 64 positions
+	// per word op.
+	denseish := u.format != Sparse && v.format != Sparse
+	bitsetOut := denseish && (u.format == Bitset || v.format == Bitset)
+	bitmapOut := denseish && !bitsetOut
+	if union && !bitsetOut {
 		bitmapOut = u.format != Sparse || v.format != Sparse
 	}
 	uv, vv := u.kernelView(), v.kernelView()
-	aliased := s.w == u || s.w == v || (e.useMask && sharesBits(s.w, e.mv.Bits))
+	aliased := s.w == u || s.w == v || e.aliasesMask(s.w)
 	target := e.target(aliased)
 
-	if bitmapOut {
+	if bitsetOut {
+		wVal, wWords := target.ensureBitsetBuffers()
+		var nv int
+		if bop, ok := any(op).(BinaryOp[bool]); ok {
+			// Boolean operands: truth-table the operator once and run the
+			// whole eWise — pattern and values — as 64-way word arithmetic.
+			ub, vb, tb := any(u).(*Vector[bool]), any(v).(*Vector[bool]), any(target).(*Vector[bool])
+			nv = core.BoolEWiseBitset(union, tb.dval, wWords, ub.kernelView(), vb.kernelView(), e.useMask, e.mv, bop)
+		} else if union {
+			nv = core.EWiseAddBitsetOut(wVal, wWords, uv, vv, e.useMask, e.mv, op)
+		} else {
+			nv = core.EWiseMultBitsetOut(wVal, wWords, uv, vv, e.useMask, e.mv, op)
+		}
+		target.setDenseCount(nv)
+	} else if bitmapOut {
 		wVal, wPresent := target.ensureDenseBuffers()
 		var nv int
 		if union {
@@ -233,18 +261,31 @@ func (s OpSpec[T]) conformUnary(u *Vector[T]) error {
 	return s.conformMask(s.w.Size())
 }
 
-func (s OpSpec[T]) applyIndexed(f func(i int, x T) T, u *Vector[T]) error {
+// applyIndexed runs apply. plain, when non-nil, is the index-free operator
+// the indexed f was wrapped around (OpSpec.Apply): for Boolean bitset
+// operands its two-entry truth table lets the whole map run as word
+// arithmetic instead of one call per element.
+func (s OpSpec[T]) applyIndexed(plain func(T) T, f func(i int, x T) T, u *Vector[T]) error {
 	if err := s.conformUnary(u); err != nil {
 		return err
 	}
 	// In-place fast path: same pattern, mapped values — no workspace, no
 	// format change, no copies.
 	if s.w == u && s.mask == nil && s.accum == nil {
-		if u.format == Sparse {
+		switch u.format {
+		case Sparse:
 			for k := range u.val {
 				u.val[k] = f(int(u.ind[k]), u.val[k])
 			}
-		} else {
+		case Bitset:
+			for wi, w := range u.dwords {
+				base := wi << 6
+				for ; w != 0; w &= w - 1 {
+					i := base + bits.TrailingZeros64(w)
+					u.dval[i] = f(i, u.dval[i])
+				}
+			}
+		default:
 			for i := 0; i < u.n; i++ {
 				if u.dpresent[i] {
 					u.dval[i] = f(i, u.dval[i])
@@ -265,12 +306,21 @@ func (s OpSpec[T]) applyIndexed(f func(i int, x T) T, u *Vector[T]) error {
 		return nil
 	}
 	uv := u.kernelView()
-	aliased := s.w == u || (e.useMask && sharesBits(s.w, e.mv.Bits))
+	aliased := s.w == u || e.aliasesMask(s.w)
 	target := e.target(aliased)
-	if u.format != Sparse {
+	switch {
+	case u.format == Bitset:
+		wVal, wWords := target.ensureBitsetBuffers()
+		if bf, ok := any(plain).(func(bool) bool); ok && plain != nil {
+			ub, tb := any(u).(*Vector[bool]), any(target).(*Vector[bool])
+			target.setDenseCount(core.BoolApplyBitset(tb.dval, wWords, ub.kernelView(), e.useMask, e.mv, bf))
+		} else {
+			target.setDenseCount(core.ApplyBitsetOut(wVal, wWords, uv, e.useMask, e.mv, f))
+		}
+	case u.format != Sparse:
 		wVal, wPresent := target.ensureDenseBuffers()
 		target.setDenseCount(core.ApplyBitmap(wVal, wPresent, uv, e.useMask, e.mv, f))
-	} else {
+	default:
 		ind, val := core.ApplySparse(target.ind[:0], target.val[:0], uv, e.useMask, e.mv, f)
 		target.setSparseResult(ind, val)
 	}
@@ -294,12 +344,16 @@ func (s OpSpec[T]) selectOp(pred func(i int, x T) bool, u *Vector[T]) error {
 		return nil
 	}
 	uv := u.kernelView()
-	aliased := s.w == u || (e.useMask && sharesBits(s.w, e.mv.Bits))
+	aliased := s.w == u || e.aliasesMask(s.w)
 	target := e.target(aliased)
-	if u.format != Sparse {
+	switch {
+	case u.format == Bitset:
+		wVal, wWords := target.ensureBitsetBuffers()
+		target.setDenseCount(core.SelectBitsetOut(wVal, wWords, uv, e.useMask, e.mv, pred))
+	case u.format != Sparse:
 		wVal, wPresent := target.ensureDenseBuffers()
 		target.setDenseCount(core.SelectBitmap(wVal, wPresent, uv, e.useMask, e.mv, pred))
-	} else {
+	default:
 		ind, val := core.SelectSparse(target.ind[:0], target.val[:0], uv, e.useMask, e.mv, pred)
 		target.setSparseResult(ind, val)
 	}
@@ -361,10 +415,26 @@ func (s OpSpec[T]) assignScalar(value T) error {
 	}
 	accum := s.accum
 	scmp := s.desc != nil && s.desc.StructuralComplement
-	wVal, wPresent := w.denseView()
+	// A bitset destination assigns through its packed words in place — it
+	// must not demote to bitmap just to take a scalar (ParentBFS assigns
+	// into its bitset visited set every iteration).
+	var wVal []T
+	var wPresent []bool
+	var wWords []uint64
+	if w.format == Bitset {
+		wVal, wWords = w.dval, w.dwords
+	} else {
+		wVal, wPresent = w.denseView()
+	}
 
 	setAt := func(i int) {
-		if wPresent[i] {
+		stored := false
+		if wWords != nil {
+			stored = core.BitsetGet(wWords, i)
+		} else {
+			stored = wPresent[i]
+		}
+		if stored {
 			if accum != nil {
 				wVal[i] = accum(wVal[i], value)
 			} else {
@@ -372,7 +442,11 @@ func (s OpSpec[T]) assignScalar(value T) error {
 			}
 			return
 		}
-		wPresent[i] = true
+		if wWords != nil {
+			core.BitsetSet(wWords, i)
+		} else {
+			wPresent[i] = true
+		}
 		w.nvals++
 		wVal[i] = value
 	}
@@ -416,9 +490,10 @@ func (s OpSpec[T]) assignScalar(value T) error {
 			pooled = true
 		}
 	}
-	bits := s.mask.maskBitsWS(ws)
+	mWords, mBits := s.mask.maskLowerWS(ws)
+	mv := core.MaskView{Words: mWords, Bits: mBits, Scmp: scmp}
 	for i := 0; i < w.Size(); i++ {
-		if bits[i] != scmp {
+		if mv.Allows(i) {
 			setAt(i)
 		}
 	}
@@ -438,6 +513,29 @@ func (s OpSpec[T]) assignScalar(value T) error {
 // densifies. mergeAccum (the MxV accumulate) is this with no mask.
 func mergeInto[T comparable](ws *Workspace, w, src *Vector[T], accum BinaryOp[T], useMask bool, mv core.MaskView) {
 	if src.NVals() == 0 {
+		return
+	}
+	if w.format == Bitset {
+		// Word-packed destination: flip single bits in place, no bitmap
+		// round-trip (the BFS visited-set update lands here).
+		wVal, words := w.dval, w.dwords
+		src.Iterate(func(i int, x T) bool {
+			if useMask && !mv.Allows(i) {
+				return true
+			}
+			if core.BitsetGet(words, i) {
+				if accum != nil {
+					wVal[i] = accum(wVal[i], x)
+				} else {
+					wVal[i] = x
+				}
+			} else {
+				core.BitsetSet(words, i)
+				wVal[i] = x
+				w.nvals++
+			}
+			return true
+		})
 		return
 	}
 	if w.format != Sparse {
@@ -532,7 +630,7 @@ func (s OpSpec[T]) extract(u *Vector[T], indices []uint32) error {
 		return nil
 	}
 	uv := u.kernelView()
-	aliased := s.w == u || (e.useMask && sharesBits(s.w, e.mv.Bits))
+	aliased := s.w == u || e.aliasesMask(s.w)
 	target := e.target(aliased)
 	if u.format != Sparse {
 		wVal, wPresent := target.ensureDenseBuffers()

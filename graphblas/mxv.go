@@ -76,7 +76,8 @@ func (s OpSpec[T]) MxV(sr Semiring[T], a *Matrix[T], u *Vector[T]) (TraversalDir
 	var mv core.MaskView
 	useMask := mask != nil
 	if useMask {
-		mv = core.MaskView{Bits: mask.maskBitsWS(ws), KnownEmpty: mask.maskKnownEmpty()}
+		mv = core.MaskView{KnownEmpty: mask.maskKnownEmpty()}
+		mv.Words, mv.Bits = mask.maskLowerWS(ws)
 		if desc != nil {
 			mv.Scmp = desc.StructuralComplement
 			mv.List = desc.MaskAllowList
@@ -186,7 +187,11 @@ func planMxV[T comparable](u *Vector[T], mask MaskVector, desc *Descriptor, rowG
 		if desc != nil && desc.MaskAllowList != nil {
 			in.MaskAllowFrac = float64(len(desc.MaskAllowList)) / float64(outDim)
 		} else {
-			frac := float64(mask.NVals()) / float64(outDim)
+			// Exact density where the storage makes it cheap: a
+			// bitset-backed mask popcounts its words (immune to stale nvals
+			// after raw word writes), a sparse mask counts its list;
+			// bitmap/dense masks fall back to the tracked count.
+			frac := float64(mask.maskNVals()) / float64(outDim)
 			if scmp {
 				frac = 1 - frac
 			}
@@ -234,7 +239,7 @@ func mxvInto[T comparable](dst *Vector[T], u *Vector[T], useMask bool, mv core.M
 	switch plan.Dir {
 	case core.Pull:
 		target := dst
-		aliased := sameVector(dst, u) || (useMask && sharesBits(dst, mv.Bits))
+		aliased := sameVector(dst, u) || (useMask && (sharesBits(dst, mv.Bits) || sharesWords(dst, mv.Words)))
 		if aliased {
 			target = scratchVectorFor[T](ws, dst.Size())
 		}
@@ -256,7 +261,7 @@ func mxvInto[T comparable](dst *Vector[T], u *Vector[T], useMask bool, mv core.M
 			// storage, skipping the radix pass. Gated on the default merge
 			// strategy so the merge ablation still measures what it names.
 			target := dst
-			aliased := sameVector(dst, u) || (useMask && sharesBits(dst, mv.Bits))
+			aliased := sameVector(dst, u) || (useMask && (sharesBits(dst, mv.Bits) || sharesWords(dst, mv.Words)))
 			if aliased {
 				target = scratchVectorFor[T](ws, dst.Size())
 			}
@@ -292,6 +297,12 @@ func sharesBits[T comparable](v *Vector[T], bits []bool) bool {
 	return v.dpresent != nil && len(bits) > 0 && len(v.dpresent) > 0 && &v.dpresent[0] == &bits[0]
 }
 
+// sharesWords reports whether v's packed presence words are the exact
+// slice handed out as mask words (zero-copy masks from bitset vectors).
+func sharesWords[T comparable](v *Vector[T], words []uint64) bool {
+	return v.dwords != nil && len(words) > 0 && len(v.dwords) > 0 && &v.dwords[0] == &words[0]
+}
+
 // swapStorage moves src's contents into dst (constant time).
 func swapStorage[T comparable](dst, src *Vector[T]) {
 	dst.format = src.format
@@ -299,6 +310,7 @@ func swapStorage[T comparable](dst, src *Vector[T]) {
 	dst.val, src.val = src.val, dst.val
 	dst.dval, src.dval = src.dval, dst.dval
 	dst.dpresent, src.dpresent = src.dpresent, dst.dpresent
+	dst.dwords, src.dwords = src.dwords, dst.dwords
 	dst.nvals = src.nvals
 }
 

@@ -1,5 +1,7 @@
 package graphblas
 
+import "pushpull/internal/core"
+
 // This file defines OpSpec, the declarative builder every vector operation
 // runs through. An OpSpec names the four things GraphBLAS attaches to any
 // operation besides its operands — output, mask, accumulator, descriptor —
@@ -42,6 +44,10 @@ package graphblas
 // regardless of element type. Masks are structural (pattern-only), so the
 // mask's element type is irrelevant to the operation's. The interface is
 // sealed — only *Vector[M] implements it.
+//
+// Masks lower to one of two kernel layouts: packed words (bitset-format
+// masks zero-copy, sparse masks materialized through the workspace's
+// pooled word buffer) or presence bytes (bitmap/dense masks zero-copy).
 type MaskVector interface {
 	// Size returns the mask vector's length.
 	Size() int
@@ -49,9 +55,10 @@ type MaskVector interface {
 	NVals() int
 
 	maskIsNil() bool
-	maskBitsWS(ws *Workspace) []bool
+	maskLowerWS(ws *Workspace) (words []uint64, bits []bool)
 	maskKnownEmpty() bool
 	maskSparseIndices() ([]uint32, bool)
+	maskNVals() int
 }
 
 // maskIsNil reports whether the typed pointer inside the interface is nil,
@@ -59,9 +66,26 @@ type MaskVector interface {
 // panic.
 func (v *Vector[T]) maskIsNil() bool { return v == nil }
 
-// maskBitsWS lowers the mask to a kernel bitmap through the workspace (see
-// maskBitsFor).
-func (v *Vector[T]) maskBitsWS(ws *Workspace) []bool { return maskBitsFor(ws, v) }
+// maskLowerWS lowers the mask to the kernel layout — packed words or
+// presence bytes, exactly one non-nil — through the workspace (see
+// maskLowerFor).
+func (v *Vector[T]) maskLowerWS(ws *Workspace) ([]uint64, []bool) { return maskLowerFor(ws, v) }
+
+// maskNVals reports the mask's stored-element count as planner evidence:
+// bitset-backed masks popcount their words (exact even after raw writes
+// through BitsetView), sparse masks count their list; bitmap/dense counts
+// trust the tracked nvals, which a raw DenseView writer may have left
+// stale until RecountDense.
+func (v *Vector[T]) maskNVals() int {
+	switch v.format {
+	case Bitset:
+		return core.BitsetCount(v.dwords)
+	case Sparse:
+		return len(v.ind)
+	default:
+		return v.nvals
+	}
+}
 
 // maskKnownEmpty reports that the mask certainly stores no elements.
 func (v *Vector[T]) maskKnownEmpty() bool { return v.knownEmpty() }
@@ -133,16 +157,18 @@ func (s OpSpec[T]) EWiseAdd(op BinaryOp[T], u, v *Vector[T]) error {
 }
 
 // Apply computes w⟨mask⟩ = f(u) elementwise over u's pattern (GrB_apply).
-// w may alias u; the unmasked, non-accumulating aliased form runs in place.
+// w may alias u; the unmasked, non-accumulating aliased form runs in
+// place. Because f is index-free, Boolean bitset operands run it as word
+// arithmetic (truth-tabled once, 64 elements per step).
 func (s OpSpec[T]) Apply(f func(T) T, u *Vector[T]) error {
-	return s.applyIndexed(func(_ int, x T) T { return f(x) }, u)
+	return s.applyIndexed(f, func(_ int, x T) T { return f(x) }, u)
 }
 
 // ApplyIndexed computes w⟨mask⟩ = f(i, u(i)) over u's pattern, the
 // index-aware variant of Apply (GrB_apply with an index-unary operator).
 // w may alias u.
 func (s OpSpec[T]) ApplyIndexed(f func(i int, x T) T, u *Vector[T]) error {
-	return s.applyIndexed(f, u)
+	return s.applyIndexed(nil, f, u)
 }
 
 // Select keeps the elements of u for which pred(i, value) is true

@@ -2,57 +2,69 @@ package graphblas
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"pushpull/internal/core"
 	"pushpull/internal/merge"
 )
 
-// Format names a Vector's current storage representation. The three
+// Format names a Vector's current storage representation. The four
 // formats form a lattice ordered by how much structure they materialize:
 //
-//	Sparse ⊂ Bitmap ⊂ Dense
+//	Sparse ⊂ {Bitset, Bitmap} ⊂ Dense
 //
 // Sparse is a sorted (index, value) pair list — the natural frontier
-// representation for the push phase. Bitmap is a value array plus a
-// presence bitmap (the SPA layout of Gilbert, Moler and Schreiber) — O(1)
-// random access with the pattern still explicit, the natural pull input,
-// mask source, and sort-free push output. Dense is a value array with
+// representation for the push phase. Bitset and Bitmap are siblings: both
+// keep a dense value array with an explicit presence pattern, Bitmap as
+// one byte per position (the SPA layout of Gilbert, Moler and Schreiber),
+// Bitset as one *bit* per position packed 64-to-a-uint64 — 8× smaller, so
+// the pull side's complemented visited-mask probe touches an eighth of the
+// memory, NVals is a popcount instead of a scan, and Boolean pattern
+// algebra runs 64 positions per word op. Dense is a value array with
 // *every* position stored — the presence probe disappears from kernel
 // inner loops (PageRank ranks, converged depth vectors).
 //
-// Conversion rules: Sparse↔Bitmap moves are driven by the direction
-// planner (format follows the chosen direction, with hysteresis so a
-// frontier hovering at the crossover does not flap). Bitmap promotes to
-// Dense automatically and for free the moment its pattern fills
-// (nvals == n); Dense demotes back to Bitmap the moment an element is
-// removed. Promotion never changes the stored pattern — a partial vector
-// stays Bitmap no matter how it is converted.
+// Conversion rules: Sparse↔{Bitset, Bitmap} moves are driven by the
+// direction planner (format follows the chosen direction, with hysteresis
+// so a frontier hovering at the crossover does not flap; the planner's
+// pull-side conversion lands in Bitset). Bitmap promotes to Dense
+// automatically and for free the moment its pattern fills (nvals == n);
+// Dense demotes back to Bitmap the moment an element is removed. A full
+// Bitset stays Bitset — its packed words remain the pattern authority —
+// and kernels still skip per-element probes through word ops. Promotion
+// never changes the stored pattern — a partial vector stays Bitset/Bitmap
+// no matter how it is converted.
 type Format int
 
 const (
 	// Sparse stores sorted (index, value) pairs.
 	Sparse Format = iota
-	// Bitmap stores a value array plus a presence bitmap.
+	// Bitmap stores a value array plus a presence bitmap ([]bool).
 	Bitmap
 	// Dense stores a value array with every position present.
 	Dense
+	// Bitset stores a value array plus a word-packed presence bitset
+	// ([]uint64, 64 positions per word, tail bits zero).
+	Bitset
 )
 
-// String returns "sparse", "bitmap" or "dense".
+// String returns "sparse", "bitmap", "dense" or "bitset".
 func (f Format) String() string {
 	switch f {
 	case Sparse:
 		return "sparse"
 	case Bitmap:
 		return "bitmap"
+	case Bitset:
+		return "bitset"
 	default:
 		return "dense"
 	}
 }
 
 // Vector is a GraphBLAS vector of length n over element type T, stored in
-// one of three formats (see Format). Kernels consume it through
+// one of four formats (see Format). Kernels consume it through
 // format-agnostic views (internal/core.VecView); MxV's direction planner
 // decides push vs pull from an edge-based cost model and the storage
 // format then follows the chosen direction.
@@ -65,12 +77,15 @@ type Vector[T comparable] struct {
 	// Sparse representation: parallel slices, ind sorted ascending, unique.
 	ind []uint32
 	val []T
-	// Bitmap/dense representation: value + presence arrays of length n.
-	// A Dense vector keeps dpresent materialized and all-true so the
-	// object-model paths need no special casing; kernels get a nil
-	// presence view instead.
+	// Bitmap/bitset/dense representation: value array of length n plus a
+	// presence pattern — dpresent for Bitmap (and Dense, where it is kept
+	// materialized and all-true so the object-model paths need no special
+	// casing; kernels get a nil presence view instead), dwords for Bitset
+	// (core.BitsetWords(n) packed words, tail bits zero). Exactly the
+	// pattern named by format is authoritative; the other may be stale.
 	dval     []T
 	dpresent []bool
+	dwords   []uint64
 	nvals    int
 
 	// Planner hysteresis: previous direction decision and frontier
@@ -108,6 +123,9 @@ func (v *Vector[T]) Clear() {
 	v.val = v.val[:0]
 	if v.dpresent != nil {
 		clearBools(v.dpresent)
+	}
+	if v.dwords != nil {
+		core.BitsetZero(v.dwords)
 	}
 	v.nvals = 0
 	v.format = Sparse
@@ -162,6 +180,14 @@ func (v *Vector[T]) SetElement(i int, value T) error {
 	if i < 0 || i >= v.n {
 		return fmt.Errorf("%w: index %d in vector of size %d", ErrIndexOutOfBounds, i, v.n)
 	}
+	if v.format == Bitset {
+		if !core.BitsetGet(v.dwords, i) {
+			core.BitsetSet(v.dwords, i)
+			v.nvals++
+		}
+		v.dval[i] = value
+		return nil
+	}
 	if v.format != Sparse {
 		if !v.dpresent[i] {
 			v.dpresent[i] = true
@@ -191,6 +217,13 @@ func (v *Vector[T]) RemoveElement(i int) error {
 	if i < 0 || i >= v.n {
 		return fmt.Errorf("%w: index %d in vector of size %d", ErrIndexOutOfBounds, i, v.n)
 	}
+	if v.format == Bitset {
+		if core.BitsetGet(v.dwords, i) {
+			core.BitsetUnset(v.dwords, i)
+			v.nvals--
+		}
+		return nil
+	}
 	if v.format != Sparse {
 		if v.dpresent[i] {
 			v.format = Bitmap
@@ -214,6 +247,12 @@ func (v *Vector[T]) ExtractElement(i int) (T, error) {
 	var zero T
 	if i < 0 || i >= v.n {
 		return zero, fmt.Errorf("%w: index %d in vector of size %d", ErrIndexOutOfBounds, i, v.n)
+	}
+	if v.format == Bitset {
+		if core.BitsetGet(v.dwords, i) {
+			return v.dval[i], nil
+		}
+		return zero, ErrNoValue
 	}
 	if v.format != Sparse {
 		if v.dpresent[i] {
@@ -242,6 +281,9 @@ func (v *Vector[T]) Dup() *Vector[T] {
 		out.dval = append([]T(nil), v.dval...)
 		out.dpresent = append([]bool(nil), v.dpresent...)
 	}
+	if v.dwords != nil {
+		out.dwords = append([]uint64(nil), v.dwords...)
+	}
 	return out
 }
 
@@ -261,6 +303,16 @@ func (v *Vector[T]) Iterate(fn func(i int, value T) bool) {
 				return
 			}
 		}
+	case Bitset:
+		for wi, w := range v.dwords {
+			base := wi << 6
+			for ; w != 0; w &= w - 1 {
+				i := base + bits.TrailingZeros64(w)
+				if !fn(i, v.dval[i]) {
+					return
+				}
+			}
+		}
 	default:
 		for i := 0; i < v.n; i++ {
 			if v.dpresent[i] {
@@ -274,7 +326,8 @@ func (v *Vector[T]) Iterate(fn func(i int, value T) bool) {
 
 // ToBitmap converts to the bitmap representation (sparse2bitmap). Dense
 // vectors demote in O(1) — their presence array is already materialized
-// all-true. No-op if already bitmap.
+// all-true; bitset vectors expand their packed words into presence bytes.
+// No-op if already bitmap.
 func (v *Vector[T]) ToBitmap() {
 	switch v.format {
 	case Bitmap:
@@ -282,13 +335,20 @@ func (v *Vector[T]) ToBitmap() {
 	case Dense:
 		v.format = Bitmap
 		return
+	case Bitset:
+		v.ensurePresent()
+		core.BitsetExpand(v.dpresent, v.dwords)
+		v.nvals = core.BitsetCount(v.dwords)
+		core.BitsetZero(v.dwords)
+		v.format = Bitmap
+		v.maybePromoteFull()
+		return
 	}
 	if v.dval == nil {
 		v.dval = make([]T, v.n)
-		v.dpresent = make([]bool, v.n)
-	} else {
-		clearBools(v.dpresent)
 	}
+	v.ensurePresent()
+	clearBools(v.dpresent)
 	for k, idx := range v.ind {
 		v.dval[idx] = v.val[k]
 		v.dpresent[idx] = true
@@ -298,6 +358,50 @@ func (v *Vector[T]) ToBitmap() {
 	v.ind = v.ind[:0]
 	v.val = v.val[:0]
 	v.maybePromoteFull()
+}
+
+// ToBitset converts to the word-packed bitset representation: sparse
+// vectors scatter single bits (and values) into place, bitmap and dense
+// vectors pack their presence bytes 64-at-a-time. No-op if already bitset.
+// The packed words are 1/8 the size of the bitmap's presence array — the
+// representation to keep a visited set or reusable mask in.
+func (v *Vector[T]) ToBitset() {
+	switch v.format {
+	case Bitset:
+		return
+	case Bitmap, Dense:
+		v.ensureWords()
+		v.nvals = core.BitsetFromBools(v.dwords, v.dpresent)
+		v.format = Bitset
+		return
+	}
+	if v.dval == nil {
+		v.dval = make([]T, v.n)
+	}
+	v.ensureWords()
+	core.BitsetZero(v.dwords)
+	for k, idx := range v.ind {
+		v.dval[idx] = v.val[k]
+	}
+	core.BitsetScatter(v.dwords, v.ind)
+	v.nvals = len(v.ind)
+	v.format = Bitset
+	v.ind = v.ind[:0]
+	v.val = v.val[:0]
+}
+
+// ensurePresent materializes the presence-byte array.
+func (v *Vector[T]) ensurePresent() {
+	if v.dpresent == nil {
+		v.dpresent = make([]bool, v.n)
+	}
+}
+
+// ensureWords materializes the packed presence words.
+func (v *Vector[T]) ensureWords() {
+	if v.dwords == nil {
+		v.dwords = make([]uint64, core.BitsetWords(v.n))
+	}
 }
 
 // ToDense densifies as far as the stored pattern allows: the vector
@@ -314,15 +418,19 @@ func (v *Vector[T]) ToDense() {
 
 // Fill stores value at every position, leaving the vector Dense. This is
 // the one pattern-changing densification (PageRank-style value-complete
-// vectors); ToDense never invents elements.
+// vectors); ToDense never invents elements. A Bitset vector's stale words
+// are cleared so a later ToBitset repack starts from the live pattern.
 func (v *Vector[T]) Fill(value T) {
 	if v.dval == nil {
 		v.dval = make([]T, v.n)
-		v.dpresent = make([]bool, v.n)
 	}
+	v.ensurePresent()
 	for i := range v.dval {
 		v.dval[i] = value
 		v.dpresent[i] = true
+	}
+	if v.format == Bitset {
+		core.BitsetZero(v.dwords)
 	}
 	v.ind = v.ind[:0]
 	v.val = v.val[:0]
@@ -330,14 +438,29 @@ func (v *Vector[T]) Fill(value T) {
 	v.format = Dense
 }
 
-// ToSparse converts to the sparse representation (bitmap2sparse). No-op if
-// already sparse.
+// ToSparse converts to the sparse representation (bitmap2sparse /
+// bitset2sparse — the latter enumerates set bits by trailing-zero counts,
+// so an empty word costs one load). No-op if already sparse.
 func (v *Vector[T]) ToSparse() {
 	if v.format == Sparse {
 		return
 	}
 	v.ind = v.ind[:0]
 	v.val = v.val[:0]
+	if v.format == Bitset {
+		for wi, w := range v.dwords {
+			base := wi << 6
+			for ; w != 0; w &= w - 1 {
+				i := base + bits.TrailingZeros64(w)
+				v.ind = append(v.ind, uint32(i))
+				v.val = append(v.val, v.dval[i])
+			}
+		}
+		core.BitsetZero(v.dwords)
+		v.nvals = 0
+		v.format = Sparse
+		return
+	}
 	for i := 0; i < v.n; i++ {
 		if v.dpresent[i] {
 			v.ind = append(v.ind, uint32(i))
@@ -367,10 +490,14 @@ func (v *Vector[T]) settleFormat(plan core.Plan, switchPoint float64) {
 	switch plan.Dir {
 	case core.Pull:
 		if v.format == Sparse {
-			v.ToBitmap()
+			// The pull conversion lands in the word-packed format: the
+			// kernel probes single bits either way, and the 8×-smaller
+			// pattern is what a frontier reused as next iteration's mask
+			// wants to be stored in.
+			v.ToBitset()
 		}
 	case core.Push:
-		if v.format == Bitmap && v.n > 0 && plan.Shrinking &&
+		if (v.format == Bitmap || v.format == Bitset) && v.n > 0 && plan.Shrinking &&
 			float64(v.nvals)/float64(v.n) < switchPoint {
 			v.ToSparse()
 		}
@@ -385,6 +512,8 @@ func (v *Vector[T]) kernelView() core.VecView[T] {
 		return core.SparseVec(v.n, v.ind, v.val)
 	case Dense:
 		return core.DenseVec(v.dval)
+	case Bitset:
+		return core.BitsetVec(v.dval, v.dwords, v.nvals)
 	default:
 		return core.BitmapVec(v.dval, v.dpresent, v.nvals)
 	}
@@ -397,10 +526,10 @@ func (v *Vector[T]) sparseView() ([]uint32, []T) {
 }
 
 // denseView returns the bitmap-layout arrays (values + presence),
-// converting sparse vectors first. Dense vectors hand out their all-true
-// presence array.
+// converting sparse and bitset vectors first. Dense vectors hand out their
+// all-true presence array.
 func (v *Vector[T]) denseView() ([]T, []bool) {
-	if v.format == Sparse {
+	if v.format == Sparse || v.format == Bitset {
 		v.ToBitmap()
 	}
 	return v.dval, v.dpresent
@@ -422,6 +551,17 @@ func (v *Vector[T]) SparseView() (indices []uint32, values []T) {
 	return v.sparseView()
 }
 
+// BitsetView converts the vector to the word-packed bitset format if
+// needed and exposes its raw value array and presence words (bit i of
+// words[i/64]; tail bits zero). The slices alias internal storage: callers
+// may read freely — single-bit probes against an 8×-smaller pattern than
+// DenseView's presence bytes — and may write bits, but writes bypass NVals
+// bookkeeping (call RecountDense afterwards, a popcount, not a scan).
+func (v *Vector[T]) BitsetView() (values []T, words []uint64) {
+	v.ToBitset()
+	return v.dval, v.dwords
+}
+
 // SparseIndices returns the vector's index list without converting: ok is
 // false (and indices nil) unless the vector is currently sparse. The
 // direction planner uses it to read frontier out-degrees off CSC.Ptr in
@@ -433,11 +573,18 @@ func (v *Vector[T]) SparseIndices() (indices []uint32, ok bool) {
 	return v.ind, true
 }
 
-// RecountDense refreshes NVals after a caller wrote the presence array
-// exposed by DenseView directly, promoting to Dense if the pattern filled
-// or demoting if it no longer is full. It is a no-op for sparse vectors.
+// RecountDense refreshes NVals after a caller wrote the presence pattern
+// exposed by DenseView or BitsetView directly, promoting to Dense if a
+// bitmap pattern filled or demoting if it no longer is full. For bitset
+// vectors the recount is a popcount over the packed words
+// (math/bits.OnesCount64), not an O(n) scan. It is a no-op for sparse
+// vectors.
 func (v *Vector[T]) RecountDense() {
-	if v.format != Sparse {
+	switch v.format {
+	case Sparse:
+	case Bitset:
+		v.nvals = core.BitsetCount(v.dwords)
+	default:
 		v.recountDense()
 	}
 }
@@ -451,22 +598,6 @@ func (v *Vector[T]) knownEmpty() bool {
 	return v.format == Sparse && len(v.ind) == 0
 }
 
-// maskBits returns a presence bitmap for use as a kernel mask. Bitmap and
-// dense vectors hand out their presence array zero-copy; sparse vectors
-// materialize a scratch bitmap (O(n) once — callers that probe masks every
-// iteration keep them in bitmap form, or route through a Workspace's
-// reusable mask bitmap via maskBitsFor).
-func (v *Vector[T]) maskBits() []bool {
-	if v.format != Sparse {
-		return v.dpresent
-	}
-	bits := make([]bool, v.n)
-	for _, idx := range v.ind {
-		bits[idx] = true
-	}
-	return bits
-}
-
 // setSparseResult installs kernel output (sorted unique indices) as the
 // vector's contents, leaving it in sparse format.
 func (v *Vector[T]) setSparseResult(ind []uint32, val []T) {
@@ -474,6 +605,9 @@ func (v *Vector[T]) setSparseResult(ind []uint32, val []T) {
 	v.val = val
 	if v.dpresent != nil {
 		clearBools(v.dpresent)
+	}
+	if v.dwords != nil {
+		core.BitsetZero(v.dwords)
 	}
 	v.nvals = 0
 	v.format = Sparse
@@ -489,6 +623,9 @@ func (v *Vector[T]) setSparseCopy(ind []uint32, val []T) {
 	v.val = append(v.val[:0], val...)
 	if v.dpresent != nil {
 		clearBools(v.dpresent)
+	}
+	if v.dwords != nil {
+		core.BitsetZero(v.dwords)
 	}
 	v.nvals = 0
 	v.format = Sparse
@@ -507,15 +644,36 @@ func (v *Vector[T]) setDenseCount(nvals int) {
 func (v *Vector[T]) ensureDenseBuffers() ([]T, []bool) {
 	if v.dval == nil {
 		v.dval = make([]T, v.n)
+	}
+	if v.dpresent == nil {
 		v.dpresent = make([]bool, v.n)
 	} else {
 		clearBools(v.dpresent)
+	}
+	if v.format == Bitset {
+		core.BitsetZero(v.dwords)
 	}
 	v.ind = v.ind[:0]
 	v.val = v.val[:0]
 	v.format = Bitmap
 	v.nvals = 0
 	return v.dval, v.dpresent
+}
+
+// ensureBitsetBuffers readies zeroed word-packed buffers for a bitset-out
+// kernel to write into, leaving the vector in bitset format with no stored
+// elements. The kernels overwrite every word, so no clear is needed here
+// beyond allocation.
+func (v *Vector[T]) ensureBitsetBuffers() ([]T, []uint64) {
+	if v.dval == nil {
+		v.dval = make([]T, v.n)
+	}
+	v.ensureWords()
+	v.ind = v.ind[:0]
+	v.val = v.val[:0]
+	v.format = Bitset
+	v.nvals = 0
+	return v.dval, v.dwords
 }
 
 // recountDense refreshes nvals after the bitmap buffers were written raw,

@@ -270,29 +270,30 @@ func TestSettleFormatFollowsPlannedDirection(t *testing.T) {
 		_ = v.SetElement(i, true)
 	}
 
-	// A pull plan needs O(1) probes: sparse converts to bitmap.
+	// A pull plan needs O(1) probes: sparse converts to the word-packed
+	// bitset (single-bit probes at 1/8 the bitmap footprint).
 	v.settleFormat(core.Plan{Dir: core.Pull}, 0.01)
-	if v.Format() != Bitmap {
+	if v.Format() != Bitset {
 		t.Fatalf("pull plan left format %v", v.Format())
 	}
 
-	// A push plan on a bitmap above the switch-point keeps the bitmap
+	// A push plan on a bitset above the switch-point keeps the bitset
 	// (the kernel compacts a view; no storage churn at the crossover).
 	for i := 5; i < 50; i++ {
 		_ = v.SetElement(i, true)
 	}
 	v.settleFormat(core.Plan{Dir: core.Push, Shrinking: true}, 0.01)
-	if v.Format() != Bitmap {
+	if v.Format() != Bitset {
 		t.Fatal("push plan above switch-point must not sparsify")
 	}
 
 	// Below the switch-point but *growing*: the trend gate holds the
-	// bitmap (this is the anti-flap hysteresis).
+	// bitset (this is the anti-flap hysteresis).
 	for i := 2; i < 50; i++ {
 		_ = v.RemoveElement(i)
 	}
 	v.settleFormat(core.Plan{Dir: core.Push, Growing: true}, 0.01)
-	if v.Format() != Bitmap {
+	if v.Format() != Bitset {
 		t.Fatal("growing frontier must not sparsify")
 	}
 
@@ -304,7 +305,7 @@ func TestSettleFormatFollowsPlannedDirection(t *testing.T) {
 }
 
 func TestFormatString(t *testing.T) {
-	if Sparse.String() != "sparse" || Bitmap.String() != "bitmap" || Dense.String() != "dense" {
+	if Sparse.String() != "sparse" || Bitmap.String() != "bitmap" || Dense.String() != "dense" || Bitset.String() != "bitset" {
 		t.Fatal("Format.String mismatch")
 	}
 }

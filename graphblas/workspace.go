@@ -33,8 +33,8 @@ type Workspace struct {
 	kernel     *core.Workspace
 	rows, cols int
 
-	maskBits    []bool      // sparse-mask bitmap, scrubbed via maskTouched
-	maskTouched []uint32    // indices set in maskBits by the previous mask
+	maskWords   []uint64    // sparse-mask bitset words, scrubbed via maskTouched
+	maskTouched []uint32    // indices set in maskWords by the previous mask
 	scratch     map[any]any // zero value of T → *Vector[T] (product target)
 	accum       map[any]any // zero value of T → *Vector[T] (accumulate merge)
 }
@@ -65,34 +65,42 @@ func (w *Workspace) Release() {
 	wsPool.Put(w.rows, w.cols, w)
 }
 
-// maskBitsFor returns a presence bitmap for v suitable as a kernel mask.
-// Bitmap and dense vectors hand out their presence array zero-copy; sparse
-// vectors materialize into the workspace's reusable bitmap, which is
-// scrubbed via the touched list — O(nnz(previous mask) + nnz(mask)), never
-// O(n) — so per-iteration sparse masks stop allocating and stop
-// rescanning.
-func maskBitsFor[M comparable](ws *Workspace, v *Vector[M]) []bool {
-	if v.format != Sparse {
-		return v.dpresent
+// maskLowerFor lowers a mask vector into the kernel mask layout: packed
+// words or presence bytes, exactly one non-nil. Bitset vectors hand out
+// their words zero-copy and bitmap/dense vectors their presence array;
+// sparse vectors materialize into the workspace's reusable *word* buffer —
+// 1/8 the footprint of the byte bitmap it replaced — scrubbed via the
+// touched list in O(nnz(previous mask) + nnz(mask)), never O(n), so
+// per-iteration sparse masks stop allocating and stop rescanning. With no
+// workspace a sparse mask packs into a fresh word buffer (n/8 bytes, the
+// one allocation of the unpinned path).
+func maskLowerFor[M comparable](ws *Workspace, v *Vector[M]) (words []uint64, bits []bool) {
+	switch v.format {
+	case Bitset:
+		return v.dwords, nil
+	case Sparse:
+	default:
+		return nil, v.dpresent
 	}
+	nw := core.BitsetWords(v.n)
 	if ws == nil {
-		return v.maskBits()
+		fresh := make([]uint64, nw)
+		core.BitsetScatter(fresh, v.ind)
+		return fresh, nil
 	}
-	full := ws.maskBits
+	full := ws.maskWords
 	for _, i := range ws.maskTouched {
-		full[i] = false
+		core.BitsetUnset(full, int(i))
 	}
 	ws.maskTouched = ws.maskTouched[:0]
-	if cap(full) < v.n {
-		ws.maskBits = make([]bool, v.n)
-		full = ws.maskBits
+	if cap(full) < nw {
+		ws.maskWords = make([]uint64, nw)
+		full = ws.maskWords
 	}
-	bits := full[:v.n]
-	for _, idx := range v.ind {
-		bits[idx] = true
-	}
+	w := full[:nw]
+	core.BitsetScatter(w, v.ind)
 	ws.maskTouched = append(ws.maskTouched, v.ind...)
-	return bits
+	return w, nil
 }
 
 // scratchVectorFor returns the workspace's scratch vector for element type

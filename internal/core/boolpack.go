@@ -1,0 +1,61 @@
+package core
+
+import "unsafe"
+
+// This file holds the only unsafe code in the module: word-at-a-time
+// transfer between []bool and packed bitset words. A Go bool is one byte
+// holding exactly 0 or 1 (every value the language can produce), so eight
+// of them load as a single uint64 whose low bit per byte is the value —
+// and the classic movemask multiply gathers those eight bits into one
+// byte, giving a 64-element pack in eight multiplies instead of 64
+// byte-granular loads. The inverse spread writes eight bools per store.
+// These are what make the Boolean truth-table eWise kernels genuinely
+// word-parallel end to end; the scalar loops in ewisebitset.go remain as
+// the boundary/tail path and as the oracle the unit tests check against.
+
+// packMagic has one bit at position 56−7j for j = 0..7: multiplying a
+// word of 0/1 bytes by it parks byte j's bit at position 56+j, so the top
+// byte of the product is the eight values packed (no two terms collide,
+// so no carries — see TestBoolPackRoundTrip for the exhaustive check).
+const packMagic = 0x0102040810204080
+
+// byteLowBits masks each byte of a word to its low bit.
+const byteLowBits = 0x0101010101010101
+
+// byteHighBits masks each byte of a word to its high bit.
+const byteHighBits = 0x8080808080808080
+
+// byteLow7Bits masks each byte of a word to its low seven bits.
+const byteLow7Bits = 0x7f7f7f7f7f7f7f7f
+
+// spreadMask keeps bit j of byte j: ANDing it against a byte replicated
+// eight times isolates one distinct source bit per destination byte.
+const spreadMask = 0x8040201008040201
+
+// packBoolWordFast packs vals[base:base+64] (callers guarantee the full
+// word is in range) into a bitset word: eight 8-byte loads, eight
+// multiply-extracts.
+func packBoolWordFast(vals []bool, base int) uint64 {
+	p := unsafe.Pointer(&vals[base])
+	var w uint64
+	for k := 0; k < 8; k++ {
+		x := *(*uint64)(unsafe.Add(p, k*8)) & byteLowBits
+		w |= (x * packMagic) >> 56 << (8 * k)
+	}
+	return w
+}
+
+// unpackBoolWordFast spreads a bitset word over vals[base:base+64]
+// (callers guarantee the full word is in range): per 8-bit group, the
+// group byte is replicated across the word, spreadMask isolates one
+// source bit per destination byte, and a carry-free SWAR "is nonzero"
+// normalizes each byte to 0/1 — eight bool stores per word write.
+func unpackBoolWordFast(vals []bool, base int, w uint64) {
+	p := unsafe.Pointer(&vals[base])
+	for k := 0; k < 8; k++ {
+		b := w >> (8 * k) & 0xff
+		y := (b * byteLowBits) & spreadMask
+		spread := ((y + byteLow7Bits) | y) & byteHighBits >> 7
+		*(*uint64)(unsafe.Add(p, k*8)) = spread
+	}
+}

@@ -83,14 +83,23 @@ type Opts struct {
 	Ws *Workspace
 }
 
-// MaskView is the kernel-level mask: a dense presence bitmap plus the
-// structural-complement flag (the paper's scmp), and optionally a
-// precomputed list of rows the effective mask allows. Maintaining that list
-// across BFS iterations is how the paper amortizes the O(M) cost of
-// locating mask zeroes (Section 3.2's SPA-like structure).
+// MaskView is the kernel-level mask: a dense presence layout — byte
+// bitmap or word-packed bitset — plus the structural-complement flag (the
+// paper's scmp), and optionally a precomputed list of rows the effective
+// mask allows. Maintaining that list across BFS iterations is how the
+// paper amortizes the O(M) cost of locating mask zeroes (Section 3.2's
+// SPA-like structure). Exactly one of Bits/Words is set for a non-empty
+// mask; Words is the preferred layout (sparse masks materialize into
+// pooled word buffers, bitset-format mask vectors hand their words out
+// zero-copy) and lets the masked row loop and the structural complement
+// operate 64 rows per word.
 type MaskView struct {
-	// Bits[i] reports whether the mask vector stores a nonzero at i.
+	// Bits[i] reports whether the mask vector stores a nonzero at i
+	// (bitmap/dense-backed masks, zero-copy presence arrays).
 	Bits []bool
+	// Words is the word-packed equivalent: bit i of Words[i/64]. When
+	// non-nil it takes precedence over Bits.
+	Words []uint64
 	// Scmp complements the test: when true, rows with Bits[i]==false pass.
 	Scmp bool
 	// List, when non-nil, enumerates exactly the rows that pass the
@@ -106,8 +115,27 @@ type MaskView struct {
 	KnownEmpty bool
 }
 
-// Allows reports whether the effective mask passes row i.
-func (m MaskView) Allows(i int) bool { return m.Bits[i] != m.Scmp }
+// Allows reports whether the effective mask passes row i, probing a single
+// bit for word-packed masks.
+func (m MaskView) Allows(i int) bool {
+	if m.Words != nil {
+		return BitsetGet(m.Words, i) != m.Scmp
+	}
+	return m.Bits[i] != m.Scmp
+}
+
+// EffectiveWord returns the 64-row allow pattern at word index wi of a
+// word-packed mask, with the structural complement already applied
+// (complementing flips the whole word at once). tail must be the
+// BitsetTailMask of the output dimension for the last word and ^0
+// otherwise, so complemented bits past the end never pass.
+func (m MaskView) EffectiveWord(wi int, tail uint64) uint64 {
+	w := m.Words[wi]
+	if m.Scmp {
+		w = ^w
+	}
+	return w & tail
+}
 
 // Counter accumulates the RAM-model cost the paper's Table 1 is stated in:
 // random accesses into the matrix, plus bookkeeping for the merge. The

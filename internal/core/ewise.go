@@ -22,14 +22,20 @@ import "sort"
 // as documented per function; the pipeline picks the kernel from the
 // operand kinds so no combination ever materializes a converted copy.
 
-// At returns the stored value at position i, probing in O(1) for bitmap
-// and dense views and by binary search for sparse views.
+// At returns the stored value at position i, probing in O(1) for bitmap,
+// bitset and dense views and by binary search for sparse views.
 func (v VecView[T]) At(i int) (T, bool) {
 	switch v.Kind {
 	case KindDense:
 		return v.Dval[i], true
 	case KindBitmap:
 		if v.Present[i] {
+			return v.Dval[i], true
+		}
+		var zero T
+		return zero, false
+	case KindBitset:
+		if BitsetGet(v.Words, i) {
 			return v.Dval[i], true
 		}
 		var zero T
@@ -46,7 +52,17 @@ func (v VecView[T]) At(i int) (T, bool) {
 
 // allows reports whether the (possibly absent) mask passes output index i.
 func allows(useMask bool, mv MaskView, i int) bool {
-	return !useMask || mv.Bits[i] != mv.Scmp
+	return !useMask || mv.Allows(i)
+}
+
+// has reports presence at i for the O(1)-probe view kinds (bitmap, bitset,
+// dense — never call it on a sparse view): a bit probe for bitset views, a
+// byte probe for bitmap, unconditionally true for dense.
+func (v VecView[T]) has(i int) bool {
+	if v.Words != nil {
+		return BitsetGet(v.Words, i)
+	}
+	return v.Present == nil || v.Present[i]
 }
 
 // EWiseMultSparse computes the masked intersection u .⊗ v into a sparse
@@ -118,10 +134,7 @@ func EWiseMultBitmap[T comparable](wVal []T, wPresent []bool, u, v VecView[T], u
 		if !allows(useMask, mv, i) {
 			continue
 		}
-		if u.Present != nil && !u.Present[i] {
-			continue
-		}
-		if v.Present != nil && !v.Present[i] {
+		if !u.has(i) || !v.has(i) {
 			continue
 		}
 		wVal[i] = op(u.Dval[i], v.Dval[i])
@@ -183,8 +196,8 @@ func EWiseAddBitmap[T comparable](wVal []T, wPresent []bool, u, v VecView[T], us
 			if !allows(useMask, mv, i) {
 				continue
 			}
-			uHas := u.Present == nil || u.Present[i]
-			vHas := v.Present == nil || v.Present[i]
+			uHas := u.has(i)
+			vHas := v.has(i)
 			switch {
 			case uHas && vHas:
 				wVal[i] = op(u.Dval[i], v.Dval[i])
@@ -212,7 +225,7 @@ func EWiseAddBitmap[T comparable](wVal []T, wPresent []bool, u, v VecView[T], us
 		if !allows(useMask, mv, i) {
 			continue
 		}
-		if base.Present != nil && !base.Present[i] {
+		if !base.has(i) {
 			continue
 		}
 		wVal[i] = base.Dval[i]
@@ -271,7 +284,7 @@ func ApplyBitmap[T comparable](wVal []T, wPresent []bool, u VecView[T], useMask 
 		if !allows(useMask, mv, i) {
 			continue
 		}
-		if u.Present != nil && !u.Present[i] {
+		if !u.has(i) {
 			continue
 		}
 		wVal[i] = f(i, u.Dval[i])
@@ -306,7 +319,7 @@ func SelectBitmap[T comparable](wVal []T, wPresent []bool, u VecView[T], useMask
 		if !allows(useMask, mv, i) {
 			continue
 		}
-		if u.Present != nil && !u.Present[i] {
+		if !u.has(i) {
 			continue
 		}
 		if pred(i, u.Dval[i]) {
@@ -341,7 +354,7 @@ func ExtractBitmap[T comparable](wVal []T, wPresent []bool, u VecView[T], indice
 		if !allows(useMask, mv, k) {
 			continue
 		}
-		if u.Present != nil && !u.Present[int(idx)] {
+		if !u.has(int(idx)) {
 			continue
 		}
 		wVal[k] = u.Dval[idx]

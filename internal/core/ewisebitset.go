@@ -1,0 +1,292 @@
+package core
+
+import "math/bits"
+
+// This file holds the bitset-out element-wise kernels: the word-packed
+// siblings of the bitmap-out kernels in ewise.go. Output presence is
+// written as packed words (wWords, cleared tail invariant maintained) and
+// the output *pattern* is computed 64 positions at a time — intersection
+// is a word AND, union a word OR, the mask one more AND (with the
+// structural complement a word-NOT, never a per-element flip). Values are
+// then filled by trailing-zero enumeration of the result word, so absent
+// runs cost one load per 64 positions and no per-element presence branch
+// ever executes.
+//
+// For Boolean operands there is a second level: BoolEWiseBitset and
+// BoolApplyBitset evaluate the operator's truth table once (binary ops are
+// pure value functions) and then synthesize the packed *value* words by
+// word arithmetic — op itself runs O(1) times per call instead of once per
+// element, which is what makes Boolean dense∘dense eWise a genuine 64-way
+// operation.
+
+// presenceWord returns view v's 64-position presence pattern at word index
+// wi. tail must be BitsetTailMask(v.N) for the last word and ^0 otherwise;
+// bitset views rely on their tail-zero invariant, dense views are all-tail,
+// bitmap views pack 64 presence bytes.
+func presenceWord[T comparable](v VecView[T], wi int, tail uint64) uint64 {
+	if v.Words != nil {
+		return v.Words[wi]
+	}
+	if v.Present == nil {
+		return tail
+	}
+	return packBoolWord(v.Present, wi<<6, v.N)
+}
+
+// maskAllowWord returns the 64-position allow pattern of the effective
+// mask at word index wi: tail (everything) with no mask, the complemented
+// word for word-packed masks, a 64-byte pack for bitmap-backed ones.
+func maskAllowWord(useMask bool, mv MaskView, wi, n int, tail uint64) uint64 {
+	if !useMask {
+		return tail
+	}
+	if mv.Words != nil {
+		return mv.EffectiveWord(wi, tail)
+	}
+	w := packBoolWord(mv.Bits, wi<<6, n)
+	if mv.Scmp {
+		w = ^w
+	}
+	return w & tail
+}
+
+// EWiseMultBitsetOut computes the masked intersection u .⊗ v into bitset
+// buffers (wWords need not arrive cleared; every word is overwritten).
+// Both operands must be O(1)-probe (bitset, bitmap or dense). The output
+// pattern is one AND per 64 positions; op runs only on surviving bits.
+// Returns the output count.
+func EWiseMultBitsetOut[T comparable](wVal []T, wWords []uint64, u, v VecView[T], useMask bool, mv MaskView, op func(a, b T) T) int {
+	n := len(wVal)
+	nw := len(wWords)
+	c := 0
+	for wi := 0; wi < nw; wi++ {
+		tail := ^uint64(0)
+		if wi == nw-1 {
+			tail = BitsetTailMask(n)
+		}
+		w := presenceWord(u, wi, tail) & presenceWord(v, wi, tail) & maskAllowWord(useMask, mv, wi, n, tail)
+		wWords[wi] = w
+		c += bits.OnesCount64(w)
+		base := wi << 6
+		for t := w; t != 0; t &= t - 1 {
+			i := base + bits.TrailingZeros64(t)
+			wVal[i] = op(u.Dval[i], v.Dval[i])
+		}
+	}
+	return c
+}
+
+// EWiseAddBitsetOut computes the masked union u ⊕ v into bitset buffers.
+// Both operands must be O(1)-probe. The output pattern is one OR (plus the
+// mask AND) per 64 positions; each surviving bit is classified
+// both/u-only/v-only by bit tests on the already-loaded words. Returns the
+// output count.
+func EWiseAddBitsetOut[T comparable](wVal []T, wWords []uint64, u, v VecView[T], useMask bool, mv MaskView, op func(a, b T) T) int {
+	n := len(wVal)
+	nw := len(wWords)
+	c := 0
+	for wi := 0; wi < nw; wi++ {
+		tail := ^uint64(0)
+		if wi == nw-1 {
+			tail = BitsetTailMask(n)
+		}
+		allow := maskAllowWord(useMask, mv, wi, n, tail)
+		up := presenceWord(u, wi, tail) & allow
+		vp := presenceWord(v, wi, tail) & allow
+		w := up | vp
+		wWords[wi] = w
+		c += bits.OnesCount64(w)
+		both := up & vp
+		base := wi << 6
+		for t := w; t != 0; t &= t - 1 {
+			off := bits.TrailingZeros64(t)
+			i := base + off
+			bit := uint64(1) << uint(off)
+			switch {
+			case both&bit != 0:
+				wVal[i] = op(u.Dval[i], v.Dval[i])
+			case up&bit != 0:
+				wVal[i] = u.Dval[i]
+			default:
+				wVal[i] = v.Dval[i]
+			}
+		}
+	}
+	return c
+}
+
+// ApplyBitsetOut computes w = f(i, u(i)) over an O(1)-probe u into bitset
+// buffers: the output pattern is u's presence words ANDed with the mask, f
+// runs per surviving bit. Returns the output count.
+func ApplyBitsetOut[T comparable](wVal []T, wWords []uint64, u VecView[T], useMask bool, mv MaskView, f func(i int, x T) T) int {
+	n := len(wVal)
+	nw := len(wWords)
+	c := 0
+	for wi := 0; wi < nw; wi++ {
+		tail := ^uint64(0)
+		if wi == nw-1 {
+			tail = BitsetTailMask(n)
+		}
+		w := presenceWord(u, wi, tail) & maskAllowWord(useMask, mv, wi, n, tail)
+		wWords[wi] = w
+		c += bits.OnesCount64(w)
+		base := wi << 6
+		for t := w; t != 0; t &= t - 1 {
+			i := base + bits.TrailingZeros64(t)
+			wVal[i] = f(i, u.Dval[i])
+		}
+	}
+	return c
+}
+
+// SelectBitsetOut keeps the elements of an O(1)-probe u passing pred (and
+// the mask) in bitset buffers: candidate words come from u's presence and
+// the mask, failing bits are cleared. Returns the output count.
+func SelectBitsetOut[T comparable](wVal []T, wWords []uint64, u VecView[T], useMask bool, mv MaskView, pred func(i int, x T) bool) int {
+	n := len(wVal)
+	nw := len(wWords)
+	c := 0
+	for wi := 0; wi < nw; wi++ {
+		tail := ^uint64(0)
+		if wi == nw-1 {
+			tail = BitsetTailMask(n)
+		}
+		w := presenceWord(u, wi, tail) & maskAllowWord(useMask, mv, wi, n, tail)
+		base := wi << 6
+		for t := w; t != 0; t &= t - 1 {
+			off := bits.TrailingZeros64(t)
+			i := base + off
+			if pred(i, u.Dval[i]) {
+				wVal[i] = u.Dval[i]
+			} else {
+				w &^= 1 << uint(off)
+			}
+		}
+		wWords[wi] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// b2u widens a bool to 0/1 without a branch (the compiler lowers the
+// conditional over a loaded bool to a zero-extended byte move).
+func b2u(b bool) uint64 {
+	var x uint64
+	if b {
+		x = 1
+	}
+	return x
+}
+
+// packBoolWord packs 64 bools starting at base into a word (unconditional
+// branch-free pack: bits at absent positions are garbage the caller masks
+// off with presence words). Full interior words go through a fixed-count
+// array loop so the compiler drops every bounds check and unrolls.
+func packBoolWord(vals []bool, base, n int) uint64 {
+	if base+wordBits <= n {
+		return packBoolWordFast(vals, base)
+	}
+	var w uint64
+	for i, k := base, uint(0); i < n; i, k = i+1, k+1 {
+		w |= b2u(vals[i]) << k
+	}
+	return w
+}
+
+// unpackBoolWord spreads a packed value word over 64 bools starting at
+// base — unconditional branch-free stores; positions outside the presence
+// pattern receive meaningless values, exactly like the bitmap kernels
+// leave stale bytes at absent positions.
+func unpackBoolWord(vals []bool, base, n int, valw uint64) {
+	if base+wordBits <= n {
+		unpackBoolWordFast(vals, base, valw)
+		return
+	}
+	for i, k := base, uint(0); i < n; i, k = i+1, k+1 {
+		vals[i] = valw>>k&1 != 0
+	}
+}
+
+// boolMask widens a bool into an all-ones/all-zeros word mask.
+func boolMask(b bool) uint64 {
+	if b {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// BoolEWiseBitset is the Boolean specialization of the bitset eWise
+// kernels: with both operands O(1)-probe and T == bool, the operator —
+// required pure, like every GraphBLAS binary op — is evaluated once on
+// each of its four input combinations and the packed output *value* words
+// are synthesized from the operands' packed value words by that truth
+// table:
+//
+//	t(a,b) = (t11∧a∧b) ∨ (t10∧a∧¬b) ∨ (t01∧¬a∧b) ∨ (t00∧¬(a∨b))
+//
+// so AND/OR/XOR-shaped ops literally become word AND/OR/XOR (the other
+// terms vanish), 64 elements per step, with op called O(1) times per
+// kernel instead of once per element. union selects eWiseAdd pattern
+// semantics (single-operand positions copy through); otherwise eWiseMult.
+// Returns the output count.
+func BoolEWiseBitset(union bool, wVal []bool, wWords []uint64, u, v VecView[bool], useMask bool, mv MaskView, op func(a, b bool) bool) int {
+	t00 := boolMask(op(false, false))
+	t01 := boolMask(op(false, true))
+	t10 := boolMask(op(true, false))
+	t11 := boolMask(op(true, true))
+	n := len(wVal)
+	nw := len(wWords)
+	c := 0
+	for wi := 0; wi < nw; wi++ {
+		tail := ^uint64(0)
+		if wi == nw-1 {
+			tail = BitsetTailMask(n)
+		}
+		allow := maskAllowWord(useMask, mv, wi, n, tail)
+		up := presenceWord(u, wi, tail)
+		vp := presenceWord(v, wi, tail)
+		base := wi << 6
+		uvw := packBoolWord(u.Dval, base, n)
+		vvw := packBoolWord(v.Dval, base, n)
+		both := up & vp
+		tt := (t11 & uvw & vvw) | (t10 & uvw &^ vvw) | (t01 & vvw &^ uvw) | (t00 &^ (uvw | vvw))
+		var pres, valw uint64
+		if union {
+			pres = (up | vp) & allow
+			valw = (both & tt) | (up &^ vp & uvw) | (vp &^ up & vvw)
+		} else {
+			pres = both & allow
+			valw = tt
+		}
+		valw &= pres
+		wWords[wi] = pres
+		c += bits.OnesCount64(pres)
+		unpackBoolWord(wVal, base, n, valw)
+	}
+	return c
+}
+
+// BoolApplyBitset is the Boolean specialization of ApplyBitsetOut for
+// index-free operators: f's two-entry truth table turns the value map into
+// word arithmetic, 64 elements per step. Returns the output count.
+func BoolApplyBitset(wVal []bool, wWords []uint64, u VecView[bool], useMask bool, mv MaskView, f func(x bool) bool) int {
+	ff := boolMask(f(false))
+	ft := boolMask(f(true))
+	n := len(wVal)
+	nw := len(wWords)
+	c := 0
+	for wi := 0; wi < nw; wi++ {
+		tail := ^uint64(0)
+		if wi == nw-1 {
+			tail = BitsetTailMask(n)
+		}
+		pres := presenceWord(u, wi, tail) & maskAllowWord(useMask, mv, wi, n, tail)
+		base := wi << 6
+		uvw := packBoolWord(u.Dval, base, n)
+		valw := ((ft & uvw) | (ff &^ uvw)) & pres
+		wWords[wi] = pres
+		c += bits.OnesCount64(pres)
+		unpackBoolWord(wVal, base, n, valw)
+	}
+	return c
+}

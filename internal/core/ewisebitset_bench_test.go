@@ -1,0 +1,68 @@
+package core
+
+import "testing"
+
+// Benchmarks backing the acceptance criterion that Boolean dense∘dense
+// eWise on bitset operands beats the []bool baseline at 2^20 elements.
+
+const benchN = 1 << 20
+
+func boolOperands() (uVal, vVal []bool, uWords, vWords []uint64, uPres, vPres []bool) {
+	uVal = make([]bool, benchN)
+	vVal = make([]bool, benchN)
+	uPres = make([]bool, benchN)
+	vPres = make([]bool, benchN)
+	uWords = make([]uint64, BitsetWords(benchN))
+	vWords = make([]uint64, BitsetWords(benchN))
+	for i := 0; i < benchN; i++ {
+		uVal[i] = i%2 == 0
+		vVal[i] = i%3 == 0
+		uPres[i] = true
+		vPres[i] = true
+	}
+	BitsetSetAll(uWords, benchN)
+	BitsetSetAll(vWords, benchN)
+	return
+}
+
+func BenchmarkBoolEWiseDenseBaseline(b *testing.B) {
+	uVal, vVal, _, _, _, _ := boolOperands()
+	wVal := make([]bool, benchN)
+	wPresent := make([]bool, benchN)
+	u := DenseVec(uVal)
+	v := DenseVec(vVal)
+	and := func(a, b bool) bool { return a && b }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EWiseMultBitmap(wVal, wPresent, u, v, false, MaskView{}, and)
+	}
+}
+
+func BenchmarkBoolEWiseBitsetWords(b *testing.B) {
+	uVal, vVal, uWords, vWords, _, _ := boolOperands()
+	wVal := make([]bool, benchN)
+	wWords := make([]uint64, BitsetWords(benchN))
+	u := BitsetVec(uVal, uWords, benchN)
+	v := BitsetVec(vVal, vWords, benchN)
+	and := func(a, b bool) bool { return a && b }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BoolEWiseBitset(false, wVal, wWords, u, v, false, MaskView{}, and)
+	}
+}
+
+func BenchmarkBoolEWiseBitsetGenericPath(b *testing.B) {
+	uVal, vVal, uWords, vWords, _, _ := boolOperands()
+	wVal := make([]bool, benchN)
+	wWords := make([]uint64, BitsetWords(benchN))
+	u := BitsetVec(uVal, uWords, benchN)
+	v := BitsetVec(vVal, vWords, benchN)
+	and := func(a, b bool) bool { return a && b }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EWiseMultBitsetOut(wVal, wWords, u, v, false, MaskView{}, and)
+	}
+}

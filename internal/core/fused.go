@@ -13,8 +13,10 @@ import (
 // bit, and compacts the unvisited list in place — no intermediate frontier
 // vector is materialized.
 //
-// Inputs: g is CSR(Aᵀ); visited is the dense visited bitmap (read for the
-// parent probe, updated in the sequential epilogue); unvisited is the
+// Inputs: g is CSR(Aᵀ); visited is the word-packed visited bitset
+// (BitsetWords(rows) words, read for the parent probe, updated in the
+// sequential epilogue) — 8× smaller than the []bool bitmap it replaced,
+// which is most of what the pull probe touches; unvisited is the
 // amortized allow-list, compacted in place. Returns the new frontier's
 // vertices and the shrunken unvisited list. With a pinned ws the frontier
 // aliases one of the workspace's two ping-pong buffers and stays valid for
@@ -24,7 +26,7 @@ import (
 // Race discipline: workers read `visited` (bits set only in previous
 // levels — the epilogue publishes this level's bits after the barrier) and
 // write only depths[v] for v they own via the list partition.
-func FusedPullStep[T comparable](g *sparse.CSR[T], visited []bool, unvisited []uint32, depths []int32, depth int32, ws *Workspace) ([]uint32, []uint32) {
+func FusedPullStep[T comparable](g *sparse.CSR[T], visited []uint64, unvisited []uint32, depths []int32, depth int32, ws *Workspace) ([]uint32, []uint32) {
 	ws, transient := kernelWorkspace(ws, g.Rows, g.Cols)
 	fl := &arenaFor[T](ws).fused
 	fl.ensure()
@@ -43,7 +45,7 @@ func FusedPullStep[T comparable](g *sparse.CSR[T], visited []bool, unvisited []u
 	}
 	fl.storeFront(frontier)
 	for _, v := range frontier {
-		visited[v] = true
+		BitsetSet(visited, int(v))
 	}
 	fl.clear()
 	if transient {
@@ -64,15 +66,15 @@ func FusedPullStep[T comparable](g *sparse.CSR[T], visited []bool, unvisited []u
 // It runs sequentially over the frontier's adjacency (the claim test makes
 // parallel writes racy without atomics; the fused path is for the ablation
 // study, where the pull side dominates anyway).
-func FusedPushStep[T comparable](cscG *sparse.CSR[T], visited []bool, frontier []uint32, depths []int32, depth int32, ws *Workspace) []uint32 {
+func FusedPushStep[T comparable](cscG *sparse.CSR[T], visited []uint64, frontier []uint32, depths []int32, depth int32, ws *Workspace) []uint32 {
 	ws, transient := kernelWorkspace(ws, cscG.Rows, cscG.Cols)
 	fl := &arenaFor[T](ws).fused
 	next := fl.nextFront()
 	for _, u := range frontier {
 		ind := cscG.Ind[cscG.Ptr[u]:cscG.Ptr[u+1]]
 		for _, v := range ind {
-			if !visited[v] {
-				visited[v] = true
+			if !BitsetGet(visited, int(v)) {
+				BitsetSet(visited, int(v))
 				depths[v] = depth
 				next = append(next, v)
 			}

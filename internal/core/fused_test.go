@@ -62,8 +62,8 @@ func TestFusedStepsBuildCorrectBFS(t *testing.T) {
 			depths[i] = -1
 		}
 		depths[src] = 0
-		visited := make([]bool, n)
-		visited[src] = true
+		visited := make([]uint64, BitsetWords(n))
+		BitsetSet(visited, src)
 		unvisited := make([]uint32, 0, n-1)
 		for v := 0; v < n; v++ {
 			if v != src {
@@ -77,7 +77,7 @@ func TestFusedStepsBuildCorrectBFS(t *testing.T) {
 				// Compact the unvisited list so the next pull is exact.
 				w := 0
 				for _, v := range unvisited {
-					if !visited[v] {
+					if !BitsetGet(visited, int(v)) {
 						unvisited[w] = v
 						w++
 					}
@@ -97,14 +97,14 @@ func TestFusedStepsBuildCorrectBFS(t *testing.T) {
 
 func TestFusedPullStepSkipsStaleEntries(t *testing.T) {
 	g := randSymCSR(rand.New(rand.NewSource(121)), 20, 0.3)
-	visited := make([]bool, 20)
+	visited := make([]uint64, BitsetWords(20))
 	depths := make([]int32, 20)
 	for i := range depths {
 		depths[i] = -1
 	}
-	visited[0] = true
+	BitsetSet(visited, 0)
 	depths[0] = 0
-	visited[5] = true
+	BitsetSet(visited, 5)
 	depths[5] = 1 // already visited but still on the stale list
 	unvisited := []uint32{5}
 	for v := 1; v < 20; v++ {

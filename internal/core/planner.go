@@ -64,6 +64,11 @@ type Plan struct {
 	// PushCost and PullCost are the model's work estimates (edge touches;
 	// comparable to each other, not to wall-clock).
 	PushCost, PullCost float64
+	// MaskAllowFrac is the effective-mask density the pull cost was
+	// discounted by: exact (a popcount over the mask's packed words, or the
+	// bitmap's tracked count) when the caller could read it off the storage,
+	// an estimate otherwise; 1 with no mask.
+	MaskAllowFrac float64
 	// FrontierNNZ and N snapshot the input vector the plan was made for.
 	FrontierNNZ, N int
 	// Growing/Shrinking report the frontier trend since the previous plan
@@ -146,6 +151,7 @@ func DecideDirection(in PlanInput, st *PlanState) Plan {
 	if allow < 0 || allow > 1 {
 		allow = 1
 	}
+	p.MaskAllowFrac = allow
 	p.PullCost = float64(in.OutRows) * in.AvgDeg * allow
 
 	switch {

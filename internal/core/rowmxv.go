@@ -24,10 +24,10 @@ const rowGrain = 256
 func RowMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], u VecView[T], sr SR[T], opts Opts) int {
 	ws, transient := kernelWorkspace(opts.Ws, g.Rows, g.Cols)
 	a := arenaFor[T](ws)
-	uVal, uPresent := pullOperands(a, u)
+	uVal, uPresent, uWords := pullOperands(a, u)
 	rl := &a.row
 	rl.ensure()
-	rl.stage(w, wPresent, g, uVal, uPresent, MaskView{}, sr, opts)
+	rl.stage(w, wPresent, g, uVal, uPresent, uWords, MaskView{}, sr, opts)
 	if opts.Sequential {
 		rl.run(0, g.Rows)
 	} else {
@@ -67,17 +67,26 @@ func RowMaskedMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], u VecV
 	}
 	ws, transient := kernelWorkspace(opts.Ws, g.Rows, g.Cols)
 	a := arenaFor[T](ws)
-	uVal, uPresent := pullOperands(a, u)
+	uVal, uPresent, uWords := pullOperands(a, u)
 	rl := &a.row
 	rl.ensure()
-	rl.stage(w, wPresent, g, uVal, uPresent, mask, sr, opts)
-	if mask.List != nil {
+	rl.stage(w, wPresent, g, uVal, uPresent, uWords, mask, sr, opts)
+	switch {
+	case mask.List != nil:
 		if opts.Sequential {
 			rl.runList(0, len(mask.List))
 		} else {
 			par.For(len(mask.List), rowGrain, rl.runList)
 		}
-	} else {
+	case mask.Words != nil:
+		// Word-packed mask: the scan tests (and, under scmp, complements)
+		// 64 rows per word instead of one element at a time.
+		if opts.Sequential {
+			rl.runMaskWords(0, g.Rows)
+		} else {
+			par.For(g.Rows, rowGrain, rl.runMaskWords)
+		}
+	default:
 		if opts.Sequential {
 			rl.runMask(0, g.Rows)
 		} else {
@@ -107,13 +116,55 @@ func kernelWorkspace(ws *Workspace, rows, cols int) (*Workspace, bool) {
 
 // rowAccumulate folds row i of G against u into w[i]. It implements the
 // inner loop of Algorithm 2, including the optional early-exit break, the
-// structure-only value bypass, and the dense-input fast path (uPresent ==
-// nil means every position is stored, so the presence probe disappears).
-// It reports whether w[i] was written present, so chunk bodies can count
-// output nonzeroes as they go.
-func rowAccumulate[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], i int, uVal []T, uPresent []bool, sr SR[T], opts Opts) bool {
+// structure-only value bypass, and the dense-input fast path (uPresent and
+// uWords both nil means every position is stored, so the presence probe
+// disappears). A non-nil uWords selects single-bit probes into the
+// word-packed presence bitset — the 8×-smaller visited-set layout the
+// masked pull's complemented probe runs against. It reports whether w[i]
+// was written present, so chunk bodies can count output nonzeroes as they
+// go.
+func rowAccumulate[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], i int, uVal []T, uPresent []bool, uWords []uint64, sr SR[T], opts Opts) bool {
 	lo, hi := g.Ptr[i], g.Ptr[i+1]
 	earlyExit := opts.EarlyExit && sr.Terminal != nil
+	if uWords != nil {
+		if opts.StructureOnly && earlyExit {
+			// Pure existence scan over packed bits — the BFS pull inner
+			// loop against a bitset visited set: stop at the first present
+			// parent.
+			for k := lo; k < hi; k++ {
+				if BitsetGet(uWords, int(g.Ind[k])) {
+					w[i] = *sr.Terminal
+					wPresent[i] = true
+					return true
+				}
+			}
+			return false
+		}
+		acc := sr.Id
+		any := false
+		for k := lo; k < hi; k++ {
+			j := g.Ind[k]
+			if !BitsetGet(uWords, int(j)) {
+				continue
+			}
+			if opts.StructureOnly {
+				acc = sr.Add(acc, sr.One)
+			} else {
+				acc = sr.Add(acc, sr.Mul(g.Val[k], uVal[j]))
+			}
+			any = true
+			if earlyExit && acc == *sr.Terminal {
+				break
+			}
+		}
+		if any {
+			w[i] = acc
+			wPresent[i] = true
+		} else {
+			wPresent[i] = false
+		}
+		return any
+	}
 	if uPresent == nil {
 		// Dense input: no presence probes, and any nonempty row produces an
 		// output.

@@ -1,14 +1,17 @@
 package core
 
 // This file defines the format-agnostic vector view the kernels consume.
-// The public graphblas layer stores vectors in one of three formats —
-// sparse list, bitmap (presence bits + values), dense (every position
-// stored) — and lowers whichever one a vector currently holds into a
-// VecView without copying. Kernels dispatch on the view's kind: the pull
-// side gets an O(1)-probe layout (materializing one into workspace scratch
-// if handed a sparse view), the push side gets an index list (compacting
-// one from bitmap bits if needed), and dense views let the pull inner loop
-// skip the presence probe entirely.
+// The public graphblas layer stores vectors in one of four formats —
+// sparse list, bitset (presence words + values), bitmap (presence bytes +
+// values), dense (every position stored) — and lowers whichever one a
+// vector currently holds into a VecView without copying. Kernels dispatch
+// on the view's kind: the pull side gets an O(1)-probe layout
+// (materializing one into workspace scratch if handed a sparse view), the
+// push side gets an index list (compacting one from presence bits if
+// needed), and dense views let the pull inner loop skip the presence probe
+// entirely. Bitset views probe presence as single bits of packed words —
+// an 8× smaller footprint than bitmap — and compact to index lists by
+// trailing-zero enumeration.
 
 // VecKind names the storage layout a VecView describes.
 type VecKind uint8
@@ -22,15 +25,21 @@ const (
 	// KindDense is a value array with every position stored: the presence
 	// probe disappears from kernel inner loops.
 	KindDense
+	// KindBitset is a value array plus a word-packed presence bitset
+	// ([]uint64, 64 positions per word): O(1) bit probes at 1/8 the
+	// bitmap's footprint, popcount density, word-wise pattern algebra.
+	KindBitset
 )
 
-// String returns "sparse", "bitmap" or "dense".
+// String returns "sparse", "bitmap", "dense" or "bitset".
 func (k VecKind) String() string {
 	switch k {
 	case KindSparse:
 		return "sparse"
 	case KindBitmap:
 		return "bitmap"
+	case KindBitset:
+		return "bitset"
 	default:
 		return "dense"
 	}
@@ -38,8 +47,9 @@ func (k VecKind) String() string {
 
 // VecView is a zero-copy, read-only window onto a vector's storage in
 // whatever format it currently holds. Exactly the fields implied by Kind
-// are valid: Ind/Val for sparse, Dval/Present for bitmap, Dval alone for
-// dense (Present is nil and every position is stored).
+// are valid: Ind/Val for sparse, Dval/Present for bitmap, Dval/Words for
+// bitset, Dval alone for dense (Present and Words are nil and every
+// position is stored).
 type VecView[T comparable] struct {
 	Kind VecKind
 	// N is the vector length.
@@ -51,9 +61,12 @@ type VecView[T comparable] struct {
 	Ind []uint32
 	Val []T
 
-	// Bitmap/dense: value array of length N; Present is nil for dense.
+	// Bitmap/bitset/dense: value array of length N. Present is the bitmap
+	// format's presence bytes, Words the bitset format's packed presence
+	// bits (BitsetWords(N) long, tail bits zero); both are nil for dense.
 	Dval    []T
 	Present []bool
+	Words   []uint64
 }
 
 // SparseVec builds a sparse view over sorted unique (ind, val) pairs.
@@ -73,16 +86,28 @@ func DenseVec[T comparable](dval []T) VecView[T] {
 	return VecView[T]{Kind: KindDense, N: len(dval), NVals: len(dval), Dval: dval}
 }
 
-// pullOperands lowers the view into the (values, present) pair the row
-// kernels probe, materializing a sparse view into arena scratch (scrubbed
-// before reuse via the touched list, so repeated calls stay allocation-free
-// past the high-water mark). present == nil means every position is stored.
-func pullOperands[T comparable](a *arena[T], u VecView[T]) (val []T, present []bool) {
+// BitsetVec builds a bitset view over a value array and a word-packed
+// presence bitset (BitsetWords(len(dval)) words, tail bits zero). nvals is
+// the number of set bits; pass BitsetCount(words) if the caller does not
+// track it.
+func BitsetVec[T comparable](dval []T, words []uint64, nvals int) VecView[T] {
+	return VecView[T]{Kind: KindBitset, N: len(dval), NVals: nvals, Dval: dval, Words: words}
+}
+
+// pullOperands lowers the view into the (values, present, words) triple
+// the row kernels probe, materializing a sparse view into arena scratch
+// (scrubbed before reuse via the touched list, so repeated calls stay
+// allocation-free past the high-water mark). Exactly one presence layout
+// is non-nil for bitmap/bitset views; both nil means every position is
+// stored.
+func pullOperands[T comparable](a *arena[T], u VecView[T]) (val []T, present []bool, words []uint64) {
 	switch u.Kind {
 	case KindDense:
-		return u.Dval, nil
+		return u.Dval, nil, nil
 	case KindBitmap:
-		return u.Dval, u.Present
+		return u.Dval, u.Present, nil
+	case KindBitset:
+		return u.Dval, nil, u.Words
 	default:
 		a.pullVal = grow(a.pullVal, u.N)
 		a.pullPresent = growCleared(a.pullPresent, u.N)
@@ -91,7 +116,7 @@ func pullOperands[T comparable](a *arena[T], u VecView[T]) (val []T, present []b
 			a.pullPresent[idx] = true
 		}
 		a.pullTouched = append(a.pullTouched[:0], u.Ind...)
-		return a.pullVal, a.pullPresent
+		return a.pullVal, a.pullPresent, nil
 	}
 }
 
@@ -105,8 +130,9 @@ func scrubPull[T comparable](a *arena[T]) {
 }
 
 // pushOperands lowers the view into the (indices, values) pair the column
-// kernels gather from, compacting bitmap/dense views into arena scratch.
-// For dense views every index is listed.
+// kernels gather from, compacting bitmap/bitset/dense views into arena
+// scratch. For dense views every index is listed; bitset views enumerate
+// set bits by trailing-zero counts, so an empty word costs one load.
 func pushOperands[T comparable](a *arena[T], u VecView[T]) (ind []uint32, val []T) {
 	switch u.Kind {
 	case KindSparse:
@@ -117,6 +143,14 @@ func pushOperands[T comparable](a *arena[T], u VecView[T]) (ind []uint32, val []
 			a.pushInd[i] = uint32(i)
 		}
 		return a.pushInd, u.Dval
+	case KindBitset:
+		a.pushInd = a.pushInd[:0]
+		a.pushVal = a.pushVal[:0]
+		BitsetForEach(u.Words, func(i int) {
+			a.pushInd = append(a.pushInd, uint32(i))
+			a.pushVal = append(a.pushVal, u.Dval[i])
+		})
+		return a.pushInd, a.pushVal
 	default:
 		a.pushInd = a.pushInd[:0]
 		a.pushVal = a.pushVal[:0]

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -141,26 +142,28 @@ type rowLoop[T comparable] struct {
 	g        *sparse.CSR[T]
 	uVal     []T
 	uPresent []bool
+	uWords   []uint64
 	mask     MaskView
 	sr       SR[T]
 	opts     Opts
 	nvals    atomic.Int64
 
-	run     func(lo, hi int) // unmasked: every row
-	runMask func(lo, hi int) // masked: bitmap scan
-	runList func(lo, hi int) // masked: amortized allow-list
+	run          func(lo, hi int) // unmasked: every row
+	runMask      func(lo, hi int) // masked: bitmap scan
+	runMaskWords func(lo, hi int) // masked: word-packed bitset scan
+	runList      func(lo, hi int) // masked: amortized allow-list
 }
 
-func (rl *rowLoop[T]) stage(w []T, wPresent []bool, g *sparse.CSR[T], uVal []T, uPresent []bool, mask MaskView, sr SR[T], opts Opts) {
+func (rl *rowLoop[T]) stage(w []T, wPresent []bool, g *sparse.CSR[T], uVal []T, uPresent []bool, uWords []uint64, mask MaskView, sr SR[T], opts Opts) {
 	rl.w, rl.wPresent, rl.g = w, wPresent, g
-	rl.uVal, rl.uPresent = uVal, uPresent
+	rl.uVal, rl.uPresent, rl.uWords = uVal, uPresent, uWords
 	rl.mask, rl.sr, rl.opts = mask, sr, opts
 	rl.nvals.Store(0)
 }
 
 func (rl *rowLoop[T]) clear() {
 	rl.w, rl.wPresent, rl.g = nil, nil, nil
-	rl.uVal, rl.uPresent = nil, nil
+	rl.uVal, rl.uPresent, rl.uWords = nil, nil, nil
 	rl.mask = MaskView{}
 	rl.sr = SR[T]{}
 }
@@ -173,10 +176,10 @@ func (rl *rowLoop[T]) ensure() {
 	// the per-row loop runs on registers, not through the struct pointer.
 	rl.run = func(lo, hi int) {
 		w, wPresent, g := rl.w, rl.wPresent, rl.g
-		uVal, uPresent, sr, opts := rl.uVal, rl.uPresent, rl.sr, rl.opts
+		uVal, uPresent, uWords, sr, opts := rl.uVal, rl.uPresent, rl.uWords, rl.sr, rl.opts
 		c := 0
 		for i := lo; i < hi; i++ {
-			if rowAccumulate(w, wPresent, g, i, uVal, uPresent, sr, opts) {
+			if rowAccumulate(w, wPresent, g, i, uVal, uPresent, uWords, sr, opts) {
 				c++
 			}
 		}
@@ -184,7 +187,7 @@ func (rl *rowLoop[T]) ensure() {
 	}
 	rl.runMask = func(lo, hi int) {
 		w, wPresent, g := rl.w, rl.wPresent, rl.g
-		uVal, uPresent, sr, opts := rl.uVal, rl.uPresent, rl.sr, rl.opts
+		uVal, uPresent, uWords, sr, opts := rl.uVal, rl.uPresent, rl.uWords, rl.sr, rl.opts
 		mask := rl.mask
 		c := 0
 		for i := lo; i < hi; i++ {
@@ -192,21 +195,53 @@ func (rl *rowLoop[T]) ensure() {
 			if !mask.Allows(i) {
 				continue
 			}
-			if rowAccumulate(w, wPresent, g, i, uVal, uPresent, sr, opts) {
+			if rowAccumulate(w, wPresent, g, i, uVal, uPresent, uWords, sr, opts) {
 				c++
+			}
+		}
+		rl.nvals.Add(int64(c))
+	}
+	rl.runMaskWords = func(lo, hi int) {
+		w, wPresent, g := rl.w, rl.wPresent, rl.g
+		uVal, uPresent, uWords, sr, opts := rl.uVal, rl.uPresent, rl.uWords, rl.sr, rl.opts
+		words, scmp := rl.mask.Words, rl.mask.Scmp
+		for i := lo; i < hi; i++ {
+			wPresent[i] = false
+		}
+		c := 0
+		// One mask word covers 64 rows: the structural complement flips the
+		// whole word, allowed rows fall out by trailing-zero enumeration,
+		// and a fully disallowed word skips 64 rows on one load.
+		for base := lo &^ 63; base < hi; base += 64 {
+			mw := words[base>>6]
+			if scmp {
+				mw = ^mw
+			}
+			if base < lo {
+				mw &^= (1 << uint(lo-base)) - 1 // rows below this chunk
+			}
+			if base+64 > hi {
+				mw &= (1 << uint(hi-base)) - 1 // rows past this chunk (and past n)
+			}
+			for mw != 0 {
+				i := base + bits.TrailingZeros64(mw)
+				mw &= mw - 1
+				if rowAccumulate(w, wPresent, g, i, uVal, uPresent, uWords, sr, opts) {
+					c++
+				}
 			}
 		}
 		rl.nvals.Add(int64(c))
 	}
 	rl.runList = func(lo, hi int) {
 		w, wPresent, g := rl.w, rl.wPresent, rl.g
-		uVal, uPresent, sr, opts := rl.uVal, rl.uPresent, rl.sr, rl.opts
+		uVal, uPresent, uWords, sr, opts := rl.uVal, rl.uPresent, rl.uWords, rl.sr, rl.opts
 		list := rl.mask.List
 		c := 0
 		for k := lo; k < hi; k++ {
 			i := int(list[k])
 			wPresent[i] = false
-			if rowAccumulate(w, wPresent, g, i, uVal, uPresent, sr, opts) {
+			if rowAccumulate(w, wPresent, g, i, uVal, uPresent, uWords, sr, opts) {
 				c++
 			}
 		}
@@ -272,7 +307,7 @@ func (cl *colLoop[T]) ensure() {
 // a step may read the previous frontier while building the next).
 type fusedLoop[T comparable] struct {
 	g         *sparse.CSR[T]
-	visited   []bool
+	visited   []uint64
 	unvisited []uint32
 	depths    []int32
 	depth     int32
@@ -317,13 +352,13 @@ func (fl *fusedLoop[T]) ensure() {
 		keep := fl.keeps[w][:0]
 		for i := lo; i < hi; i++ {
 			v := unvisited[i]
-			if visited[v] {
+			if BitsetGet(visited, int(v)) {
 				continue // stale entry left by a skipped push-side compaction
 			}
 			ind := g.Ind[g.Ptr[v]:g.Ptr[v+1]]
 			found := false
 			for _, u := range ind {
-				if visited[u] {
+				if BitsetGet(visited, int(u)) {
 					found = true
 					break // early exit: first parent suffices
 				}
