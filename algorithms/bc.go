@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pushpull/graphblas"
+	"pushpull/internal/core"
 	"pushpull/internal/sparse"
 )
 
@@ -18,6 +19,14 @@ import (
 // contributions level by level, masked to the preceding level's pattern,
 // so every matvec in both sweeps benefits from masking.
 func BetweennessCentrality(a *graphblas.Matrix[bool], sources []int) ([]float64, error) {
+	return BetweennessCentralityTuned(a, sources, nil)
+}
+
+// BetweennessCentralityTuned is BetweennessCentrality under a calibrated
+// cost model: both sweeps' matvecs run with Direction == Auto, so the
+// model and a shared feedback corrector ride the descriptors into the MxV
+// pipeline's planner. model == nil keeps the unit model.
+func BetweennessCentralityTuned(a *graphblas.Matrix[bool], sources []int, model *core.CostModel) ([]float64, error) {
 	n := a.NRows()
 	if a.NCols() != n {
 		return nil, fmt.Errorf("algorithms: BC needs a square matrix, got %d×%d", a.NRows(), a.NCols())
@@ -36,6 +45,11 @@ func BetweennessCentrality(a *graphblas.Matrix[bool], sources []int) ([]float64,
 	defer ws.Release()
 	fwdDesc := &graphblas.Descriptor{Transpose: true, StructuralComplement: true, Workspace: ws}
 	backDesc := &graphblas.Descriptor{Workspace: ws}
+	if model != nil {
+		corr := &core.Corrector{}
+		fwdDesc.CostModel, fwdDesc.Corrector = model, corr
+		backDesc.CostModel, backDesc.Corrector = model, corr
+	}
 
 	// The c and contrib vectors are rebuilt each backward level, so one
 	// pair serves every source.

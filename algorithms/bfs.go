@@ -47,6 +47,12 @@ type BFSOptions struct {
 	// rule at that crossover instead of the default edge-based cost model
 	// (the direction planner). Zero means plan by cost.
 	SwitchPoint float64
+	// Model, when non-nil, prices the planner's estimates with calibrated
+	// per-machine nanosecond coefficients (ppbench calibrate / -tune)
+	// instead of unit RAM costs; each level's matvec is then timed and fed
+	// back into the planner's corrector, so a mis-fitted profile converges
+	// mid-traversal. Nil keeps the unit model.
+	Model *core.CostModel
 	// Merge selects the push-phase merge strategy.
 	Merge graphblas.MergeStrategy
 	// Trace, when non-nil, receives one record per BFS iteration.
@@ -85,6 +91,15 @@ type IterStats struct {
 	// zero when the direction was forced rather than planned).
 	MaskDensity    float64
 	FrontierFormat graphblas.Format
+	// PredictedNs is the calibrated model's wall-clock estimate for the
+	// chosen kernel — zero under the unit model (whose costs are not
+	// nanoseconds) and on forced iterations, which plan nothing.
+	// MeasuredNs is the matvec's measured time, recorded on every
+	// iteration (forced ones included); the measured/predicted ratio is
+	// the prediction error the feedback corrector folds into the next
+	// decision.
+	PredictedNs float64
+	MeasuredNs  float64
 }
 
 // BFSResult carries the outputs of a traversal.
@@ -161,7 +176,12 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 		}
 	}
 
-	planner := graphblas.NewPlanner(a, true, opt.SwitchPoint)
+	planner := graphblas.NewPlanner(a, true, opt.SwitchPoint).WithModel(opt.Model)
+	if !opt.DisableOperandReuse {
+		// With operand reuse the pull kernel probes the word-packed visited
+		// set, so a calibrated model prices pull probes at the bitset rate.
+		planner.SetPullProbeKind(core.KindBitset)
+	}
 	dir := core.Push
 	depth := int32(0)
 	res := BFSResult{Visited: 1, EdgesTraversed: int64(len(firstRow(a, source)))}
@@ -189,12 +209,15 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 		res.Iterations++
 
 		var plan core.Plan
+		var measured time.Duration
+		planned := false
 		switch {
 		case opt.ForcePull:
 			dir = core.Pull
 		case opt.DisableDirectionOpt:
 			dir = core.Push
 		default:
+			planned = true
 			// Plan the direction: exact frontier out-degrees when f is
 			// sparse (read off CSC.Ptr in O(nnz(f))), the nnz·d̄ estimate
 			// otherwise, against pull's unvisited-row count.
@@ -222,13 +245,18 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 			input = visited
 		}
 
+		// The matvec itself is timed (monotonic clock, no allocations) so
+		// the planner's corrector can compare prediction against reality
+		// each level.
 		var err error
+		mxvStart := time.Now()
 		if opt.DisableMasking {
 			// Unmasked mxv, then filter out already-visited vertices as a
 			// separate masked-identity step (the pre-masking formulation).
 			if _, err = graphblas.Into(f).With(desc).MxV(sr, a, input); err != nil {
 				return res, err
 			}
+			measured = time.Since(mxvStart)
 			if err = graphblas.Into(f).Mask(visited).With(filterDesc).Apply(keep, f); err != nil {
 				return res, err
 			}
@@ -242,6 +270,10 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 			if _, err = graphblas.Into(f).Mask(visited).With(desc).MxV(sr, a, input); err != nil {
 				return res, err
 			}
+			measured = time.Since(mxvStart)
+		}
+		if planned {
+			planner.Observe(plan, measured)
 		}
 
 		// Bookkeeping: v⟨f⟩ = depth (Algorithm 1 Line 7, split across the
@@ -283,6 +315,8 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 				PullCost:       plan.PullCost,
 				MaskDensity:    plan.MaskAllowFrac,
 				FrontierFormat: f.Format(),
+				PredictedNs:    plan.PredictedNs,
+				MeasuredNs:     float64(measured.Nanoseconds()),
 			})
 		}
 	}

@@ -2,6 +2,7 @@ package algorithms
 
 import (
 	"fmt"
+	"time"
 
 	"pushpull/graphblas"
 	"pushpull/internal/core"
@@ -22,6 +23,14 @@ import (
 // same rule BFS defaults to); a positive value selects the legacy nnz/n
 // ratio rule at that crossover.
 func FusedBFS(a *graphblas.Matrix[bool], source int, switchPoint float64) (BFSResult, error) {
+	return FusedBFSTuned(a, source, switchPoint, nil)
+}
+
+// FusedBFSTuned is FusedBFS under a calibrated cost model: the planner
+// prices each level in nanoseconds, every fused step is timed, and the
+// measured/predicted ratio feeds the corrector that scales the next
+// level's estimates. model == nil keeps the unit model (plain FusedBFS).
+func FusedBFSTuned(a *graphblas.Matrix[bool], source int, switchPoint float64, model *core.CostModel) (BFSResult, error) {
 	n := a.NRows()
 	if a.NCols() != n {
 		return BFSResult{}, fmt.Errorf("algorithms: FusedBFS needs a square matrix, got %d×%d", a.NRows(), a.NCols())
@@ -57,6 +66,7 @@ func FusedBFS(a *graphblas.Matrix[bool], source int, switchPoint float64) (BFSRe
 	defer ws.Release()
 
 	var state core.PlanState
+	var corr core.Corrector
 	avgDeg := core.AvgRowDegree(pullG.NNZ(), pullG.Rows)
 	dir := core.Push
 	res := BFSResult{Visited: 1, EdgesTraversed: int64(pushG.RowLen(source))}
@@ -66,7 +76,7 @@ func FusedBFS(a *graphblas.Matrix[bool], source int, switchPoint float64) (BFSRe
 		for _, v := range frontier {
 			pushEdges += pushG.RowLen(int(v))
 		}
-		plan := core.DecideDirection(core.PlanInput{
+		in := core.PlanInput{
 			NNZ:           len(frontier),
 			N:             n,
 			OutRows:       n,
@@ -74,8 +84,16 @@ func FusedBFS(a *graphblas.Matrix[bool], source int, switchPoint float64) (BFSRe
 			AvgDeg:        avgDeg,
 			MaskAllowFrac: float64(n-res.Visited) / float64(n),
 			SwitchPoint:   switchPoint,
-		}, &state)
+			// The fused pull probes the word-packed visited set.
+			InKind: core.KindBitset,
+		}
+		if model != nil {
+			in.Model = *model
+			in.Correct = &corr
+		}
+		plan := core.DecideDirection(in, &state)
 		dir = plan.Dir
+		stepStart := time.Now()
 		if dir == core.Pull {
 			frontier, unvisited = core.FusedPullStep(pullG, visited, unvisited, depths, depth, ws)
 		} else {
@@ -91,6 +109,10 @@ func FusedBFS(a *graphblas.Matrix[bool], source int, switchPoint float64) (BFSRe
 				unvisited = unvisited[:w]
 			}
 		}
+		// Feed the measured step time back (the pull step compacts the
+		// unvisited list internally, so push's compaction above is part of
+		// the comparable work).
+		corr.Observe(dir, plan.PredictedNs, float64(time.Since(stepStart).Nanoseconds()))
 		for _, v := range frontier {
 			res.EdgesTraversed += int64(pushG.RowLen(int(v)))
 		}

@@ -26,6 +26,11 @@ type PageRankOptions struct {
 	// mass in waves, so a single small delta can be transient; requiring a
 	// streak keeps the adaptive result close to the exact one.
 	FreezeAfter int
+	// Model, when non-nil, rides the descriptor into the matvec pipeline
+	// so plan records price the (pull-pinned) iteration in calibrated
+	// nanoseconds; PageRank never switches direction, so the model only
+	// affects the trace, not the schedule.
+	Model *core.CostModel
 }
 
 func (o PageRankOptions) withDefaults() PageRankOptions {
@@ -131,7 +136,7 @@ func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (Pa
 	// steady state allocates nothing.
 	ws := graphblas.AcquireWorkspace(n, n)
 	defer ws.Release()
-	desc := &graphblas.Descriptor{Transpose: true, Direction: graphblas.ForcePull, Workspace: ws}
+	desc := &graphblas.Descriptor{Transpose: true, Direction: graphblas.ForcePull, Workspace: ws, CostModel: opt.Model}
 	// Frozen rows carry their old rank: newRanks⟨¬active⟩ = ranks.
 	carryDesc := &graphblas.Descriptor{StructuralComplement: true, Workspace: ws}
 	scale := func(x float64) float64 { return opt.Damping * x }

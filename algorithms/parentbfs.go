@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pushpull/graphblas"
+	"pushpull/internal/core"
 	"pushpull/internal/sparse"
 )
 
@@ -16,6 +17,15 @@ import (
 // Returned parents[i] is the parent of i, parents[source] == source, and
 // -1 marks unreached vertices.
 func ParentBFS(a *graphblas.Matrix[bool], source int) ([]int64, error) {
+	return ParentBFSTuned(a, source, nil)
+}
+
+// ParentBFSTuned is ParentBFS under a calibrated cost model. Unlike BFS,
+// ParentBFS plans nothing itself — its matvec runs with Direction == Auto
+// — so the model and the feedback corrector ride the descriptor into the
+// MxV pipeline's own planner, which times every kernel it schedules.
+// model == nil keeps the unit model.
+func ParentBFSTuned(a *graphblas.Matrix[bool], source int, model *core.CostModel) ([]int64, error) {
 	n := a.NRows()
 	if a.NCols() != n {
 		return nil, fmt.Errorf("algorithms: ParentBFS needs a square matrix, got %d×%d", a.NRows(), a.NCols())
@@ -50,6 +60,10 @@ func ParentBFS(a *graphblas.Matrix[bool], source int) ([]int64, error) {
 	ws := graphblas.AcquireWorkspace(n, n)
 	defer ws.Release()
 	desc := &graphblas.Descriptor{Transpose: true, StructuralComplement: true, Workspace: ws}
+	if model != nil {
+		desc.CostModel = model
+		desc.Corrector = &core.Corrector{}
+	}
 	assignDesc := &graphblas.Descriptor{Workspace: ws}
 
 	stamp := func(i int, _ uint32) uint32 { return uint32(i) }

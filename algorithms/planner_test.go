@@ -80,6 +80,77 @@ func TestBFSLegacySwitchPointStillHonored(t *testing.T) {
 	}
 }
 
+// TestBFSCalibratedModelEndToEnd runs BFS under a plausible calibrated
+// cost model: depths must match the reference, every planned iteration
+// must carry a nanosecond prediction and a kernel measurement, and the
+// variants that thread the model through descriptors (ParentBFS, BC,
+// FusedBFS, SSSP) must keep producing reference results.
+func TestBFSCalibratedModelEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 300
+	a := randUndirected(rng, n, 0.04)
+	want := refBFS(a, 2)
+	model := &core.CostModel{
+		GatherNs: 2.6, ProbeBoolNs: 0.45, ProbeWordNs: 0.56, ProbeDenseNs: 0.1,
+		RowNs: 7.6, ScatterNs: 1.7, SortNs: 0.85, SetupNs: 250,
+	}
+
+	var stats []IterStats
+	res, err := BFS(a, 2, BFSOptions{Model: model, Trace: func(s IterStats) { stats = append(stats, s) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.Depths[i] != want[i] {
+			t.Fatalf("tuned depth[%d] = %d, reference %d", i, res.Depths[i], want[i])
+		}
+	}
+	for _, s := range stats {
+		if s.PredictedNs <= 0 {
+			t.Fatalf("iter %d: calibrated model set no ns prediction: %+v", s.Iteration, s)
+		}
+		if s.MeasuredNs <= 0 {
+			t.Fatalf("iter %d: kernel timing missing: %+v", s.Iteration, s)
+		}
+	}
+
+	parents, err := ParentBFSTuned(a, 2, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parents {
+		if (want[i] < 0) != (p < 0) {
+			t.Fatalf("tuned ParentBFS reachability mismatch at %d: parent %d, depth %d", i, p, want[i])
+		}
+	}
+
+	fused, err := FusedBFSTuned(a, 2, 0, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if fused.Depths[i] != want[i] {
+			t.Fatalf("tuned FusedBFS depth[%d] = %d, reference %d", i, fused.Depths[i], want[i])
+		}
+	}
+
+	// Untuned vs tuned must agree exactly for the result-deterministic
+	// algorithms (only the schedule may differ).
+	bcPlain, err := BetweennessCentrality(a, []int{0, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcTuned, err := BetweennessCentralityTuned(a, []int{0, 2, 5}, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bcPlain {
+		if diff := bcPlain[i] - bcTuned[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("tuned BC diverged at %d: %g vs %g", i, bcTuned[i], bcPlain[i])
+		}
+	}
+}
+
 // TestMxVPlanDescriptorSink checks that Descriptor.Plan surfaces the
 // planner's record through a real matvec.
 func TestMxVPlanDescriptorSink(t *testing.T) {

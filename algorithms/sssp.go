@@ -22,6 +22,10 @@ type SSSPOptions struct {
 	// nnz(f)·d̄·log nnz(f) ≈ M·d̄ rather than the 1% that masked BFS pull
 	// enjoys.
 	SwitchPoint float64
+	// Model, when non-nil, prices the direction decision with calibrated
+	// nanosecond coefficients and feeds each relaxation matvec's measured
+	// time back into the planner's corrector (see BFSOptions.Model).
+	Model *core.CostModel
 	// Trace, when non-nil, receives one record per relaxation round.
 	Trace func(IterStats)
 }
@@ -67,7 +71,7 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 	}
 	cand := graphblas.NewVector[float64](n)
 
-	planner := graphblas.NewPlanner(a, true, opt.SwitchPoint)
+	planner := graphblas.NewPlanner(a, true, opt.SwitchPoint).WithModel(opt.Model)
 	dir := core.Push
 
 	// One workspace and descriptor for the whole relaxation loop; the
@@ -80,13 +84,17 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 
 	for round := 0; round < n && active.NVals() > 0; round++ {
 		start := time.Now()
+		var plan core.Plan
+		planned := false
 		if opt.PushOnly {
 			dir = core.Push
 		} else if dir == core.Push {
 			// 2-phase: once pull, stay pull (the SSSP workfront does not
 			// shrink back the way BFS's does).
 			activeInd, _ := active.SparseIndices()
-			dir = planner.Plan(activeInd, active.NVals(), -1).Dir
+			plan = planner.Plan(activeInd, active.NVals(), -1)
+			dir = plan.Dir
+			planned = true
 		}
 		if dir == core.Push {
 			desc.Direction = graphblas.ForcePush
@@ -95,8 +103,13 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 		}
 		// cand = Aᵀ min.+ active: tentative distances through last round's
 		// improvements.
+		mxvStart := time.Now()
 		if _, err := graphblas.Into(cand).With(desc).MxV(sr, a, active); err != nil {
 			return nil, err
+		}
+		measured := time.Since(mxvStart)
+		if planned {
+			planner.Observe(plan, measured)
 		}
 		// Relax, as two pipeline calls: the new active set is the
 		// candidates that improve (a select against dist), and the fold is
@@ -114,6 +127,10 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 				Direction:   dir,
 				FrontierNNZ: active.NVals(),
 				Duration:    time.Since(start),
+				PushCost:    plan.PushCost,
+				PullCost:    plan.PullCost,
+				PredictedNs: plan.PredictedNs,
+				MeasuredNs:  float64(measured.Nanoseconds()),
 			})
 		}
 	}

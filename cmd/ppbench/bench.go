@@ -160,7 +160,9 @@ func benchExperiment(cfg config) error {
 			return graphblas.Into(boolOut).With(ewDesc).Apply(notOp, boolABitset)
 		}},
 		{"bfs-full", func() error {
-			_, err := algorithms.BFS(g, 0, algorithms.BFSOptions{})
+			// Runs under -tune's calibrated model when one is loaded, so
+			// the CI regression gate tracks the calibrated planner.
+			_, err := algorithms.BFS(g, 0, algorithms.BFSOptions{Model: cfg.model})
 			return err
 		}},
 	}
@@ -214,9 +216,10 @@ func benchExperiment(cfg config) error {
 
 	// Per-iteration direction trace of one planned BFS: the planner's cost
 	// estimates next to what it chose and what format the frontier landed
-	// in.
+	// in. Under -tune the costs are the calibrated model's ns estimates
+	// and predicted-ns/measured-ns witness the feedback loop's error.
 	var trace [][]string
-	if _, err := algorithms.BFS(g, 0, algorithms.BFSOptions{Trace: func(s algorithms.IterStats) {
+	if _, err := algorithms.BFS(g, 0, algorithms.BFSOptions{Model: cfg.model, Trace: func(s algorithms.IterStats) {
 		trace = append(trace, []string{
 			harness.I(s.Iteration),
 			s.Direction.String(),
@@ -225,11 +228,64 @@ func benchExperiment(cfg config) error {
 			harness.F(s.PushCost),
 			harness.F(s.PullCost),
 			harness.F(s.MaskDensity),
+			harness.F(s.PredictedNs),
+			harness.F(s.MeasuredNs),
 			harness.F(float64(s.Duration.Nanoseconds()) / 1e6),
 		})
 	}}); err != nil {
 		return err
 	}
-	return emit(cfg, "Direction trace — planned BFS iterations",
-		[]string{"iter", "direction", "frontier", "format", "push-cost", "pull-cost", "mask-density", "ms"}, trace)
+	if err := emit(cfg, "Direction trace — planned BFS iterations",
+		[]string{"iter", "direction", "frontier", "format", "push-cost", "pull-cost", "mask-density", "predicted-ns", "measured-ns", "ms"}, trace); err != nil {
+		return err
+	}
+	return decisionQualityTables(cfg)
+}
+
+// decisionQualityTables replays a small-scale BFS per graph with *both*
+// kernels measured at every level and reports how often each cost model
+// scheduled the measured-faster one — the planner's accuracy, tracked in
+// BENCH_bench.json next to the ns/op rows.
+func decisionQualityTables(cfg config) error {
+	scale := cfg.scale
+	if scale > 12 {
+		// Both kernels run at every level; keep the replay small.
+		scale = 12
+	}
+	reports, err := harness.DecisionQuality(scale, cfg.model)
+	if err != nil {
+		return err
+	}
+	summary := make([][]string, 0, 2*len(reports))
+	for _, rep := range reports {
+		var detail [][]string
+		for _, r := range rep.Rows {
+			calDir, calGood := "—", "—"
+			if cfg.model != nil {
+				calDir, calGood = r.CalDir.String(), boolMark(r.CalGood)
+			}
+			detail = append(detail, []string{
+				harness.I(r.Iteration), harness.I(r.FrontierNNZ),
+				harness.F(r.PushMS), harness.F(r.PullMS),
+				r.UnitDir.String(), boolMark(r.UnitGood), calDir, calGood,
+			})
+		}
+		if err := emit(cfg, fmt.Sprintf("Decision quality — %s (scale=%d, both kernels measured per iteration)", rep.Graph, scale),
+			[]string{"iter", "frontier", "push-ms", "pull-ms", "unit-dir", "unit-good", "cal-dir", "cal-good"}, detail); err != nil {
+			return err
+		}
+		summary = append(summary, []string{rep.Graph + "/unit", harness.F(rep.UnitAccuracy)})
+		if cfg.model != nil {
+			summary = append(summary, []string{rep.Graph + "/calibrated", harness.F(rep.CalAccuracy)})
+		}
+	}
+	return emit(cfg, "Decision accuracy — fraction of iterations scheduled on the measured-faster kernel",
+		[]string{"graph/model", "accuracy"}, summary)
+}
+
+func boolMark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
 }

@@ -16,9 +16,15 @@
 //	table4    framework comparison: runtime and MTEPS (the table in Figure 7)
 //	fig7      slowdown vs Gunrock, derived from table4 (Figure 7 chart)
 //	ablation  design-choice ablation: merge strategy, mask amortization, α sweep
-//	bench     ns/op, B/op, allocs/op for the matvec variants and BFS, plus a
+//	bench     ns/op, B/op, allocs/op for the matvec variants and BFS, a
 //	          per-iteration direction trace (planner costs, frontier format)
-//	all       everything above in order (bench excluded; run it explicitly)
+//	          and the decision-quality table (fraction of BFS iterations
+//	          where each cost model picked the measured-faster kernel)
+//	calibrate fit the host's per-term cost coefficients (ns per gathered
+//	          edge, probed edge, scanned row, …) from microbenchmarks and
+//	          write the PPTUNE_<os>_<arch>.json profile -tune loads
+//	all       everything above in order (bench and calibrate excluded; run
+//	          them explicitly)
 //
 // Flags:
 //
@@ -29,6 +35,10 @@
 //	            (default 1; CI uses 3 to de-flake the regression gate)
 //	-points N   sweep points for table1/fig2 (default 8)
 //	-datasets s comma-separated dataset subset for table4/fig7
+//	-tune PATH  calibrate: where to write the fitted profile; every other
+//	            experiment: load the profile and run the planner on its
+//	            calibrated cost model instead of unit RAM weights
+//	-quick      calibrate: fewer densities/repetitions (the CI smoke mode)
 //	-csv        emit CSV instead of aligned tables
 //	-json DIR   additionally write each experiment's tables as
 //	            machine-readable DIR/BENCH_<experiment>.json, so CI tracks
@@ -44,6 +54,8 @@ import (
 	"path/filepath"
 	"strings"
 
+	"pushpull/internal/calibrate"
+	"pushpull/internal/core"
 	"pushpull/internal/harness"
 )
 
@@ -55,27 +67,39 @@ func main() {
 		count    = flag.Int("count", 1, "bench experiment: median-of-N repetitions per variant")
 		points   = flag.Int("points", 8, "sweep points for table1/fig2")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset for table4/fig7")
+		tune     = flag.String("tune", "", "cost-model profile path: written by calibrate, loaded by every other experiment")
+		quick    = flag.Bool("quick", false, "calibrate: fewer densities/repetitions")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonDir  = flag.String("json", "", "directory to write BENCH_<experiment>.json files into")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ppbench [flags] <table1|fig2|table2|table3|fig5|fig6|table4|fig7|ablation|bench|all>")
+		fmt.Fprintln(os.Stderr, "usage: ppbench [flags] <table1|fig2|table2|table3|fig5|fig6|table4|fig7|ablation|bench|calibrate|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 	cfg := config{
-		scale:   *scale,
-		sources: *sources,
-		runs:    *runs,
-		points:  *points,
-		count:   *count,
-		csv:     *csv,
-		jsonDir: *jsonDir,
-		out:     os.Stdout,
+		scale:    *scale,
+		sources:  *sources,
+		runs:     *runs,
+		points:   *points,
+		count:    *count,
+		quick:    *quick,
+		tunePath: *tune,
+		csv:      *csv,
+		jsonDir:  *jsonDir,
+		out:      os.Stdout,
 	}
 	if *datasets != "" {
 		cfg.only = strings.Split(*datasets, ",")
+	}
+	if *tune != "" && flag.Arg(0) != "calibrate" {
+		prof, err := calibrate.Load(*tune)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: -tune: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.model = &prof.Model
 	}
 	if err := run(flag.Arg(0), cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
@@ -86,7 +110,15 @@ func main() {
 type config struct {
 	scale, sources, runs, points int
 	// count is the bench experiment's median-of-N repetition count.
-	count   int
+	count int
+	// quick selects the calibrate experiment's smoke mode.
+	quick bool
+	// tunePath is where calibrate writes its profile (and where -tune
+	// loaded the model in cfg.model from for the other experiments).
+	tunePath string
+	// model is the calibrated cost model loaded via -tune; nil runs the
+	// planner on unit RAM weights.
+	model   *core.CostModel
 	only    []string
 	csv     bool
 	jsonDir string
@@ -138,6 +170,8 @@ func run(experiment string, cfg config) error {
 		err = ablation(cfg)
 	case "bench":
 		err = benchExperiment(cfg)
+	case "calibrate":
+		err = calibrateExperiment(cfg)
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}

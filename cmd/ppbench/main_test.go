@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pushpull/internal/calibrate"
 )
 
 // End-to-end CLI driver tests at a tiny scale: every experiment must
@@ -94,7 +96,9 @@ func TestRunBenchEmitsJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &payload); err != nil {
 		t.Fatalf("BENCH_bench.json is not valid JSON: %v", err)
 	}
-	if payload.Experiment != "bench" || len(payload.Tables) != 3 {
+	// Bench table, footprint table, direction trace, one decision-quality
+	// detail table per graph (kron + uniform) and the accuracy summary.
+	if payload.Experiment != "bench" || len(payload.Tables) != 6 {
 		t.Fatalf("unexpected payload: experiment=%q tables=%d", payload.Experiment, len(payload.Tables))
 	}
 	if got := payload.Tables[0].Headers; len(got) != 4 || got[1] != "ns/op" || got[2] != "B/op" {
@@ -139,5 +143,73 @@ func TestRunJSONForTableExperiments(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(cfg.jsonDir, "BENCH_table2.json")); err != nil {
 		t.Fatalf("table experiment did not write JSON: %v", err)
+	}
+}
+
+// TestRunCalibrateThenTunedBench drives the whole calibrate → -tune
+// workflow through the CLI layer: the calibrate experiment must write a
+// loadable profile, and a bench run with the loaded model must emit
+// calibrated decision rows (cal-dir populated, accuracy rows present for
+// both models).
+func TestRunCalibrateThenTunedBench(t *testing.T) {
+	dir := t.TempDir()
+	profile := filepath.Join(dir, "PPTUNE_test.json")
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.scale = 8
+	cfg.quick = true
+	cfg.tunePath = profile
+	if err := run("calibrate", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Calibrated cost model") {
+		t.Fatalf("calibrate output:\n%s", buf.String())
+	}
+	prof, err := calibrate.Load(profile)
+	if err != nil {
+		t.Fatalf("calibrate experiment wrote an unloadable profile: %v", err)
+	}
+
+	buf.Reset()
+	cfg = tinyConfig(&buf)
+	cfg.scale = 8
+	cfg.jsonDir = t.TempDir()
+	cfg.model = &prof.Model
+	if err := run("bench", cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.jsonDir, "BENCH_bench.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Tables []struct {
+			Title string     `json:"title"`
+			Rows  [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		t.Fatal(err)
+	}
+	var accuracy map[string]bool
+	for _, tbl := range payload.Tables {
+		if strings.HasPrefix(tbl.Title, "Decision accuracy") {
+			accuracy = map[string]bool{}
+			for _, row := range tbl.Rows {
+				accuracy[row[0]] = true
+			}
+		}
+		if strings.HasPrefix(tbl.Title, "Decision quality") {
+			for _, row := range tbl.Rows {
+				if dir := row[6]; dir != "push" && dir != "pull" {
+					t.Fatalf("tuned run left cal-dir unpopulated: %v", row)
+				}
+			}
+		}
+	}
+	for _, key := range []string{"kron/unit", "kron/calibrated", "uniform/unit", "uniform/calibrated"} {
+		if !accuracy[key] {
+			t.Fatalf("accuracy summary missing %q: %v", key, accuracy)
+		}
 	}
 }

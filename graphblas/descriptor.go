@@ -106,6 +106,23 @@ type Descriptor struct {
 	// Sequential forces single-threaded kernels (profiling/debugging).
 	Sequential bool
 
+	// CostModel, when non-nil, prices the direction planner's estimates
+	// with calibrated per-term nanosecond coefficients instead of unit RAM
+	// costs, so Plan.PushCost/PullCost become wall-clock-comparable and
+	// Plan.PredictedNs is set. Profiles are fitted by `ppbench calibrate`
+	// (internal/calibrate) and loaded with `-tune`; nil keeps the unit
+	// model.
+	CostModel *core.CostModel
+
+	// Corrector, when non-nil, closes the feedback loop: each MxV run with
+	// this descriptor is timed (monotonic clock, no allocations) and the
+	// (predicted, measured) pair folded into the corrector's per-direction
+	// EWMA, which the planner multiplies into its next estimates. Only
+	// meaningful alongside CostModel — the unit model sets no PredictedNs,
+	// leaving the corrector inert. Like Workspace, a corrector is mutable
+	// per-traversal state: do not share one across concurrent operations.
+	Corrector *core.Corrector
+
 	// Plan, when non-nil, receives the pipeline's decision record for each
 	// operation run with this descriptor: for MxV the direction planner's
 	// full record (chosen direction, estimated push/pull costs, trend

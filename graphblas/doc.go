@@ -79,6 +79,40 @@
 // consumes it probe-free; leave frontiers alone — the planner settles
 // them.
 //
+// # The calibrated cost model and feedback corrector
+//
+// The estimates above weigh every term equally — one RAM access per
+// gathered edge, scanned row or scattered output. Real machines disagree
+// by integer factors, so the crossover the unit model finds is not the
+// crossover the hardware has. Three pieces close that gap:
+//
+//	Calibration  `ppbench calibrate` microbenchmarks the four kernel
+//	             families (pull scans over dense/bitmap/bitset inputs,
+//	             masked pulls under word masks, push gather with radix
+//	             sort and with the sort-free bitmap scatter) on synthetic
+//	             R-MAT-ish and uniform graphs at several frontier
+//	             densities, least-squares-fits per-term nanosecond
+//	             coefficients (core.CostModel) and writes the host-keyed
+//	             profile PPTUNE_<os>_<arch>.json.
+//	Planning     load the profile with `ppbench -tune <profile>`, or set
+//	             Descriptor.CostModel / Planner.WithModel /
+//	             algorithms' Model options directly. Plan.PushCost and
+//	             Plan.PullCost become wall-clock-comparable nanosecond
+//	             estimates and Plan.PredictedNs records the chosen
+//	             kernel's forecast. The zero model keeps historical unit
+//	             behaviour everywhere.
+//	Feedback     every planned MxV is timed around the kernel itself
+//	             (monotonic clock, no allocations; Plan.MeasuredNs). With
+//	             Descriptor.Corrector — or automatically inside Planner
+//	             and the tuned algorithms — the measured/predicted ratio
+//	             feeds a per-direction EWMA that scales the next
+//	             decision's estimates, so a mis-fitted or borrowed
+//	             profile converges toward the machine mid-traversal.
+//
+// `ppbench bench` grades the result: its decision-quality table reruns
+// both kernels at every BFS level and reports the fraction of iterations
+// each model scheduled on the measured-faster kernel.
+//
 // The paper's five optimizations map onto the API as follows.
 //
 //	Change of direction — automatic in MxV; force with Descriptor.Direction.

@@ -2,6 +2,7 @@ package graphblas
 
 import (
 	"fmt"
+	"time"
 
 	"pushpull/internal/core"
 	"pushpull/internal/sparse"
@@ -84,22 +85,40 @@ func (s OpSpec[T]) MxV(sr Semiring[T], a *Matrix[T], u *Vector[T]) (TraversalDir
 		}
 	}
 
+	// Kernel timing for the feedback loop and plan traces: a monotonic
+	// time.Now pair around the kernel itself (merge and workspace handling
+	// excluded), allocation-free, taken only when someone is listening.
+	timed := desc != nil && (desc.Plan != nil || desc.Corrector != nil)
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
 	var err error
 	if accum != nil {
 		// Compute the product into the workspace's scratch vector, then
 		// merge into w.
 		t := scratchVectorFor[T](ws, outDim)
 		if err = mxvInto(t, u, useMask, mv, rowG, colG, plan, csr, opts, ws); err == nil {
+			if timed {
+				plan.MeasuredNs = float64(time.Since(start).Nanoseconds())
+			}
 			mergeInto(ws, w, t, accum, false, core.MaskView{})
 		}
 	} else {
 		err = mxvInto(w, u, useMask, mv, rowG, colG, plan, csr, opts, ws)
+		if timed && err == nil {
+			plan.MeasuredNs = float64(time.Since(start).Nanoseconds())
+		}
 	}
 	if pooled {
 		ws.Release()
 	}
-	if err == nil && desc != nil && desc.Plan != nil {
-		desc.Plan.OutKind = kindOf(w.format)
+	if err == nil && timed {
+		desc.Corrector.Observe(plan.Dir, plan.PredictedNs, plan.MeasuredNs)
+		if desc.Plan != nil {
+			desc.Plan.MeasuredNs = plan.MeasuredNs
+			desc.Plan.OutKind = kindOf(w.format)
+		}
 	}
 	return plan.Dir, err
 }
@@ -159,6 +178,13 @@ func planMxV[T comparable](u *Vector[T], mask MaskVector, desc *Descriptor, rowG
 		AvgDeg:        core.AvgRowDegree(rowG.NNZ(), rowG.Rows),
 		MaskAllowFrac: 1,
 		Force:         force,
+		InKind:        kindOf(u.Format()),
+	}
+	if desc != nil {
+		if desc.CostModel != nil {
+			in.Model = *desc.CostModel
+		}
+		in.Correct = desc.Corrector
 	}
 	if ind, ok := u.SparseIndices(); ok {
 		// Exact frontier out-degrees off CSC.Ptr. On forced-direction calls

@@ -1,6 +1,8 @@
 package graphblas
 
 import (
+	"time"
+
 	"pushpull/internal/core"
 	"pushpull/internal/sparse"
 )
@@ -24,6 +26,9 @@ type Planner[T comparable] struct {
 	avgDeg      float64
 	switchPoint float64
 	state       core.PlanState
+	model       core.CostModel
+	corr        core.Corrector
+	pullKind    core.VecKind
 }
 
 // NewPlanner builds a planner for products against a (or aᵀ when transpose
@@ -39,8 +44,38 @@ func NewPlanner[T comparable](a *Matrix[T], transpose bool, switchPoint float64)
 		outDim:      rowG.Rows,
 		avgDeg:      core.AvgRowDegree(rowG.NNZ(), rowG.Rows),
 		switchPoint: switchPoint,
+		pullKind:    core.KindBitmap,
 	}
 }
+
+// WithModel installs a calibrated cost model (nil is a no-op, keeping the
+// unit model), returning the planner for chaining. With a model installed,
+// Plan records PredictedNs and the feedback corrector — primed by Observe —
+// scales subsequent estimates by the measured/predicted ratio.
+func (p *Planner[T]) WithModel(m *core.CostModel) *Planner[T] {
+	if m != nil {
+		p.model = *m
+	}
+	return p
+}
+
+// SetPullProbeKind tells a calibrated model which storage kind the pull
+// kernel would probe as its input — KindBitset when the algorithm reuses a
+// word-packed visited set as the pull operand (BFS Optimization 4),
+// KindBitmap (the default) otherwise.
+func (p *Planner[T]) SetPullProbeKind(k core.VecKind) { p.pullKind = k }
+
+// Observe feeds one timed kernel invocation back into the planner's
+// corrector: plan must be the record the decision was made on and d the
+// kernel's measured wall-clock. Unpriced plans (unit model, forced
+// directions) are ignored, so callers can report every iteration
+// unconditionally.
+func (p *Planner[T]) Observe(plan core.Plan, d time.Duration) {
+	p.corr.Observe(plan.Dir, plan.PredictedNs, float64(d.Nanoseconds()))
+}
+
+// Corrector exposes the planner's feedback state (trace/debug surface).
+func (p *Planner[T]) Corrector() *core.Corrector { return &p.corr }
 
 // Plan decides the direction for a frontier with nnz stored elements.
 // frontierInd, when non-nil, is the frontier's sparse index list: push
@@ -57,6 +92,11 @@ func (p *Planner[T]) Plan(frontierInd []uint32, nnz, maskAllowed int) core.Plan 
 		AvgDeg:        p.avgDeg,
 		MaskAllowFrac: 1,
 		SwitchPoint:   p.switchPoint,
+		InKind:        p.pullKind,
+		Model:         p.model,
+	}
+	if p.model.Calibrated() {
+		in.Correct = &p.corr
 	}
 	if frontierInd != nil {
 		edges := 0

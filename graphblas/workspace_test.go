@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"runtime/debug"
 	"testing"
+
+	"pushpull/internal/core"
 )
 
 func randBoolMatrix(rng *rand.Rand, n int, p float64) *Matrix[bool] {
@@ -252,6 +254,66 @@ var (
 	scmpDesc      = &Descriptor{StructuralComplement: true}
 	orOp          = func(a, b bool) bool { return a || b }
 )
+
+// TestTimedPlannerSteadyStateAllocs pins the feedback path's cost: a
+// masked MxV running under a calibrated cost model, with the kernel-timing
+// clock, a Plan sink and the online corrector all engaged, must still
+// allocate nothing once the workspace is warm — the monotonic-clock reads
+// and the EWMA update are allocation-free by construction.
+func TestTimedPlannerSteadyStateAllocs(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	rng := rand.New(rand.NewSource(7))
+	n := 200
+	a := randBoolMatrix(rng, n, 0.05)
+	sr := OrAndBool()
+	ws := NewWorkspace(n, n)
+
+	u := NewVector[bool](n)
+	for i := 0; i < n; i += 5 {
+		_ = u.SetElement(i, true)
+	}
+	mask := NewVector[bool](n)
+	for i := 0; i < n; i++ {
+		if i%3 != 0 {
+			_ = mask.SetElement(i, true)
+		}
+	}
+	mask.ToBitset()
+	w := NewVector[bool](n)
+
+	model := &core.CostModel{
+		GatherNs: 2, ProbeBoolNs: 2, ProbeWordNs: 1, ProbeDenseNs: 0.5,
+		RowNs: 3, ScatterNs: 2, SortNs: 2, SetupNs: 400,
+	}
+	var plan core.Plan
+	var corr core.Corrector
+	desc := &Descriptor{
+		Transpose:            true,
+		StructuralComplement: true,
+		Workspace:            ws,
+		CostModel:            model,
+		Corrector:            &corr,
+		Plan:                 &plan,
+	}
+	run := func() {
+		if _, err := MxV(w, mask, nil, sr, a, u, desc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the workspace and the corrector
+	if avg := testing.AllocsPerRun(20, run); avg != 0 {
+		t.Errorf("timed+corrected masked MxV: %v allocs per warmed call, want 0", avg)
+	}
+	if plan.MeasuredNs <= 0 {
+		t.Fatalf("kernel timing missing from the plan sink: %+v", plan)
+	}
+	if plan.PredictedNs <= 0 {
+		t.Fatalf("calibrated prediction missing from the plan sink: %+v", plan)
+	}
+	if corr.Observations(plan.Dir) == 0 {
+		t.Fatal("corrector never observed the timed kernel")
+	}
+}
 
 // Operators for the eWise/apply steady-state cases, package-level so the
 // measured region never constructs a closure.

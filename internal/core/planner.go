@@ -21,6 +21,12 @@ import "math"
 // the frontier to be moving the right way (growing to go pull, shrinking to
 // go push), so a frontier hovering at the crossover does not flap — and
 // with it, neither does the vector's storage format.
+//
+// The unit-weight estimates above assume a gathered edge, a scanned row
+// and a scattered output all cost one RAM access. PlanInput.Model replaces
+// those unit weights with per-machine nanosecond coefficients (costmodel.go,
+// fitted by internal/calibrate), and PlanInput.Correct folds measured
+// kernel times back into the estimates between iterations.
 
 // Operation names recorded in Plan.Op by the unified pipeline.
 const (
@@ -61,9 +67,23 @@ type Plan struct {
 	OutKind VecKind
 	// Dir is the chosen kernel orientation.
 	Dir Direction
-	// PushCost and PullCost are the model's work estimates (edge touches;
-	// comparable to each other, not to wall-clock).
+	// PushCost and PullCost are the model's work estimates. Under the unit
+	// model (zero PlanInput.Model) they are edge touches — comparable to
+	// each other, not to wall-clock; under a calibrated CostModel they are
+	// nanosecond estimates, comparable to MeasuredNs.
 	PushCost, PullCost float64
+	// PredictedNs is the chosen direction's *uncorrected* model estimate in
+	// nanoseconds — set only when the decision was priced by a calibrated
+	// CostModel (zero under the unit model, whose costs are not
+	// wall-clock). The corrector's scaling is deliberately excluded: the
+	// feedback loop measures the raw model's error, so its EWMA converges
+	// on the true measured/predicted ratio.
+	PredictedNs float64
+	// MeasuredNs is the kernel invocation's measured wall-clock, filled in
+	// by the execute path after the kernel ran (zero when untimed). The
+	// difference against PredictedNs is the prediction error the feedback
+	// Corrector converges on.
+	MeasuredNs float64
 	// MaskAllowFrac is the effective-mask density the pull cost was
 	// discounted by: exact (a popcount over the mask's packed words, or the
 	// bitmap's tracked count) when the caller could read it off the storage,
@@ -117,6 +137,19 @@ type PlanInput struct {
 	SwitchPoint float64
 	// Force pins the direction (descriptor override); nil means decide.
 	Force *Direction
+	// InKind is the storage kind of the input vector. A calibrated model
+	// prices pull's per-edge probe by it (bool probe for bitmap and for
+	// sparse inputs, which materialize into a bitmap; single-bit probe for
+	// bitset; probe-free for dense). Ignored by the unit model.
+	InKind VecKind
+	// Model prices the terms in nanoseconds when calibrated; the zero
+	// value selects the unit RAM-cost model, preserving historical
+	// behaviour.
+	Model CostModel
+	// Correct, when non-nil, multiplies each direction's estimate by the
+	// corrector's measured/predicted EWMA before they are compared — the
+	// online feedback loop. Inert until a calibrated model primes it.
+	Correct *Corrector
 }
 
 // BitmapOutFraction is the estimated-output density above which the push
@@ -127,6 +160,18 @@ type PlanInput struct {
 // need the scatter decision may stop summing frontier degrees once this
 // fraction of OutRows is reached.
 const BitmapOutFraction = 0.25
+
+// Unit-model weights of the sort-free bitmap-scatter push variant, in the
+// same RAM-access currency as the legacy estimates: each gathered edge
+// costs a matrix fetch plus a random presence probe-and-write into the
+// output bitmap, and the up-front clear touches every output presence
+// byte once. These replace the log₂ merge factor when the plan itself
+// selects the scatter path, so PushCost no longer charges a sort the
+// kernel never runs.
+const (
+	unitScatterEdge  = 2.0
+	unitScatterClear = 1.0
+)
 
 // DecideDirection runs the planner: overrides first, then the legacy ratio
 // rule if an explicit switch-point is set, else the edge cost model. st is
@@ -146,13 +191,42 @@ func DecideDirection(in PlanInput, st *PlanState) Plan {
 		pushEdges = float64(in.NNZ) * in.AvgDeg
 	}
 	mergeFactor := math.Log2(float64(in.NNZ) + 2)
-	p.PushCost = pushEdges * mergeFactor
 	allow := in.MaskAllowFrac
 	if allow < 0 || allow > 1 {
 		allow = 1
 	}
 	p.MaskAllowFrac = allow
-	p.PullCost = float64(in.OutRows) * in.AvgDeg * allow
+
+	// Both push variants are costed and the cheaper one charged, but only
+	// where the kernel would actually take the scatter path — the sort
+	// estimate used to be charged unconditionally, inflating PushCost near
+	// the crossover exactly where the decision is closest.
+	wouldScatter := in.OutRows > 0 && pushEdges >= BitmapOutFraction*float64(in.OutRows)
+	var sortCost, scatterCost float64
+	if m := in.Model; m.Calibrated() {
+		rows := float64(in.OutRows) * allow
+		p.PullCost = m.SetupNs + rows*(m.RowNs+in.AvgDeg*m.ProbeNs(in.InKind))
+		sortCost = m.SetupNs + pushEdges*(m.GatherNs+mergeFactor*m.SortNs)
+		scatterCost = m.SetupNs + pushEdges*(m.GatherNs+m.ScatterNs) + float64(in.OutRows)*m.ClearNs
+	} else {
+		p.PullCost = float64(in.OutRows) * in.AvgDeg * allow
+		sortCost = pushEdges * mergeFactor
+		scatterCost = pushEdges*unitScatterEdge + float64(in.OutRows)*unitScatterClear
+	}
+	p.PushCost = sortCost
+	if wouldScatter && scatterCost < sortCost {
+		p.PushCost = scatterCost
+	}
+	// The corrector scales the costs the *decision* compares; the raw model
+	// estimates are kept for PredictedNs so the feedback ratio is measured
+	// against the uncorrected model. (Observing against the corrected
+	// prediction would make the EWMA's fixed point the square root of the
+	// true error instead of the error itself.)
+	basePush, basePull := p.PushCost, p.PullCost
+	if in.Correct != nil {
+		p.PushCost *= in.Correct.Scale(Push)
+		p.PullCost *= in.Correct.Scale(Pull)
+	}
 
 	switch {
 	case in.Force != nil:
@@ -166,8 +240,15 @@ func DecideDirection(in PlanInput, st *PlanState) Plan {
 		p.Dir = costRule(st, p)
 	}
 
-	if p.Dir == Push && in.OutRows > 0 {
-		p.PushOutBitmap = pushEdges >= BitmapOutFraction*float64(in.OutRows)
+	if p.Dir == Push {
+		p.PushOutBitmap = wouldScatter
+	}
+	if in.Model.Calibrated() {
+		if p.Dir == Push {
+			p.PredictedNs = basePush
+		} else {
+			p.PredictedNs = basePull
+		}
 	}
 	if st != nil {
 		st.PrevDir = p.Dir
