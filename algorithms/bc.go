@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"fmt"
 
 	"pushpull/graphblas"
@@ -19,7 +20,7 @@ import (
 // contributions level by level, masked to the preceding level's pattern,
 // so every matvec in both sweeps benefits from masking.
 func BetweennessCentrality(a *graphblas.Matrix[bool], sources []int) ([]float64, error) {
-	return BetweennessCentralityTuned(a, sources, nil)
+	return BetweennessCentralityWithContext(nil, a, sources, nil)
 }
 
 // BetweennessCentralityTuned is BetweennessCentrality under a calibrated
@@ -27,6 +28,17 @@ func BetweennessCentrality(a *graphblas.Matrix[bool], sources []int) ([]float64,
 // model and a shared feedback corrector ride the descriptors into the MxV
 // pipeline's planner. model == nil keeps the unit model.
 func BetweennessCentralityTuned(a *graphblas.Matrix[bool], sources []int, model *core.CostModel) ([]float64, error) {
+	return BetweennessCentralityWithContext(nil, a, sources, model)
+}
+
+// BetweennessCentralityWithContext is BetweennessCentralityTuned with
+// cooperative cancellation: the pipeline checks ctx between kernel phases,
+// the parallel kernels stop claiming chunks once it is done, and the
+// per-source loop checks it at each sweep-level boundary. A cancelled run
+// returns a wrapped graphblas.ErrCancelled along with the centrality
+// accumulated over the sources completed so far (a partial batch — exact
+// for those sources, missing the rest). ctx == nil means never cancelled.
+func BetweennessCentralityWithContext(ctx context.Context, a *graphblas.Matrix[bool], sources []int, model *core.CostModel) ([]float64, error) {
 	n := a.NRows()
 	if a.NCols() != n {
 		return nil, fmt.Errorf("algorithms: BC needs a square matrix, got %d×%d", a.NRows(), a.NCols())
@@ -43,8 +55,8 @@ func BetweennessCentralityTuned(a *graphblas.Matrix[bool], sources []int, model 
 	// One workspace serves every matvec of every source's two sweeps.
 	ws := graphblas.AcquireWorkspace(n, n)
 	defer ws.Release()
-	fwdDesc := &graphblas.Descriptor{Transpose: true, StructuralComplement: true, Workspace: ws}
-	backDesc := &graphblas.Descriptor{Workspace: ws}
+	fwdDesc := &graphblas.Descriptor{Transpose: true, StructuralComplement: true, Workspace: ws, Context: ctx}
+	backDesc := &graphblas.Descriptor{Workspace: ws, Context: ctx}
 	if model != nil {
 		corr := &core.Corrector{}
 		fwdDesc.CostModel, fwdDesc.Corrector = model, corr
@@ -68,9 +80,14 @@ func BetweennessCentralityTuned(a *graphblas.Matrix[bool], sources []int, model 
 		f := graphblas.NewVector[float64](n)
 		_ = f.SetElement(s, 1)
 		for f.NVals() > 0 {
+			// Sweep-level boundary: a cancelled context aborts with the
+			// centrality accumulated over the sources completed so far.
+			if err := graphblas.CheckContext(ctx); err != nil {
+				return bc, err
+			}
 			next := graphblas.NewVector[float64](n)
 			if _, err := graphblas.Into(next).Mask(visited).With(fwdDesc).MxV(sr, counts, f); err != nil {
-				return nil, err
+				return bc, err
 			}
 			if next.NVals() == 0 {
 				break
@@ -82,7 +99,7 @@ func BetweennessCentralityTuned(a *graphblas.Matrix[bool], sources []int, model 
 			// visited⟨next⟩ = true: the float64 frontier masks the Boolean
 			// visited vector directly (masks are structural).
 			if err := graphblas.Into(visited).Mask(next).With(backDesc).AssignScalar(true); err != nil {
-				return nil, err
+				return bc, err
 			}
 			levels = append(levels, next)
 			f = next
@@ -94,10 +111,14 @@ func BetweennessCentralityTuned(a *graphblas.Matrix[bool], sources []int, model 
 		srcMask := graphblas.NewVector[bool](n)
 		_ = srcMask.SetElement(s, true)
 		for t := len(levels) - 1; t >= 0; t-- {
+			// Sweep-level boundary, as in the forward sweep.
+			if err := graphblas.CheckContext(ctx); err != nil {
+				return bc, err
+			}
 			// c(v) = (1+δ(v))/σ(v) over level t's pattern — an indexed
 			// apply instead of a hand-rolled rebuild loop.
 			if err := graphblas.Into(c).With(backDesc).ApplyIndexed(weight, levels[t]); err != nil {
-				return nil, err
+				return bc, err
 			}
 			// Contributions flow backwards along edges: u→v contributes
 			// c(v) to u, i.e. contrib = A·c, restricted to the previous
@@ -108,7 +129,7 @@ func BetweennessCentralityTuned(a *graphblas.Matrix[bool], sources []int, model 
 				prevMask = levels[t-1]
 			}
 			if _, err := graphblas.Into(contrib).Mask(prevMask).With(backDesc).MxV(sr, counts, c); err != nil {
-				return nil, err
+				return bc, err
 			}
 			contrib.Iterate(func(i int, x float64) bool {
 				delta[i] += sigma[i] * x

@@ -7,6 +7,7 @@
 package algorithms
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -57,6 +58,15 @@ type BFSOptions struct {
 	Merge graphblas.MergeStrategy
 	// Trace, when non-nil, receives one record per BFS iteration.
 	Trace func(IterStats)
+	// Context, when non-nil, makes the traversal abortable: the pipeline
+	// checks it between kernel phases, the parallel kernels stop claiming
+	// chunks once it is done, and BFS itself checks it at each level
+	// boundary. A cancelled run returns a wrapped graphblas.ErrCancelled
+	// along with the partial result — depths discovered so far (unreached
+	// vertices stay -1) and the per-level stats. The live-path check is
+	// allocation-free, so setting a Context does not disturb the
+	// zero-allocation steady state.
+	Context context.Context
 }
 
 // AllOff returns options with every optimization disabled — the Table 2
@@ -184,7 +194,9 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 	}
 	dir := core.Push
 	depth := int32(0)
-	res := BFSResult{Visited: 1, EdgesTraversed: int64(len(firstRow(a, source)))}
+	// Depths shares its backing array with the depth bookkeeping below, so
+	// error returns mid-traversal carry the partial depths discovered so far.
+	res := BFSResult{Visited: 1, EdgesTraversed: int64(len(firstRow(a, source))), Depths: depths}
 
 	// One workspace and one descriptor serve the whole traversal: after
 	// the first couple of levels every buffer in the stack is warm and an
@@ -197,13 +209,19 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 		NoEarlyExit:   opt.DisableEarlyExit,
 		Merge:         opt.Merge,
 		Workspace:     ws,
+		Context:       opt.Context,
 	}
 	// Post-filter for the unmasked configuration: f⟨¬visited⟩ = f as a
 	// masked identity apply through the same pipeline.
-	filterDesc := &graphblas.Descriptor{StructuralComplement: true, Workspace: ws}
+	filterDesc := &graphblas.Descriptor{StructuralComplement: true, Workspace: ws, Context: opt.Context}
 	keep := func(x bool) bool { return x }
 
 	for f.NVals() > 0 {
+		// Level boundary: a cancelled context aborts within one iteration,
+		// returning the depths discovered so far.
+		if err := graphblas.CheckContext(opt.Context); err != nil {
+			return res, err
+		}
 		iterStart := time.Now()
 		depth++
 		res.Iterations++

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"fmt"
 
 	"pushpull/graphblas"
@@ -17,6 +18,17 @@ import (
 // Returns labels[i] = the smallest vertex id in i's component. For
 // directed inputs, edges are treated as bidirectional (weak connectivity).
 func ConnectedComponents(a *graphblas.Matrix[bool]) ([]uint32, error) {
+	return ConnectedComponentsWithContext(nil, a)
+}
+
+// ConnectedComponentsWithContext is ConnectedComponents with cooperative
+// cancellation: the pipeline checks ctx between kernel phases, the parallel
+// kernels stop claiming chunks once it is done, and the propagation loop
+// checks it at each round boundary. A cancelled run returns a wrapped
+// graphblas.ErrCancelled along with the partial labels — upper bounds on
+// the final labels, since propagation only ever lowers them. ctx == nil
+// means never cancelled.
+func ConnectedComponentsWithContext(ctx context.Context, a *graphblas.Matrix[bool]) ([]uint32, error) {
 	n := a.NRows()
 	if a.NCols() != n {
 		return nil, fmt.Errorf("algorithms: ConnectedComponents needs a square matrix, got %d×%d", a.NRows(), a.NCols())
@@ -43,34 +55,44 @@ func ConnectedComponents(a *graphblas.Matrix[bool]) ([]uint32, error) {
 	// reverse pass's accumulate target is the workspace scratch vector.
 	ws := graphblas.AcquireWorkspace(n, n)
 	defer ws.Release()
-	fwdDesc := &graphblas.Descriptor{Transpose: true, Workspace: ws}
-	revDesc := &graphblas.Descriptor{Workspace: ws}
+	fwdDesc := &graphblas.Descriptor{Transpose: true, Workspace: ws, Context: ctx}
+	revDesc := &graphblas.Descriptor{Workspace: ws, Context: ctx}
 	improves := func(i int, l uint32) bool { return l < labVal[i] }
 	minOp := sr.Add.Op
+	// Partial result for aborted runs: every label is an upper bound on the
+	// final component id (propagation only ever lowers labels).
+	snapshot := func() []uint32 {
+		out := make([]uint32, n)
+		copy(out, labVal)
+		return out
+	}
 
 	for round := 0; round < n && active.NVals() > 0; round++ {
+		// Round boundary: a cancelled context aborts within one round,
+		// returning the partial labels.
+		if err := graphblas.CheckContext(ctx); err != nil {
+			return snapshot(), err
+		}
 		// cand = min over in-neighbours' labels (Aᵀ), then folded with the
 		// out-neighbour pass (A) for asymmetric graphs.
 		if _, err := graphblas.Into(cand).With(fwdDesc).MxV(sr, ids, active); err != nil {
-			return nil, err
+			return snapshot(), err
 		}
 		if !a.Symmetric() {
 			if _, err := graphblas.Into(cand).Accum(minOp).With(revDesc).MxV(sr, ids, active); err != nil {
-				return nil, err
+				return snapshot(), err
 			}
 		}
 		// Relax: the next active set is the candidates that improve, and
 		// the fold is a min-accumulating assign — labels min= active.
 		if err := graphblas.Into(active).With(fwdDesc).Select(improves, cand); err != nil {
-			return nil, err
+			return snapshot(), err
 		}
 		if err := graphblas.Into(labels).Accum(minOp).With(fwdDesc).AssignVector(active); err != nil {
-			return nil, err
+			return snapshot(), err
 		}
 	}
-	out := make([]uint32, n)
-	copy(out, labVal)
-	return out, nil
+	return snapshot(), nil
 }
 
 // idValuedCopy re-types a Boolean pattern with uint32 values (unused by

@@ -1,12 +1,26 @@
 package algorithms
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"pushpull/graphblas"
 	"pushpull/internal/core"
 )
+
+// kernelFault converts a panic unwinding out of a directly driven core
+// kernel into a graphblas.ErrKernelPanic-wrapped error (stack preserved),
+// tainting the kernel workspace so its arenas are dropped instead of
+// pooled. FusedBFS bypasses the graphblas pipeline — it calls the fused
+// core kernels itself — so it needs this algorithm-level counterpart of the
+// pipeline's own panic isolation. Must be invoked directly by defer.
+func kernelFault(ws *core.Workspace, errp *error) {
+	if r := recover(); r != nil {
+		ws.Taint()
+		*errp = graphblas.NewPanicError(r)
+	}
+}
 
 // FusedBFS is the kernel-fusion extension of Section 7.3: the same
 // direction-optimized traversal as BFS with default options, but each
@@ -23,7 +37,7 @@ import (
 // same rule BFS defaults to); a positive value selects the legacy nnz/n
 // ratio rule at that crossover.
 func FusedBFS(a *graphblas.Matrix[bool], source int, switchPoint float64) (BFSResult, error) {
-	return FusedBFSTuned(a, source, switchPoint, nil)
+	return FusedBFSWithContext(nil, a, source, switchPoint, nil)
 }
 
 // FusedBFSTuned is FusedBFS under a calibrated cost model: the planner
@@ -31,6 +45,17 @@ func FusedBFS(a *graphblas.Matrix[bool], source int, switchPoint float64) (BFSRe
 // measured/predicted ratio feeds the corrector that scales the next
 // level's estimates. model == nil keeps the unit model (plain FusedBFS).
 func FusedBFSTuned(a *graphblas.Matrix[bool], source int, switchPoint float64, model *core.CostModel) (BFSResult, error) {
+	return FusedBFSWithContext(nil, a, source, switchPoint, model)
+}
+
+// FusedBFSWithContext is FusedBFSTuned with fault isolation and cooperative
+// cancellation. A cancelled ctx aborts the traversal at the next level
+// boundary with a wrapped graphblas.ErrCancelled; a panic inside a fused
+// kernel surfaces as a wrapped graphblas.ErrKernelPanic with the kernel
+// workspace tainted (dropped, not pooled). Either way the partial result —
+// depths discovered so far, per-level stats — comes back with the error.
+// ctx == nil means never cancelled.
+func FusedBFSWithContext(ctx context.Context, a *graphblas.Matrix[bool], source int, switchPoint float64, model *core.CostModel) (res BFSResult, err error) {
 	n := a.NRows()
 	if a.NCols() != n {
 		return BFSResult{}, fmt.Errorf("algorithms: FusedBFS needs a square matrix, got %d×%d", a.NRows(), a.NCols())
@@ -64,13 +89,22 @@ func FusedBFSTuned(a *graphblas.Matrix[bool], source int, switchPoint float64, m
 	// level after the first allocates nothing.
 	ws := core.AcquireWorkspace(pullG.Rows, pullG.Cols)
 	defer ws.Release()
+	// Panic isolation for the directly driven kernels. Registered after the
+	// Release defer so it runs first: taint, then Release drops the arena.
+	defer kernelFault(ws, &err)
 
 	var state core.PlanState
 	var corr core.Corrector
 	avgDeg := core.AvgRowDegree(pullG.NNZ(), pullG.Rows)
 	dir := core.Push
-	res := BFSResult{Visited: 1, EdgesTraversed: int64(pushG.RowLen(source))}
+	// Depths shares its backing array with the per-level stamping below, so
+	// error returns mid-traversal carry the partial depths discovered so far.
+	res = BFSResult{Visited: 1, EdgesTraversed: int64(pushG.RowLen(source)), Depths: depths}
 	for depth := int32(1); len(frontier) > 0; depth++ {
+		// Level boundary: a cancelled context aborts within one iteration.
+		if err = graphblas.CheckContext(ctx); err != nil {
+			return res, err
+		}
 		res.Iterations++
 		pushEdges := 0
 		for _, v := range frontier {

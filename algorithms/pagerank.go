@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -31,6 +32,14 @@ type PageRankOptions struct {
 	// nanoseconds; PageRank never switches direction, so the model only
 	// affects the trace, not the schedule.
 	Model *core.CostModel
+	// Context, when non-nil, makes the power iteration abortable: the
+	// pipeline checks it between kernel phases, the parallel kernels stop
+	// claiming chunks once it is done, and the iteration loop checks it at
+	// each round boundary. A cancelled run returns a wrapped
+	// graphblas.ErrCancelled along with the partial result — the last
+	// completed iterate's ranks and the rounds finished so far. The
+	// live-path check is allocation-free.
+	Context context.Context
 }
 
 func (o PageRankOptions) withDefaults() PageRankOptions {
@@ -79,7 +88,7 @@ func AdaptivePageRank(a *graphblas.Matrix[bool], opt PageRankOptions) (PageRankR
 	return pageRank(a, opt, true)
 }
 
-func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (PageRankResult, error) {
+func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (res PageRankResult, err error) {
 	n := a.NRows()
 	if a.NCols() != n {
 		return PageRankResult{}, fmt.Errorf("algorithms: PageRank needs a square matrix, got %d×%d", a.NRows(), a.NCols())
@@ -130,18 +139,31 @@ func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (Pa
 	activeRows := n
 	streak := make([]int, n) // consecutive sub-threshold deltas per vertex
 
-	res := PageRankResult{}
+	res = PageRankResult{}
 	danglingBase := (1 - opt.Damping) / float64(n)
+	// Every return — normal, cancelled, or faulted — reports the last
+	// completed iterate, so an aborted run still yields usable partial ranks.
+	defer func() {
+		out := make([]float64, n)
+		rv, _ := ranks.DenseView()
+		copy(out, rv)
+		res.Ranks = out
+	}()
 	// Pin one workspace and descriptor across the power iteration so the
 	// steady state allocates nothing.
 	ws := graphblas.AcquireWorkspace(n, n)
 	defer ws.Release()
-	desc := &graphblas.Descriptor{Transpose: true, Direction: graphblas.ForcePull, Workspace: ws, CostModel: opt.Model}
+	desc := &graphblas.Descriptor{Transpose: true, Direction: graphblas.ForcePull, Workspace: ws, CostModel: opt.Model, Context: opt.Context}
 	// Frozen rows carry their old rank: newRanks⟨¬active⟩ = ranks.
-	carryDesc := &graphblas.Descriptor{StructuralComplement: true, Workspace: ws}
+	carryDesc := &graphblas.Descriptor{StructuralComplement: true, Workspace: ws, Context: opt.Context}
 	scale := func(x float64) float64 { return opt.Damping * x }
 	plus := func(a, b float64) float64 { return a + b }
 	for iter := 0; iter < opt.MaxIter; iter++ {
+		// Round boundary: a cancelled context aborts within one iteration,
+		// leaving the last completed iterate as the partial result.
+		if err = graphblas.CheckContext(opt.Context); err != nil {
+			return res, err
+		}
 		res.Iterations++
 		rv, _ := ranks.DenseView()
 		// Dangling mass: ranks parked on sink vertices redistribute
@@ -212,11 +234,7 @@ func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (Pa
 		}
 	}
 	refreshNVals(active)
-	out := make([]float64, n)
-	rv, _ := ranks.DenseView()
-	copy(out, rv)
-	res.Ranks = out
-	return res, nil
+	return res, nil // Ranks copied out by the deferred snapshot
 }
 
 // refreshNVals recounts a vector's stored elements after its raw arrays

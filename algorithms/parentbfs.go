@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"fmt"
 
 	"pushpull/graphblas"
@@ -17,7 +18,7 @@ import (
 // Returned parents[i] is the parent of i, parents[source] == source, and
 // -1 marks unreached vertices.
 func ParentBFS(a *graphblas.Matrix[bool], source int) ([]int64, error) {
-	return ParentBFSTuned(a, source, nil)
+	return ParentBFSWithContext(nil, a, source, nil)
 }
 
 // ParentBFSTuned is ParentBFS under a calibrated cost model. Unlike BFS,
@@ -26,6 +27,16 @@ func ParentBFS(a *graphblas.Matrix[bool], source int) ([]int64, error) {
 // MxV pipeline's own planner, which times every kernel it schedules.
 // model == nil keeps the unit model.
 func ParentBFSTuned(a *graphblas.Matrix[bool], source int, model *core.CostModel) ([]int64, error) {
+	return ParentBFSWithContext(nil, a, source, model)
+}
+
+// ParentBFSWithContext is ParentBFSTuned with cooperative cancellation: the
+// pipeline checks ctx between kernel phases, the parallel kernels stop
+// claiming chunks once it is done, and the traversal checks it at each
+// level boundary. A cancelled run returns a wrapped graphblas.ErrCancelled
+// along with the partial parent array discovered so far (unreached vertices
+// stay -1). ctx == nil means never cancelled.
+func ParentBFSWithContext(ctx context.Context, a *graphblas.Matrix[bool], source int, model *core.CostModel) ([]int64, error) {
 	n := a.NRows()
 	if a.NCols() != n {
 		return nil, fmt.Errorf("algorithms: ParentBFS needs a square matrix, got %d×%d", a.NRows(), a.NCols())
@@ -59,17 +70,22 @@ func ParentBFSTuned(a *graphblas.Matrix[bool], source int, model *core.CostModel
 	// aliased matvec bounces through the workspace scratch vector.
 	ws := graphblas.AcquireWorkspace(n, n)
 	defer ws.Release()
-	desc := &graphblas.Descriptor{Transpose: true, StructuralComplement: true, Workspace: ws}
+	desc := &graphblas.Descriptor{Transpose: true, StructuralComplement: true, Workspace: ws, Context: ctx}
 	if model != nil {
 		desc.CostModel = model
 		desc.Corrector = &core.Corrector{}
 	}
-	assignDesc := &graphblas.Descriptor{Workspace: ws}
+	assignDesc := &graphblas.Descriptor{Workspace: ws, Context: ctx}
 
 	stamp := func(i int, _ uint32) uint32 { return uint32(i) }
 	for f.NVals() > 0 {
+		// Level boundary: a cancelled context aborts within one iteration,
+		// returning the parents discovered so far.
+		if err := graphblas.CheckContext(ctx); err != nil {
+			return parents, err
+		}
 		if _, err := graphblas.Into(f).Mask(visited).With(desc).MxV(sr, ids, f); err != nil {
-			return nil, err
+			return parents, err
 		}
 		f.Iterate(func(i int, parent uint32) bool {
 			parents[i] = int64(parent)
@@ -78,12 +94,12 @@ func ParentBFSTuned(a *graphblas.Matrix[bool], source int, model *core.CostModel
 		// visited⟨f⟩ = true: masks are structural, so the uint32 frontier
 		// masks the Boolean visited vector directly — no pattern copy.
 		if err := graphblas.Into(visited).Mask(f).With(assignDesc).AssignScalar(true); err != nil {
-			return nil, err
+			return parents, err
 		}
 		// Re-stamp each newly discovered vertex with its own id so the
 		// next hop forwards the right parent (in place: same pattern).
 		if err := graphblas.Into(f).ApplyIndexed(stamp, f); err != nil {
-			return nil, err
+			return parents, err
 		}
 	}
 	return parents, nil

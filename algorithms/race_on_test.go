@@ -1,0 +1,8 @@
+//go:build race
+
+package algorithms
+
+// raceEnabled reports that this test binary was built with the race
+// detector, under which sync.Pool deliberately drops a fraction of Puts —
+// making zero-allocation guarantees through pools unmeasurable.
+const raceEnabled = true

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -28,6 +29,13 @@ type SSSPOptions struct {
 	Model *core.CostModel
 	// Trace, when non-nil, receives one record per relaxation round.
 	Trace func(IterStats)
+	// Context, when non-nil, makes the relaxation abortable: the pipeline
+	// checks it between kernel phases, the parallel kernels stop claiming
+	// chunks once it is done, and the round loop checks it at each round
+	// boundary. A cancelled run returns a wrapped graphblas.ErrCancelled
+	// along with the partial distances relaxed so far (unreached vertices
+	// stay +Inf). The live-path check is allocation-free.
+	Context context.Context
 }
 
 // DefaultSSSPSwitchPoint is the active-fraction threshold for the 2-phase
@@ -78,11 +86,23 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 	// improvement predicate reads dist's stable dense storage.
 	ws := graphblas.AcquireWorkspace(n, n)
 	defer ws.Release()
-	desc := &graphblas.Descriptor{Transpose: true, Workspace: ws}
+	desc := &graphblas.Descriptor{Transpose: true, Workspace: ws, Context: opt.Context}
 	improves := func(i int, d float64) bool { return d < distVal[i] }
 	minOp := sr.Add.Op
+	// Partial result for aborted runs: the distances relaxed so far, valid
+	// upper bounds on the true distances (Bellman-Ford only ever improves).
+	snapshot := func() []float64 {
+		out := make([]float64, n)
+		copy(out, distVal)
+		return out
+	}
 
 	for round := 0; round < n && active.NVals() > 0; round++ {
+		// Round boundary: a cancelled context aborts within one round,
+		// returning the partial distances.
+		if err := graphblas.CheckContext(opt.Context); err != nil {
+			return snapshot(), err
+		}
 		start := time.Now()
 		var plan core.Plan
 		planned := false
@@ -105,7 +125,7 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 		// improvements.
 		mxvStart := time.Now()
 		if _, err := graphblas.Into(cand).With(desc).MxV(sr, a, active); err != nil {
-			return nil, err
+			return snapshot(), err
 		}
 		measured := time.Since(mxvStart)
 		if planned {
@@ -116,10 +136,10 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 		// a min-accumulating assign — dist min= active — in place of the
 		// hand-rolled merge loop.
 		if err := graphblas.Into(active).With(desc).Select(improves, cand); err != nil {
-			return nil, err
+			return snapshot(), err
 		}
 		if err := graphblas.Into(dist).Accum(minOp).With(desc).AssignVector(active); err != nil {
-			return nil, err
+			return snapshot(), err
 		}
 		if opt.Trace != nil {
 			opt.Trace(IterStats{
@@ -134,7 +154,5 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 			})
 		}
 	}
-	out := make([]float64, n)
-	copy(out, distVal)
-	return out, nil
+	return snapshot(), nil
 }

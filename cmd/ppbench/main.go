@@ -94,12 +94,15 @@ func main() {
 		cfg.only = strings.Split(*datasets, ",")
 	}
 	if *tune != "" && flag.Arg(0) != "calibrate" {
-		prof, err := calibrate.Load(*tune)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ppbench: -tune: %v\n", err)
-			os.Exit(1)
+		// Lenient load: a missing or corrupted profile downgrades the run to
+		// the unit cost model (with a diagnostic) instead of aborting —
+		// tuning is an optimization, not a prerequisite.
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ppbench: -tune: "+format+"\n", args...)
 		}
-		cfg.model = &prof.Model
+		if prof := calibrate.LoadLenient(*tune, logf); prof != nil {
+			cfg.model = &prof.Model
+		}
 	}
 	if err := run(flag.Arg(0), cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)

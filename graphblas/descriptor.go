@@ -1,6 +1,11 @@
 package graphblas
 
-import "pushpull/internal/core"
+import (
+	"context"
+
+	"pushpull/internal/core"
+	"pushpull/internal/par"
+)
 
 // DefaultSwitchPoint is the paper's α = β = 0.01 sparse/dense (push/pull)
 // switch-point: once ~1% of vertices are in the frontier of a scale-free
@@ -140,6 +145,19 @@ type Descriptor struct {
 	// Unlike the other fields a pinned workspace is mutable state: a
 	// descriptor carrying one must not be shared by concurrent operations.
 	Workspace *Workspace
+
+	// Context, when non-nil, makes operations run with this descriptor
+	// abortable: each op checks it between kernel phases and returns a
+	// wrapped ErrCancelled once it is done, and the parallel kernels stop
+	// claiming chunks as soon as the cancellation token bridged from it
+	// trips. The live-path check is allocation-free. Like Workspace, a
+	// descriptor carrying a Context holds mutable per-call state (the
+	// cached token) and must not be shared by concurrent operations.
+	Context context.Context
+
+	// tok bridges Context to the par layer's chunk-claim checks, cached on
+	// first use so steady-state calls allocate nothing.
+	tok *par.Token
 }
 
 // coreOpts translates the descriptor into kernel options, threading the
@@ -159,13 +177,37 @@ func (d *Descriptor) coreOpts(ws *Workspace) core.Opts {
 		Merge:         core.MergeKind(d.Merge),
 		Sequential:    d.Sequential,
 		Ws:            kw,
+		Cancel:        d.cancelToken(),
 	}
 }
 
-// workspace returns the pinned workspace, nil-safe.
+// workspace returns the pinned workspace, nil-safe. A workspace tainted by
+// an earlier kernel panic is reported as absent, so subsequent operations
+// fall back to fresh pooled scratch instead of running on corrupted arenas.
 func (d *Descriptor) workspace() *Workspace {
-	if d == nil {
+	if d == nil || d.Workspace == nil || d.Workspace.tainted {
 		return nil
 	}
 	return d.Workspace
+}
+
+// cancelToken returns the par-layer token for the descriptor's Context,
+// cached across calls (and rebound if the caller swaps Context) so the
+// steady-state path never allocates.
+func (d *Descriptor) cancelToken() *par.Token {
+	if d == nil || d.Context == nil {
+		return nil
+	}
+	if d.tok == nil || d.tok.Context() != d.Context {
+		d.tok = par.NewToken(d.Context)
+	}
+	return d.tok
+}
+
+// context returns the descriptor's context, nil-safe.
+func (d *Descriptor) context() context.Context {
+	if d == nil {
+		return nil
+	}
+	return d.Context
 }

@@ -223,4 +223,56 @@
 // should each acquire their own. Buffers grow to the high-water mark of
 // the calls they serve and stay there until the pool's contents are
 // collected.
+//
+// # Concurrency contract
+//
+// Goroutine-safe (share freely once built):
+//
+//	Matrix and its CSR/CSC views   immutable after construction
+//	Semiring, BinaryOp, Monoid     plain values, never mutated by ops
+//	core.CostModel                 read-only coefficients
+//
+// Per-goroutine (one owner at a time, never shared by concurrent calls):
+//
+//	Vector        all formats; even read-only use can convert storage
+//	Workspace     scratch arena, one operation at a time
+//	Descriptor    *when* it carries mutable per-call state: a pinned
+//	              Workspace, a Corrector, a Plan sink, or a Context (the
+//	              cached cancellation token). A descriptor with none of
+//	              those fields is plain data and may be shared.
+//	core.Corrector  per-traversal EWMA state
+//
+// Concurrent algorithm runs should each build their own vectors,
+// descriptors and workspaces; the package-level pools behind
+// AcquireWorkspace and the parallel runtime's worker set are themselves
+// goroutine-safe.
+//
+// # Fault aftermath
+//
+// Two failure modes can interrupt an operation, and they leave different
+// state behind:
+//
+// Cancellation (ErrCancelled): when Descriptor.Context or
+// OpSpec.WithContext is done, the op returns an error wrapping
+// ErrCancelled (and the context's cause) at the next phase boundary, and
+// the parallel kernels stop claiming work at chunk granularity. Everything
+// is left clean: workspaces — pinned or pooled — remain valid and
+// poolable, kernel epilogues still restore arena invariants, and no
+// partial product is merged into an accumulated output. The destination
+// vector of a non-accumulating op may hold a structurally valid partial
+// result; callers that observe ErrCancelled should discard or ignore it.
+// The live-path context check is allocation-free, so an abortable loop
+// keeps its zero-allocation steady state.
+//
+// Kernel panic (ErrKernelPanic): a panic inside a kernel or user operator
+// is captured on the dispatching goroutine — never another worker — and
+// returned as a *PanicError wrapping ErrKernelPanic, carrying the
+// panicking value and stack. The workspace the kernel was running on is
+// tainted: it is dropped on Release instead of pooled, and a descriptor
+// still pinning it treats it as absent (subsequent calls fall back to
+// fresh pooled scratch), so corrupted scratch never resurfaces. The
+// destination vector is structurally valid but its contents are
+// unspecified; rebuild it before trusting it. The worker pool itself is
+// unaffected — parked workers survive panics and later operations run
+// normally.
 package graphblas

@@ -17,4 +17,16 @@ var (
 	// ErrNoValue corresponds to GrB_NO_VALUE: element lookup at an empty
 	// position.
 	ErrNoValue = errors.New("graphblas: no value")
+	// ErrCancelled reports that an operation observed its context done and
+	// aborted between kernel phases. Returned errors wrap both this and the
+	// context's own error, so errors.Is matches either. The output vector
+	// is structurally valid but its contents are unspecified partial
+	// progress.
+	ErrCancelled = errors.New("graphblas: operation cancelled")
+	// ErrKernelPanic reports that a kernel body or user-supplied operator
+	// panicked during an operation. The concrete error is a *PanicError
+	// carrying the panic value and stack; the panic is confined to the
+	// operation — workers, pools and the planner survive — but the
+	// workspace the call ran on is dropped rather than re-pooled.
+	ErrKernelPanic = errors.New("graphblas: kernel panic")
 )

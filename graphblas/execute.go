@@ -174,11 +174,14 @@ func setEmptySparse[T comparable](v *Vector[T]) {
 // ---------------------------------------------------------------------------
 // eWise
 
-func (s OpSpec[T]) ewise(union bool, op BinaryOp[T], u, v *Vector[T]) error {
+func (s OpSpec[T]) ewise(union bool, op BinaryOp[T], u, v *Vector[T]) (err error) {
 	if err := conformEWise(s.w, u, v); err != nil {
 		return err
 	}
 	if err := s.conformMask(s.w.Size()); err != nil {
+		return err
+	}
+	if err := s.ctxErr(); err != nil {
 		return err
 	}
 	opName := core.OpEWiseMult
@@ -187,6 +190,7 @@ func (s OpSpec[T]) ewise(union bool, op BinaryOp[T], u, v *Vector[T]) error {
 	}
 	e := s.begin(s.w.Size(), s.w.Size())
 	defer e.end()
+	defer e.captureFault(&err)
 
 	if e.emptyResult() {
 		if e.accum == nil {
@@ -265,13 +269,18 @@ func (s OpSpec[T]) conformUnary(u *Vector[T]) error {
 // the indexed f was wrapped around (OpSpec.Apply): for Boolean bitset
 // operands its two-entry truth table lets the whole map run as word
 // arithmetic instead of one call per element.
-func (s OpSpec[T]) applyIndexed(plain func(T) T, f func(i int, x T) T, u *Vector[T]) error {
+func (s OpSpec[T]) applyIndexed(plain func(T) T, f func(i int, x T) T, u *Vector[T]) (err error) {
 	if err := s.conformUnary(u); err != nil {
 		return err
 	}
+	if err := s.ctxErr(); err != nil {
+		return err
+	}
 	// In-place fast path: same pattern, mapped values — no workspace, no
-	// format change, no copies.
+	// format change, no copies. A panicking user operator still surfaces
+	// as ErrKernelPanic (there is no workspace to taint here).
 	if s.w == u && s.mask == nil && s.accum == nil {
+		defer captureFault(nil, &err)
 		switch u.format {
 		case Sparse:
 			for k := range u.val {
@@ -297,6 +306,7 @@ func (s OpSpec[T]) applyIndexed(plain func(T) T, f func(i int, x T) T, u *Vector
 	}
 	e := s.begin(s.w.Size(), s.w.Size())
 	defer e.end()
+	defer e.captureFault(&err)
 
 	if e.emptyResult() {
 		if e.accum == nil {
@@ -329,12 +339,16 @@ func (s OpSpec[T]) applyIndexed(plain func(T) T, f func(i int, x T) T, u *Vector
 	return nil
 }
 
-func (s OpSpec[T]) selectOp(pred func(i int, x T) bool, u *Vector[T]) error {
+func (s OpSpec[T]) selectOp(pred func(i int, x T) bool, u *Vector[T]) (err error) {
 	if err := s.conformUnary(u); err != nil {
+		return err
+	}
+	if err := s.ctxErr(); err != nil {
 		return err
 	}
 	e := s.begin(s.w.Size(), s.w.Size())
 	defer e.end()
+	defer e.captureFault(&err)
 
 	if e.emptyResult() {
 		if e.accum == nil {
@@ -365,8 +379,11 @@ func (s OpSpec[T]) selectOp(pred func(i int, x T) bool, u *Vector[T]) error {
 // ---------------------------------------------------------------------------
 // assign
 
-func (s OpSpec[T]) assignVector(u *Vector[T]) error {
+func (s OpSpec[T]) assignVector(u *Vector[T]) (err error) {
 	if err := s.conformUnary(u); err != nil {
+		return err
+	}
+	if err := s.ctxErr(); err != nil {
 		return err
 	}
 	if s.w == u && s.accum == nil {
@@ -376,22 +393,22 @@ func (s OpSpec[T]) assignVector(u *Vector[T]) error {
 	if s.mask == nil {
 		// Unmasked merge: a workspace is only needed for the sparse-w
 		// accumulate scratch, so bitmap/dense destinations merge in place
-		// with no pool round-trip at all.
+		// with no pool round-trip at all. Release is deferred so a
+		// panicking accumulator (captured below, taint first) discards the
+		// pooled workspace instead of re-pooling it.
 		ws := s.desc.workspace()
-		pooled := false
 		if ws == nil && s.w.format == Sparse {
 			ws = AcquireWorkspace(s.w.Size(), s.w.Size())
-			pooled = true
+			defer ws.Release()
 		}
+		defer captureFault(ws, &err)
 		mergeInto(ws, s.w, u, s.accum, false, core.MaskView{})
-		if pooled {
-			ws.Release()
-		}
 		recordPlan(s.desc, core.OpAssign, s.w.NVals(), s.w.Size(), kindOf(s.w.format))
 		return nil
 	}
 	e := s.begin(s.w.Size(), s.w.Size())
 	defer e.end()
+	defer e.captureFault(&err)
 	if e.emptyResult() {
 		recordPlan(s.desc, core.OpAssign, s.w.NVals(), s.w.Size(), kindOf(s.w.format))
 		return nil
@@ -405,7 +422,7 @@ func (s OpSpec[T]) assignVector(u *Vector[T]) error {
 	return nil
 }
 
-func (s OpSpec[T]) assignScalar(value T) error {
+func (s OpSpec[T]) assignScalar(value T) (err error) {
 	w := s.w
 	if w == nil {
 		return fmt.Errorf("%w: nil output", ErrInvalidValue)
@@ -413,6 +430,10 @@ func (s OpSpec[T]) assignScalar(value T) error {
 	if err := s.conformMask(w.Size()); err != nil {
 		return err
 	}
+	// Only the user accumulator can panic here, and it runs after any mask
+	// lowering has fully settled the workspace's scrub bookkeeping — so the
+	// workspace stays poolable and the guard taints nothing.
+	defer captureFault(nil, &err)
 	accum := s.accum
 	scmp := s.desc != nil && s.desc.StructuralComplement
 	// A bitset destination assigns through its packed words in place — it
@@ -483,11 +504,10 @@ func (s OpSpec[T]) assignScalar(value T) error {
 		return nil
 	}
 	ws := s.desc.workspace()
-	pooled := false
 	if ws == nil {
 		if _, sparseMask := s.mask.maskSparseIndices(); sparseMask {
 			ws = AcquireWorkspace(w.Size(), w.Size())
-			pooled = true
+			defer ws.Release()
 		}
 	}
 	mWords, mBits := s.mask.maskLowerWS(ws)
@@ -496,9 +516,6 @@ func (s OpSpec[T]) assignScalar(value T) error {
 		if mv.Allows(i) {
 			setAt(i)
 		}
-	}
-	if pooled {
-		ws.Release()
 	}
 	w.maybePromoteFull()
 	recordPlan(s.desc, core.OpAssignScalar, w.NVals(), w.Size(), kindOf(w.format))
@@ -604,7 +621,7 @@ func mergeInto[T comparable](ws *Workspace, w, src *Vector[T], accum BinaryOp[T]
 // ---------------------------------------------------------------------------
 // extract
 
-func (s OpSpec[T]) extract(u *Vector[T], indices []uint32) error {
+func (s OpSpec[T]) extract(u *Vector[T], indices []uint32) (err error) {
 	if s.w == nil || u == nil {
 		return fmt.Errorf("%w: nil operand", ErrInvalidValue)
 	}
@@ -619,8 +636,12 @@ func (s OpSpec[T]) extract(u *Vector[T], indices []uint32) error {
 	if err := s.conformMask(s.w.Size()); err != nil {
 		return err
 	}
+	if err := s.ctxErr(); err != nil {
+		return err
+	}
 	e := s.begin(s.w.Size(), u.Size())
 	defer e.end()
+	defer e.captureFault(&err)
 
 	if e.emptyResult() {
 		if e.accum == nil {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pushpull/internal/core"
+	"pushpull/internal/faultinject"
 	"pushpull/internal/sparse"
 )
 
@@ -32,7 +33,14 @@ import (
 //
 // w may alias u and/or the mask; the product is computed into fresh
 // storage and installed afterwards when aliasing requires it.
-func (s OpSpec[T]) MxV(sr Semiring[T], a *Matrix[T], u *Vector[T]) (TraversalDirection, error) {
+//
+// Faults are confined to the call: a panic in a kernel body or semiring
+// operator returns as a *PanicError matching ErrKernelPanic (the workspace
+// it ran on is dropped, not re-pooled), and a done context — per-call via
+// WithContext or descriptor-wide via Descriptor.Context — aborts between
+// kernel phases with a wrapped ErrCancelled. In both cases w is
+// structurally valid but holds unspecified partial contents.
+func (s OpSpec[T]) MxV(sr Semiring[T], a *Matrix[T], u *Vector[T]) (dir TraversalDirection, err error) {
 	w, mask, accum, desc := s.w, s.mask, s.accum, s.desc
 	if w == nil || a == nil || u == nil {
 		return core.Push, fmt.Errorf("%w: nil operand", ErrInvalidValue)
@@ -60,18 +68,30 @@ func (s OpSpec[T]) MxV(sr Semiring[T], a *Matrix[T], u *Vector[T]) (TraversalDir
 	}
 
 	plan := planMxV(u, mask, desc, rowG, colG, outDim)
+	dir = plan.Dir
 	if desc != nil && desc.Plan != nil {
 		*desc.Plan = plan
+	}
+	// Abort point between planning and kernel launch; later phases
+	// re-check, so a cancel arriving mid-call is honoured at the next
+	// boundary instead of after a full traversal step.
+	if err = s.ctxErr(); err != nil {
+		return dir, err
 	}
 	csr := toCoreSR(sr)
 
 	// Resolve the scratch workspace: the descriptor's pinned one, or a
-	// pooled one for the duration of this call (auto-pooling).
+	// pooled one for the duration of this call (auto-pooling). The release
+	// is deferred — it must also run on the recovered-panic path, where the
+	// taint set by captureFault (registered later, so run first) turns it
+	// into a discard.
 	ws := desc.workspace()
 	pooled := ws == nil
 	if pooled {
 		ws = AcquireWorkspace(a.NRows(), a.NCols())
+		defer ws.Release()
 	}
+	defer captureFault(ws, &err)
 	opts := desc.coreOpts(ws)
 
 	var mv core.MaskView
@@ -93,34 +113,39 @@ func (s OpSpec[T]) MxV(sr Semiring[T], a *Matrix[T], u *Vector[T]) (TraversalDir
 	if timed {
 		start = time.Now()
 	}
-	var err error
 	if accum != nil {
 		// Compute the product into the workspace's scratch vector, then
 		// merge into w.
 		t := scratchVectorFor[T](ws, outDim)
-		if err = mxvInto(t, u, useMask, mv, rowG, colG, plan, csr, opts, ws); err == nil {
-			if timed {
-				plan.MeasuredNs = float64(time.Since(start).Nanoseconds())
-			}
-			mergeInto(ws, w, t, accum, false, core.MaskView{})
-		}
-	} else {
-		err = mxvInto(w, u, useMask, mv, rowG, colG, plan, csr, opts, ws)
-		if timed && err == nil {
+		mxvInto(t, u, useMask, mv, rowG, colG, plan, csr, opts, ws)
+		if timed {
 			plan.MeasuredNs = float64(time.Since(start).Nanoseconds())
 		}
+		// Second abort point: a cancel observed during the kernel leaves
+		// the partial product unmerged, so w is untouched.
+		if err = s.ctxErr(); err != nil {
+			return dir, err
+		}
+		mergeInto(ws, w, t, accum, false, core.MaskView{})
+	} else {
+		mxvInto(w, u, useMask, mv, rowG, colG, plan, csr, opts, ws)
+		if timed {
+			plan.MeasuredNs = float64(time.Since(start).Nanoseconds())
+		}
+		if err = s.ctxErr(); err != nil {
+			return dir, err
+		}
 	}
-	if pooled {
-		ws.Release()
-	}
-	if err == nil && timed {
+	if timed {
+		// Only completed, uncancelled kernels feed the corrector's EWMA —
+		// a partial traversal's timing would corrupt the feedback loop.
 		desc.Corrector.Observe(plan.Dir, plan.PredictedNs, plan.MeasuredNs)
 		if desc.Plan != nil {
 			desc.Plan.MeasuredNs = plan.MeasuredNs
 			desc.Plan.OutKind = kindOf(w.format)
 		}
 	}
-	return plan.Dir, err
+	return dir, nil
 }
 
 // MxV is the positional form of OpSpec.MxV.
@@ -260,7 +285,8 @@ func effConvertPoint(desc *Descriptor) float64 {
 // afterwards — the swap leaves dst's old buffers in the workspace, so
 // repeated aliased calls ping-pong between two warm buffers instead of
 // allocating.
-func mxvInto[T comparable](dst *Vector[T], u *Vector[T], useMask bool, mv core.MaskView, rowG, colG *sparse.CSR[T], plan core.Plan, sr core.SR[T], opts core.Opts, ws *Workspace) error {
+func mxvInto[T comparable](dst *Vector[T], u *Vector[T], useMask bool, mv core.MaskView, rowG, colG *sparse.CSR[T], plan core.Plan, sr core.SR[T], opts core.Opts, ws *Workspace) {
+	faultinject.Fire(faultinject.SiteMxVKernel)
 	uv := u.kernelView()
 	switch plan.Dir {
 	case core.Pull:
@@ -297,7 +323,7 @@ func mxvInto[T comparable](dst *Vector[T], u *Vector[T], useMask bool, mv core.M
 			if aliased {
 				swapStorage(dst, target)
 			}
-			return nil
+			return
 		}
 		var ind []uint32
 		var val []T
@@ -311,7 +337,6 @@ func mxvInto[T comparable](dst *Vector[T], u *Vector[T], useMask bool, mv core.M
 		// workspace moves on.
 		dst.setSparseCopy(ind, val)
 	}
-	return nil
 }
 
 // sameVector reports pointer identity.

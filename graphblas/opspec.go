@@ -1,6 +1,10 @@
 package graphblas
 
-import "pushpull/internal/core"
+import (
+	"context"
+
+	"pushpull/internal/core"
+)
 
 // This file defines OpSpec, the declarative builder every vector operation
 // runs through. An OpSpec names the four things GraphBLAS attaches to any
@@ -107,6 +111,7 @@ type OpSpec[T comparable] struct {
 	mask  MaskVector
 	accum BinaryOp[T]
 	desc  *Descriptor
+	ctx   context.Context
 }
 
 // Into starts an operation specification writing into w.
@@ -129,6 +134,27 @@ func (s OpSpec[T]) Accum(op BinaryOp[T]) OpSpec[T] { s.accum = op; return s }
 // With sets the descriptor (mask complement, transpose, direction override,
 // pinned workspace, plan sink, ...).
 func (s OpSpec[T]) With(desc *Descriptor) OpSpec[T] { s.desc = desc; return s }
+
+// WithContext makes this one operation abortable: the op checks ctx between
+// kernel phases and returns a wrapped ErrCancelled once it is done. It
+// overrides Descriptor.Context for the call. For chunk-level cancellation
+// *inside* the parallel kernels as well, set Descriptor.Context instead —
+// the descriptor caches the allocation-free token the kernels poll at chunk
+// claims.
+func (s OpSpec[T]) WithContext(ctx context.Context) OpSpec[T] { s.ctx = ctx; return s }
+
+// context returns the operation's effective context: the per-call override,
+// else the descriptor's. May be nil (never cancelled).
+func (s OpSpec[T]) context() context.Context {
+	if s.ctx != nil {
+		return s.ctx
+	}
+	return s.desc.context()
+}
+
+// ctxErr is CheckContext over the operation's effective context: nil while
+// live, a wrapped ErrCancelled once done. Allocation-free on the live path.
+func (s OpSpec[T]) ctxErr() error { return CheckContext(s.context()) }
 
 // VxM computes w⟨mask⟩ = uᵀ·A (GrB_vxm), which equals Aᵀ·u: a pure
 // descriptor-transposed view over the MxV pipeline entry point — it flips

@@ -32,6 +32,7 @@ import (
 type Workspace struct {
 	kernel     *core.Workspace
 	rows, cols int
+	tainted    bool
 
 	maskWords   []uint64    // sparse-mask bitset words, scrubbed via maskTouched
 	maskTouched []uint32    // indices set in maskWords by the previous mask
@@ -57,12 +58,27 @@ func AcquireWorkspace(rows, cols int) *Workspace {
 // Release returns the workspace to its dimension pool (workspaces created
 // with NewWorkspace donate their warm buffers the same way). Neither the
 // workspace nor vectors still sharing storage with its scratch may be used
-// afterwards.
+// afterwards. A workspace tainted by a kernel panic is discarded instead of
+// pooled — the cost of one warm arena buys the guarantee that corrupted
+// scratch never resurfaces under a later call.
 func (w *Workspace) Release() {
-	if w == nil {
+	if w == nil || w.tainted {
 		return
 	}
 	wsPool.Put(w.rows, w.cols, w)
+}
+
+// taint marks the workspace (and its kernel arena) as abandoned mid-kernel:
+// a panic unwound through it, so internal invariants — the SPA's all-false
+// presence array, staged loop operands, the mask scrub list — may be
+// violated. Tainted workspaces are dropped on Release, and descriptors
+// treat a tainted pinned workspace as absent.
+func (w *Workspace) taint() {
+	if w == nil {
+		return
+	}
+	w.tainted = true
+	w.kernel.Taint()
 }
 
 // maskLowerFor lowers a mask vector into the kernel mask layout: packed

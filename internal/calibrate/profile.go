@@ -83,6 +83,24 @@ func Save(path string, p *Profile) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// LoadLenient reads a profile like Load but degrades instead of failing: a
+// missing, malformed, schema-drifted (stale version) or invalid profile
+// logs one line through logf and returns nil, which callers treat as "run
+// untuned" — the planner's zero-value unit cost model, always safe. Use it
+// wherever a tuned run is an optimization rather than a requirement, so a
+// corrupted PPTUNE file degrades a benchmark run instead of aborting it.
+// logf may be nil to drop the diagnostic.
+func LoadLenient(path string, logf func(format string, args ...any)) *Profile {
+	p, err := Load(path)
+	if err != nil {
+		if logf != nil {
+			logf("ignoring cost-model profile: %v (running untuned)", err)
+		}
+		return nil
+	}
+	return p
+}
+
 // Load reads and validates a profile; malformed JSON, schema drift and
 // NaN/negative coefficients are all load errors, so a bad profile can
 // never reach the planner.

@@ -1,0 +1,80 @@
+package calibrate
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadLenient: every failure mode — missing file, corrupted JSON, stale
+// schema version — degrades to nil with one diagnostic line, and a valid
+// profile loads normally.
+func TestLoadLenient(t *testing.T) {
+	dir := t.TempDir()
+	var logged []string
+	logf := func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}
+
+	// Missing file.
+	if p := LoadLenient(filepath.Join(dir, "nope.json"), logf); p != nil {
+		t.Fatalf("missing file: got %+v, want nil", p)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "running untuned") {
+		t.Fatalf("missing file not logged: %v", logged)
+	}
+
+	// Corrupted JSON.
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte(`{"version": 1, "model": {`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	logged = nil
+	if p := LoadLenient(corrupt, logf); p != nil {
+		t.Fatal("corrupted JSON: got a profile, want nil")
+	}
+	if len(logged) != 1 {
+		t.Fatalf("corrupted JSON logged %d lines, want 1", len(logged))
+	}
+
+	// Stale schema version: valid JSON, wrong version.
+	stale := filepath.Join(dir, "stale.json")
+	good := NewProfile(testModel())
+	if err := Save(filepath.Join(dir, "good.json"), good); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "good.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleData := strings.Replace(string(data), `"version": 1`, `"version": 99`, 1)
+	if staleData == string(data) {
+		t.Fatal("test fixture: version field not found to rewrite")
+	}
+	if err := os.WriteFile(stale, []byte(staleData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	logged = nil
+	if p := LoadLenient(stale, logf); p != nil {
+		t.Fatal("stale version: got a profile, want nil")
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "version") {
+		t.Fatalf("stale version diagnostic missing: %v", logged)
+	}
+
+	// nil logf must be safe.
+	if p := LoadLenient(stale, nil); p != nil {
+		t.Fatal("nil logf: got a profile, want nil")
+	}
+
+	// A valid profile loads exactly as Load would.
+	p := LoadLenient(filepath.Join(dir, "good.json"), logf)
+	if p == nil {
+		t.Fatal("valid profile rejected")
+	}
+	if *p != *good {
+		t.Fatalf("lenient load changed the profile:\n  wrote %+v\n  read  %+v", *good, *p)
+	}
+}

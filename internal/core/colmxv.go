@@ -112,6 +112,12 @@ func ColMxvBitmap[T comparable](wVal []T, wPresent []bool, cscG *sparse.CSR[T], 
 	uInd, uVal := pushOperands(a, u)
 	nvals := 0
 	for i, col := range uInd {
+		// The scatter runs on the caller's goroutine with no chunk
+		// boundaries, so poll the token every 1024 columns: the partial
+		// bitmap is discarded by the caller's post-call context check.
+		if i&1023 == 1023 && opts.Cancel.Cancelled() {
+			break
+		}
 		ind, val := cscG.RowSpan(int(col))
 		if opts.StructureOnly {
 			for _, out := range ind {
@@ -169,7 +175,7 @@ func colMxvRadix[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr 
 	if opts.Sequential {
 		cl.size(0, k)
 	} else {
-		par.For(k, rowGrain, cl.size)
+		par.ForCancel(opts.Cancel, k, rowGrain, cl.size)
 	}
 	total := par.ExclusiveScanSequential(cl.lengths)
 	if total == 0 {
@@ -184,7 +190,7 @@ func colMxvRadix[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr 
 		if opts.Sequential {
 			cl.gatherKeys(0, k)
 		} else {
-			par.For(k, rowGrain, cl.gatherKeys)
+			par.ForCancel(opts.Cancel, k, rowGrain, cl.gatherKeys)
 		}
 		if opts.Sequential {
 			merge.SortKeysSequentialWith(keys, maxKey, &a.ms)
@@ -206,7 +212,7 @@ func colMxvRadix[T comparable](cscG *sparse.CSR[T], uInd []uint32, uVal []T, sr 
 	if opts.Sequential {
 		cl.gatherPairs(0, k)
 	} else {
-		par.For(k, rowGrain, cl.gatherPairs)
+		par.ForCancel(opts.Cancel, k, rowGrain, cl.gatherPairs)
 	}
 	if opts.Sequential {
 		merge.SortPairsSequentialWith(keys, vals, maxKey, &a.ms)

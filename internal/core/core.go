@@ -17,6 +17,8 @@
 // call core directly.
 package core
 
+import "pushpull/internal/par"
+
 // SR is a generalized semiring (D, ⊗, ⊕, I) in the paper's Section 3.2
 // sense, plus the two extra elements the optimizations need:
 //
@@ -81,6 +83,13 @@ type Opts struct {
 	// are then copied out of workspace storage before the release, so the
 	// no-workspace contract — caller-owned results — is preserved).
 	Ws *Workspace
+	// Cancel is the cooperative cancellation token the parallel kernels
+	// check at chunk-claim boundaries (and the sequential scatter paths
+	// check periodically). When it trips mid-kernel the kernel stops
+	// scheduling work and returns with partial output; the caller owns the
+	// post-call token/context check that decides whether to trust the
+	// result. nil never cancels and costs one branch per check.
+	Cancel *par.Token
 }
 
 // MaskView is the kernel-level mask: a dense presence layout — byte

@@ -31,7 +31,7 @@ func RowMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], u VecView[T]
 	if opts.Sequential {
 		rl.run(0, g.Rows)
 	} else {
-		par.For(g.Rows, rowGrain, rl.run)
+		par.ForCancel(opts.Cancel, g.Rows, rowGrain, rl.run)
 	}
 	nvals := int(rl.nvals.Load())
 	rl.clear()
@@ -76,7 +76,7 @@ func RowMaskedMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], u VecV
 		if opts.Sequential {
 			rl.runList(0, len(mask.List))
 		} else {
-			par.For(len(mask.List), rowGrain, rl.runList)
+			par.ForCancel(opts.Cancel, len(mask.List), rowGrain, rl.runList)
 		}
 	case mask.Words != nil:
 		// Word-packed mask: the scan tests (and, under scmp, complements)
@@ -84,13 +84,13 @@ func RowMaskedMxv[T comparable](w []T, wPresent []bool, g *sparse.CSR[T], u VecV
 		if opts.Sequential {
 			rl.runMaskWords(0, g.Rows)
 		} else {
-			par.For(g.Rows, rowGrain, rl.runMaskWords)
+			par.ForCancel(opts.Cancel, g.Rows, rowGrain, rl.runMaskWords)
 		}
 	default:
 		if opts.Sequential {
 			rl.runMask(0, g.Rows)
 		} else {
-			par.For(g.Rows, rowGrain, rl.runMask)
+			par.ForCancel(opts.Cancel, g.Rows, rowGrain, rl.runMask)
 		}
 	}
 	nvals := int(rl.nvals.Load())

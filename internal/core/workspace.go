@@ -37,7 +37,20 @@ import (
 // a time. Concurrent algorithm runs should each pin their own.
 type Workspace struct {
 	rows, cols int
+	tainted    bool
 	arenas     map[any]any // zero value of T → *arena[T]
+}
+
+// Taint marks the workspace as abandoned mid-kernel — a panic unwound
+// through it, so arena invariants (the SPA's all-false presence array, the
+// touched lists, staged loop operands) may be violated. A tainted workspace
+// is dropped on Release instead of returning to the pool: losing one warm
+// arena is the price of guaranteeing no poisoned scratch resurfaces under a
+// later, innocent call.
+func (w *Workspace) Taint() {
+	if w != nil {
+		w.tainted = true
+	}
 }
 
 // Dims reports the matrix dimensions the workspace was sized for.
@@ -61,9 +74,10 @@ func AcquireWorkspace(rows, cols int) *Workspace {
 // Release returns the workspace to its dimension pool (workspaces created
 // with NewWorkspace donate their warm buffers the same way). The caller
 // must not use it — or any kernel output that aliased its storage —
-// afterwards.
+// afterwards. A tainted workspace (see Taint) is discarded rather than
+// pooled.
 func (w *Workspace) Release() {
-	if w == nil {
+	if w == nil || w.tainted {
 		return
 	}
 	wsPool.Put(w.rows, w.cols, w)

@@ -1,0 +1,64 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Enabled reports whether fault-injection hooks are compiled in.
+const Enabled = true
+
+// arm is one registered fault: a countdown to the firing call and the action
+// to run when it hits zero. The countdown is atomic because Fire runs from
+// arbitrary worker goroutines.
+type arm struct {
+	countdown atomic.Int64
+	action    func()
+}
+
+var (
+	mu   sync.RWMutex
+	arms = map[string]*arm{}
+)
+
+// Arm registers action to run on the nth Fire at site (1-based: nth == 1
+// fires on the next call). The action runs exactly once, on the goroutine
+// that made the nth call — so an armed panic unwinds that goroutine's stack
+// just like a real kernel bug would. Arming a site replaces any previous
+// arm. The returned disarm removes the arm if it has not fired yet; always
+// call it (defer) so one test's leftover fault cannot trip another.
+func Arm(site string, nth int, action func()) (disarm func()) {
+	a := &arm{action: action}
+	if nth < 1 {
+		nth = 1
+	}
+	a.countdown.Store(int64(nth))
+	mu.Lock()
+	arms[site] = a
+	mu.Unlock()
+	return func() {
+		mu.Lock()
+		if arms[site] == a {
+			delete(arms, site)
+		}
+		mu.Unlock()
+	}
+}
+
+// Fire notifies the registry that execution reached site. With nothing
+// armed it is a cheap read-locked map probe; with an arm in place it
+// decrements the countdown and runs the action when the countdown reaches
+// exactly zero (later calls pass through).
+func Fire(site string) {
+	mu.RLock()
+	a := arms[site]
+	mu.RUnlock()
+	if a == nil {
+		return
+	}
+	if a.countdown.Add(-1) == 0 {
+		a.action()
+	}
+}

@@ -1,0 +1,110 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestArmNthSemantics: an arm at nth=2 ignores the first Fire, runs exactly
+// once on the second, and is silent forever after.
+func TestArmNthSemantics(t *testing.T) {
+	var fired atomic.Int64
+	disarm := Arm("test.site", 2, func() { fired.Add(1) })
+	defer disarm()
+
+	Fire("test.site")
+	if fired.Load() != 0 {
+		t.Fatal("nth=2 arm fired on the first call")
+	}
+	Fire("test.site")
+	if fired.Load() != 1 {
+		t.Fatalf("nth=2 arm fired %d times on the second call, want 1", fired.Load())
+	}
+	for i := 0; i < 10; i++ {
+		Fire("test.site")
+	}
+	if fired.Load() != 1 {
+		t.Fatalf("arm re-fired: %d total", fired.Load())
+	}
+}
+
+// TestDisarmRemoves: after disarm, the pending action never runs.
+func TestDisarmRemoves(t *testing.T) {
+	var fired atomic.Int64
+	disarm := Arm("test.disarm", 1, func() { fired.Add(1) })
+	disarm()
+	Fire("test.disarm")
+	if fired.Load() != 0 {
+		t.Fatal("disarmed action still fired")
+	}
+	// Disarming twice is safe.
+	disarm()
+}
+
+// TestRearmReplaces: arming a site again replaces the previous arm, and the
+// stale disarm must not remove the replacement.
+func TestRearmReplaces(t *testing.T) {
+	var first, second atomic.Int64
+	disarm1 := Arm("test.rearm", 1, func() { first.Add(1) })
+	disarm2 := Arm("test.rearm", 1, func() { second.Add(1) })
+	defer disarm2()
+
+	disarm1() // stale: must not disturb the live arm
+	Fire("test.rearm")
+	if first.Load() != 0 {
+		t.Fatal("replaced arm fired")
+	}
+	if second.Load() != 1 {
+		t.Fatalf("replacement fired %d times, want 1", second.Load())
+	}
+}
+
+// TestSitesIndependent: arms on different sites do not interfere.
+func TestSitesIndependent(t *testing.T) {
+	var a, b atomic.Int64
+	da := Arm("test.a", 1, func() { a.Add(1) })
+	db := Arm("test.b", 1, func() { b.Add(1) })
+	defer da()
+	defer db()
+
+	Fire("test.a")
+	if a.Load() != 1 || b.Load() != 0 {
+		t.Fatalf("cross-site interference: a=%d b=%d", a.Load(), b.Load())
+	}
+	Fire("test.b")
+	if b.Load() != 1 {
+		t.Fatalf("site b did not fire: %d", b.Load())
+	}
+}
+
+// TestConcurrentFire: many goroutines racing through Fire see the action
+// exactly once, with no lost or duplicated firings.
+func TestConcurrentFire(t *testing.T) {
+	var fired atomic.Int64
+	disarm := Arm("test.race", 64, func() { fired.Add(1) })
+	defer disarm()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				Fire("test.race")
+			}
+		}()
+	}
+	wg.Wait()
+	if fired.Load() != 1 {
+		t.Fatalf("action ran %d times under concurrent Fire, want 1", fired.Load())
+	}
+}
+
+func TestEnabledFlag(t *testing.T) {
+	if !Enabled {
+		t.Fatal("faultinject build tag set but Enabled is false")
+	}
+}

@@ -1,0 +1,14 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled reports whether fault-injection hooks are compiled in.
+const Enabled = false
+
+// Arm is inert without the faultinject build tag; the returned disarm is a
+// no-op too.
+func Arm(site string, nth int, action func()) (disarm func()) { return func() {} }
+
+// Fire is inert without the faultinject build tag. It is empty and
+// non-variadic so calls on kernel hot paths inline to nothing.
+func Fire(site string) {}

@@ -1,0 +1,26 @@
+// Package faultinject is the test-only fault-injection registry behind the
+// robustness stress suite. Production builds compile the no-op variant
+// (fire sites inline to nothing); building with `-tags faultinject` swaps in
+// the real registry so tests can arm a panic at the Nth dispatched chunk, a
+// delay inside a kernel phase, or a context cancellation mid-iteration, and
+// then assert the substrate survives: no deadlock, no worker leak, no
+// poisoned pool entries.
+//
+// The registry is deliberately tiny: a site fires at most one armed action,
+// exactly once, on the Nth call. Anything richer (sequences, probabilities)
+// belongs in the test that arms it.
+package faultinject
+
+// Instrumentation sites compiled into the hot paths. Constants exist in both
+// build variants so callers never need their own tag-gated references.
+const (
+	// SiteParChunk fires once per chunk claimed by internal/par's dispatch
+	// loop, inside the chunk's recover scope — an armed panic here exercises
+	// the first-fault capture and drain path.
+	SiteParChunk = "par.chunk"
+
+	// SiteMxVKernel fires once per MxV kernel phase in the graphblas layer,
+	// between planning and kernel execution — an armed delay or context
+	// cancellation here exercises the between-phase abort path.
+	SiteMxVKernel = "graphblas.mxv.kernel"
+)

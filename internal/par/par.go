@@ -14,12 +14,26 @@
 // Callers that also want zero allocations must pass long-lived func values
 // (see internal/core's Workspace, which pins its loop bodies), because a
 // func literal handed to For escapes into the job record.
+//
+// Faults and cancellation: a panic in a loop body never kills a parked
+// worker or deadlocks a dispatcher. The first panic (value + stack) is
+// captured into the job record, remaining chunks drain as no-ops, and the
+// fault is re-raised on the *dispatching* goroutine as a *PanicError once
+// every chunk is accounted for. Cancellation is cooperative: ForCancel and
+// ForWorkerCancel stop claiming new chunks once their Token trips; chunks
+// already running finish, and the call returns normally with the loop only
+// partially executed — the caller owns the post-loop token check.
 package par
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"pushpull/internal/faultinject"
 )
 
 // maxWorkers caps concurrency for all helpers in this package. It defaults
@@ -46,6 +60,69 @@ func MaxWorkers() int { return int(maxWorkers.Load()) }
 // negligible against even the cheapest per-element loop bodies.
 const DefaultGrain = 2048
 
+// PanicError is the fault a dispatching goroutine re-raises when a loop body
+// panicked during parallel execution: the first panic value captured, plus
+// the stack of the goroutine it happened on (captured at recover time, so it
+// points into the failing body, not into the dispatcher).
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: loop body panicked: %v", e.Value)
+}
+
+// Token is a cooperative cancellation signal checked at chunk-claim
+// boundaries. It can be tripped directly (Trip) or bound to a context, in
+// which case the first Cancelled call that observes the context done latches
+// the trip so later checks are a single atomic load. The zero check path
+// never allocates. A nil *Token is valid and never cancels.
+//
+// A Token is safe for concurrent Cancelled/Trip calls, but like a Workspace
+// it is owned by one logical operation at a time: do not share one token
+// across unrelated dispatches that should cancel independently.
+type Token struct {
+	tripped atomic.Bool
+	ctx     context.Context
+}
+
+// NewToken returns a token that reports cancelled once ctx is done (or Trip
+// is called). ctx may be nil for a purely manual token.
+func NewToken(ctx context.Context) *Token { return &Token{ctx: ctx} }
+
+// Trip cancels the token directly. nil-safe.
+func (t *Token) Trip() {
+	if t != nil {
+		t.tripped.Store(true)
+	}
+}
+
+// Cancelled reports whether the token has tripped or its context is done.
+// nil-safe and allocation-free — it is called on every chunk claim.
+func (t *Token) Cancelled() bool {
+	if t == nil {
+		return false
+	}
+	if t.tripped.Load() {
+		return true
+	}
+	if t.ctx != nil && t.ctx.Err() != nil {
+		t.tripped.Store(true)
+		return true
+	}
+	return false
+}
+
+// Context returns the context the token was built over (nil for a manual or
+// nil token).
+func (t *Token) Context() context.Context {
+	if t == nil {
+		return nil
+	}
+	return t.ctx
+}
+
 // job describes one parallel loop. Exactly one of body (dynamic chunks,
 // For) and wbody (static spans, ForWorker) is set. Jobs are pooled and
 // reference-counted: the dispatching goroutine holds one reference and each
@@ -54,8 +131,10 @@ const DefaultGrain = 2048
 // against stale queue entries without generation counters.
 type job struct {
 	refs   atomic.Int64
-	next   atomic.Int64   // next chunk/span to claim
-	wg     sync.WaitGroup // counts *chunks*, not workers: Wait returns when the loop is done even if queued entries were never picked up
+	next   atomic.Int64               // next chunk/span to claim
+	fault  atomic.Pointer[PanicError] // first body panic, CAS-claimed
+	tok    *Token                     // optional cooperative cancellation
+	wg     sync.WaitGroup             // counts *chunks*, not workers: Wait returns when the loop is done even if queued entries were never picked up
 	body   func(lo, hi int)
 	wbody  func(worker, lo, hi int)
 	n      int
@@ -77,6 +156,12 @@ var (
 
 // maxParked bounds the number of persistent worker goroutines.
 const maxParked = 256
+
+// ParkedWorkers reports how many persistent worker goroutines have been
+// spawned so far. Workers are never retired, so a stable value across a
+// stress run is the no-goroutine-leak invariant the fault-injection suite
+// asserts.
+func ParkedWorkers() int { return int(spawned.Load()) }
 
 func ensureWorkers(want int) {
 	workersOnce.Do(func() { jobs = make(chan *job, 4*maxParked) })
@@ -102,39 +187,63 @@ func parkedWorker() {
 
 // runChunks claims and executes chunks of j until none remain. Both the
 // dispatcher and any parked worker that received a queue entry run this, so
-// the loop completes even when every parked worker is busy elsewhere.
+// the loop completes even when every parked worker is busy elsewhere. Once a
+// fault is recorded or the job's token trips, remaining chunks drain as
+// no-ops — each still claimed and Done'd, so the chunk accounting (and with
+// it dispatch's Wait) always closes out.
 func runChunks(j *job) {
 	for {
 		c := int(j.next.Add(1)) - 1
 		if c >= j.chunks {
 			return
 		}
-		if j.body != nil {
-			lo := c * j.grain
-			hi := lo + j.grain
-			if hi > j.n {
-				hi = j.n
-			}
-			j.body(lo, hi)
-		} else {
-			lo := c * j.n / j.chunks
-			hi := (c + 1) * j.n / j.chunks
-			j.wbody(c, lo, hi)
+		if j.fault.Load() != nil || j.tok.Cancelled() {
+			j.wg.Done()
+			continue
+		}
+		j.runChunk(c)
+	}
+}
+
+// runChunk executes one claimed chunk. A body panic is recovered here — on
+// whichever goroutine ran the chunk — and CAS-published as the job's first
+// fault; the deferred Done runs either way, so a panicking body can neither
+// kill a parked worker nor strand the dispatcher in Wait.
+func (j *job) runChunk(c int) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.fault.CompareAndSwap(nil, &PanicError{Value: r, Stack: debug.Stack()})
 		}
 		j.wg.Done()
+	}()
+	faultinject.Fire(faultinject.SiteParChunk)
+	if j.body != nil {
+		lo := c * j.grain
+		hi := lo + j.grain
+		if hi > j.n {
+			hi = j.n
+		}
+		j.body(lo, hi)
+	} else {
+		lo := c * j.n / j.chunks
+		hi := (c + 1) * j.n / j.chunks
+		j.wbody(c, lo, hi)
 	}
 }
 
 func releaseJob(j *job) {
 	if j.refs.Add(-1) == 0 {
-		j.body, j.wbody = nil, nil
+		j.body, j.wbody, j.tok = nil, nil, nil
+		j.fault.Store(nil)
 		jobPool.Put(j)
 	}
 }
 
 // dispatch runs a prepared job: the caller participates in chunk-stealing
 // and queue entries wake up to `helpers` parked workers. It returns after
-// every chunk has executed.
+// every chunk has executed (or drained). If any chunk body panicked, the
+// captured first fault is re-raised here, on the dispatching goroutine —
+// the parked workers have already recovered and moved on.
 func dispatch(j *job, helpers int) {
 	ensureWorkers(helpers)
 	j.wg.Add(j.chunks)
@@ -153,7 +262,11 @@ func dispatch(j *job, helpers int) {
 	}
 	runChunks(j)
 	j.wg.Wait()
+	fault := j.fault.Load()
 	releaseJob(j)
+	if fault != nil {
+		panic(fault)
+	}
 }
 
 // For executes body over [0, n) in parallel chunks of at least grain
@@ -163,7 +276,22 @@ func dispatch(j *job, helpers int) {
 // a single worker, body runs inline on the caller's goroutine. The caller
 // always participates in execution, so For completes even if every parked
 // worker is busy.
+//
+// If body panics on a parked worker, For panics on the calling goroutine
+// with a *PanicError wrapping the first panic value and its stack; the
+// inline single-worker path lets the original panic value through
+// unwrapped. Either way the substrate stays usable.
 func For(n, grain int, body func(lo, hi int)) {
+	ForCancel(nil, n, grain, body)
+}
+
+// ForCancel is For with a cooperative cancellation token: once tok trips (or
+// its bound context is done), no further chunks are claimed; chunks already
+// running finish. Cancellation is quiet — ForCancel returns normally with
+// the loop only partially executed, so the caller must check tok (or its
+// context) after the loop before trusting the output. A nil tok never
+// cancels.
+func ForCancel(tok *Token, n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -172,7 +300,9 @@ func For(n, grain int, body func(lo, hi int)) {
 	}
 	workers := MaxWorkers()
 	if workers == 1 || n <= grain {
-		body(0, n)
+		if !tok.Cancelled() {
+			body(0, n)
+		}
 		return
 	}
 	chunks := (n + grain - 1) / grain
@@ -180,7 +310,7 @@ func For(n, grain int, body func(lo, hi int)) {
 		workers = chunks
 	}
 	j := jobPool.Get().(*job)
-	j.body, j.wbody = body, nil
+	j.body, j.wbody, j.tok = body, nil, tok
 	j.n, j.grain, j.chunks = n, grain, chunks
 	dispatch(j, workers-1)
 }
@@ -195,8 +325,16 @@ func For(n, grain int, body func(lo, hi int)) {
 // Spans are claimed dynamically from the same queue as For's chunks: the
 // index identifies the *span* (and its scratch slot), not the OS thread, so
 // correctness does not depend on a particular number of goroutines being
-// free.
+// free. Panics propagate like For's.
 func ForWorker(n int, body func(worker, lo, hi int)) int {
+	return ForWorkerCancel(nil, n, body)
+}
+
+// ForWorkerCancel is ForWorker with a cooperative cancellation token; spans
+// not yet claimed when tok trips never run (their scratch slots are left
+// untouched), so the span count it returns only bounds the slots that *may*
+// have been written. A nil tok never cancels.
+func ForWorkerCancel(tok *Token, n int, body func(worker, lo, hi int)) int {
 	if n <= 0 {
 		return 0
 	}
@@ -204,15 +342,84 @@ func ForWorker(n int, body func(worker, lo, hi int)) int {
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
-		body(0, 0, n)
-		return 1
+	forSpans(tok, n, workers, body)
+	return workers
+}
+
+// forSpans runs body over exactly `spans` static spans. The span count is
+// fixed by the caller rather than re-read from MaxWorkers, so multi-phase
+// span algorithms (ExclusiveScan's sum-then-rescan) stay consistent even if
+// SetMaxWorkers moves between phases.
+func forSpans(tok *Token, n, spans int, body func(worker, lo, hi int)) {
+	if spans <= 1 {
+		if !tok.Cancelled() {
+			body(0, 0, n)
+		}
+		return
 	}
 	j := jobPool.Get().(*job)
-	j.body, j.wbody = nil, body
-	j.n, j.grain, j.chunks = n, 0, workers
-	dispatch(j, workers-1)
-	return workers
+	j.body, j.wbody, j.tok = nil, body, tok
+	j.n, j.grain, j.chunks = n, 0, spans
+	dispatch(j, spans-1)
+}
+
+// redScratch is the pooled state for the parallel reductions: the per-span
+// partials plus *pinned* span bodies, created once per pooled object and
+// re-aimed at each call's operands — so Sum/Count/ExclusiveScan are
+// allocation-free in steady state (they used to pay a make([]int, workers)
+// plus two closure allocations per call).
+type redScratch struct {
+	xs      []int
+	pred    func(i int) bool
+	partial []int
+
+	sumBody   func(w, lo, hi int) // partial[w] = Σ xs[span]
+	scanBody  func(w, lo, hi int) // local exclusive scan seeded from partial[w]
+	countBody func(w, lo, hi int) // partial[w] = |{i in span : pred(i)}|
+}
+
+var redPool = sync.Pool{New: func() any {
+	rs := &redScratch{}
+	rs.sumBody = func(w, lo, hi int) {
+		xs := rs.xs
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		rs.partial[w] = s
+	}
+	rs.scanBody = func(w, lo, hi int) {
+		xs := rs.xs
+		s := rs.partial[w]
+		for i := lo; i < hi; i++ {
+			xs[i], s = s, s+xs[i]
+		}
+	}
+	rs.countBody = func(w, lo, hi int) {
+		pred := rs.pred
+		c := 0
+		for i := lo; i < hi; i++ {
+			if pred(i) {
+				c++
+			}
+		}
+		rs.partial[w] = c
+	}
+	return rs
+}}
+
+func acquireRed(spans int) *redScratch {
+	rs := redPool.Get().(*redScratch)
+	if cap(rs.partial) < spans {
+		rs.partial = make([]int, spans)
+	}
+	rs.partial = rs.partial[:spans]
+	return rs
+}
+
+func (rs *redScratch) release() {
+	rs.xs, rs.pred = nil, nil
+	redPool.Put(rs)
 }
 
 // ExclusiveScan replaces xs with its exclusive prefix sum and returns the
@@ -222,7 +429,9 @@ func ForWorker(n int, body func(worker, lo, hi int)) int {
 //
 // The parallel path is a standard two-pass blocked scan: per-block sums,
 // sequential scan of the (small) block-sum array, then per-block local
-// scans seeded with the block offsets.
+// scans seeded with the block offsets. Both passes run over the same fixed
+// span partition, so the scan stays correct even if SetMaxWorkers changes
+// concurrently.
 func ExclusiveScan(xs []int) int {
 	n := len(xs)
 	if n == 0 {
@@ -233,24 +442,19 @@ func ExclusiveScan(xs []int) int {
 	if workers == 1 || n < minParallelScan {
 		return ExclusiveScanSequential(xs)
 	}
-	blockSums := make([]int, workers)
-	used := ForWorker(n, func(w, lo, hi int) {
-		s := 0
-		for i := lo; i < hi; i++ {
-			s += xs[i]
-		}
-		blockSums[w] = s
-	})
-	total := 0
-	for w := 0; w < used; w++ {
-		blockSums[w], total = total, total+blockSums[w]
+	spans := workers
+	if spans > n {
+		spans = n
 	}
-	ForWorker(n, func(w, lo, hi int) {
-		s := blockSums[w]
-		for i := lo; i < hi; i++ {
-			xs[i], s = s, s+xs[i]
-		}
-	})
+	rs := acquireRed(spans)
+	rs.xs = xs
+	forSpans(nil, n, spans, rs.sumBody)
+	total := 0
+	for w := 0; w < spans; w++ {
+		rs.partial[w], total = total, total+rs.partial[w]
+	}
+	forSpans(nil, n, spans, rs.scanBody)
+	rs.release()
 	return total
 }
 
@@ -278,18 +482,18 @@ func Sum(xs []int) int {
 		}
 		return s
 	}
-	partial := make([]int, workers)
-	used := ForWorker(n, func(w, lo, hi int) {
-		s := 0
-		for i := lo; i < hi; i++ {
-			s += xs[i]
-		}
-		partial[w] = s
-	})
-	total := 0
-	for w := 0; w < used; w++ {
-		total += partial[w]
+	spans := workers
+	if spans > n {
+		spans = n
 	}
+	rs := acquireRed(spans)
+	rs.xs = xs
+	forSpans(nil, n, spans, rs.sumBody)
+	total := 0
+	for w := 0; w < spans; w++ {
+		total += rs.partial[w]
+	}
+	rs.release()
 	return total
 }
 
@@ -309,19 +513,17 @@ func Count(n int, pred func(i int) bool) int {
 		}
 		return c
 	}
-	partial := make([]int, workers)
-	used := ForWorker(n, func(w, lo, hi int) {
-		c := 0
-		for i := lo; i < hi; i++ {
-			if pred(i) {
-				c++
-			}
-		}
-		partial[w] = c
-	})
-	total := 0
-	for w := 0; w < used; w++ {
-		total += partial[w]
+	spans := workers
+	if spans > n {
+		spans = n
 	}
+	rs := acquireRed(spans)
+	rs.pred = pred
+	forSpans(nil, n, spans, rs.countBody)
+	total := 0
+	for w := 0; w < spans; w++ {
+		total += rs.partial[w]
+	}
+	rs.release()
 	return total
 }
