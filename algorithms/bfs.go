@@ -48,6 +48,16 @@ type BFSOptions struct {
 	// rule at that crossover instead of the default edge-based cost model
 	// (the direction planner). Zero means plan by cost.
 	SwitchPoint float64
+	// Shards, when > 1, runs each level's matvec range-sharded: the
+	// destination space splits into that many edge-balanced ranges and the
+	// direction decision happens per shard, so a mixed-density frontier
+	// can pull its hub ranges while pushing the tail concurrently
+	// (Descriptor.Shards). Forced modes (ForcePull/DisableDirectionOpt)
+	// still shard the execution but pin every shard to the one direction.
+	// The whole-operation planner is bypassed on auto levels — per-shard
+	// corrector feedback replaces its hysteresis — and per-level shard
+	// records surface through IterStats.Shards.
+	Shards int
 	// Model, when non-nil, prices the planner's estimates with calibrated
 	// per-machine nanosecond coefficients (ppbench calibrate / -tune)
 	// instead of unit RAM costs; each level's matvec is then timed and fed
@@ -110,6 +120,14 @@ type IterStats struct {
 	// decision.
 	PredictedNs float64
 	MeasuredNs  float64
+	// Shards holds the level's per-shard plan records on sharded runs
+	// (BFSOptions.Shards > 1): each destination range's direction, cost
+	// pair and measured time. The slice is copied per trace call, so
+	// records stay valid after the traversal moves on. Hybrid reports
+	// that the level genuinely mixed directions across ranges. Direction
+	// is then the shard-majority direction.
+	Shards []core.ShardPlan
+	Hybrid bool
 }
 
 // BFSResult carries the outputs of a traversal.
@@ -211,6 +229,19 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 		Workspace:     ws,
 		Context:       opt.Context,
 	}
+	// Sharded execution: per-level matvecs split into edge-balanced
+	// destination ranges, each planned (and corrected) independently. The
+	// plan sink and corrector live for the traversal, so the per-shard
+	// EWMA keys converge level over level.
+	sharded := opt.Shards > 1
+	var shardPlan core.Plan
+	var shardCorr core.Corrector
+	if sharded {
+		desc.Shards = opt.Shards
+		desc.CostModel = opt.Model
+		desc.Corrector = &shardCorr
+		desc.Plan = &shardPlan
+	}
 	// Post-filter for the unmasked configuration: f⟨¬visited⟩ = f as a
 	// masked identity apply through the same pipeline.
 	filterDesc := &graphblas.Descriptor{StructuralComplement: true, Workspace: ws, Context: opt.Context}
@@ -229,11 +260,16 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 		var plan core.Plan
 		var measured time.Duration
 		planned := false
+		// On sharded auto levels the direction decision moves inside the
+		// pipeline — one decision per destination range — so the whole-
+		// operation planner (and its hysteresis) is bypassed entirely.
+		autoShard := sharded && !opt.ForcePull && !opt.DisableDirectionOpt
 		switch {
 		case opt.ForcePull:
 			dir = core.Pull
 		case opt.DisableDirectionOpt:
 			dir = core.Push
+		case autoShard:
 		default:
 			planned = true
 			// Plan the direction: exact frontier out-degrees when f is
@@ -248,18 +284,24 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 			dir = plan.Dir
 		}
 
-		if dir == core.Push {
+		switch {
+		case autoShard:
+			desc.Direction = graphblas.Auto
+		case dir == core.Push:
 			desc.Direction = graphblas.ForcePush
-		} else {
+		default:
 			desc.Direction = graphblas.ForcePull
 		}
 
 		input := f
-		if dir == core.Pull && !opt.DisableOperandReuse {
+		if dir == core.Pull && !autoShard && !opt.DisableOperandReuse {
 			// Optimization 4: the visited set is a superset of the
 			// frontier, and with the ¬v mask the extra discoveries filter
 			// out — so the already-dense visited pattern replaces f,
 			// making the sparse→dense conversion of f unnecessary.
+			// (Sharded auto levels keep f: the per-shard planner wants the
+			// frontier's sparse indices for exact cut-table edge counts,
+			// and push shards need the true frontier, not its superset.)
 			input = visited
 		}
 
@@ -279,7 +321,7 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 				return res, err
 			}
 		} else {
-			if dir == core.Pull && unvisited != nil {
+			if unvisited != nil && (dir == core.Pull || autoShard) {
 				desc.MaskAllowList = unvisited
 			} else {
 				desc.MaskAllowList = nil
@@ -292,6 +334,12 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 		}
 		if planned {
 			planner.Observe(plan, measured)
+		}
+		if autoShard {
+			// The per-shard records double as the level's plan evidence;
+			// Direction becomes the shard-majority choice.
+			plan = shardPlan
+			dir = shardPlan.Dir
 		}
 
 		// Bookkeeping: v⟨f⟩ = depth (Algorithm 1 Line 7, split across the
@@ -323,7 +371,7 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 		}
 
 		if opt.Trace != nil {
-			opt.Trace(IterStats{
+			stats := IterStats{
 				Iteration:      res.Iterations,
 				Direction:      dir,
 				FrontierNNZ:    f.NVals(),
@@ -335,7 +383,14 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 				FrontierFormat: f.Format(),
 				PredictedNs:    plan.PredictedNs,
 				MeasuredNs:     float64(measured.Nanoseconds()),
-			})
+			}
+			if sharded && len(shardPlan.Shards) > 0 {
+				// The backing array is workspace scratch the next matvec
+				// overwrites; trace mode copies (it allocates anyway).
+				stats.Shards = append([]core.ShardPlan(nil), shardPlan.Shards...)
+				stats.Hybrid = shardPlan.Hybrid
+			}
+			opt.Trace(stats)
 		}
 	}
 	res.Depths = depths

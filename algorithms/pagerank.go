@@ -32,6 +32,11 @@ type PageRankOptions struct {
 	// nanoseconds; PageRank never switches direction, so the model only
 	// affects the trace, not the schedule.
 	Model *core.CostModel
+	// Shards, when > 1, range-shards each power-iteration matvec into
+	// that many edge-balanced destination ranges executed concurrently.
+	// PageRank pins ForcePull, so every shard pulls — the benefit is the
+	// edge-balanced split itself (hub rows no longer serialize a chunk).
+	Shards int
 	// Context, when non-nil, makes the power iteration abortable: the
 	// pipeline checks it between kernel phases, the parallel kernels stop
 	// claiming chunks once it is done, and the iteration loop checks it at
@@ -153,7 +158,7 @@ func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (re
 	// steady state allocates nothing.
 	ws := graphblas.AcquireWorkspace(n, n)
 	defer ws.Release()
-	desc := &graphblas.Descriptor{Transpose: true, Direction: graphblas.ForcePull, Workspace: ws, CostModel: opt.Model, Context: opt.Context}
+	desc := &graphblas.Descriptor{Transpose: true, Direction: graphblas.ForcePull, Workspace: ws, CostModel: opt.Model, Context: opt.Context, Shards: opt.Shards}
 	// Frozen rows carry their old rank: newRanks⟨¬active⟩ = ranks.
 	carryDesc := &graphblas.Descriptor{StructuralComplement: true, Workspace: ws, Context: opt.Context}
 	scale := func(x float64) float64 { return opt.Damping * x }

@@ -30,6 +30,24 @@ func ParentBFSTuned(a *graphblas.Matrix[bool], source int, model *core.CostModel
 	return ParentBFSWithContext(nil, a, source, model)
 }
 
+// ParentBFSOptions configures ParentBFSRun, the options form of the
+// ParentBFS family.
+type ParentBFSOptions struct {
+	// Model prices the matvec pipeline's direction planner with calibrated
+	// coefficients (see ParentBFSTuned). Nil keeps the unit model.
+	Model *core.CostModel
+	// Shards, when > 1, range-shards each level's matvec with per-shard
+	// direction decisions (see BFSOptions.Shards).
+	Shards int
+	// Context makes the traversal abortable (see ParentBFSWithContext).
+	Context context.Context
+}
+
+// ParentBFSRun is ParentBFS with the full option set.
+func ParentBFSRun(a *graphblas.Matrix[bool], source int, opt ParentBFSOptions) ([]int64, error) {
+	return parentBFS(opt.Context, a, source, opt.Model, opt.Shards)
+}
+
 // ParentBFSWithContext is ParentBFSTuned with cooperative cancellation: the
 // pipeline checks ctx between kernel phases, the parallel kernels stop
 // claiming chunks once it is done, and the traversal checks it at each
@@ -37,6 +55,10 @@ func ParentBFSTuned(a *graphblas.Matrix[bool], source int, model *core.CostModel
 // along with the partial parent array discovered so far (unreached vertices
 // stay -1). ctx == nil means never cancelled.
 func ParentBFSWithContext(ctx context.Context, a *graphblas.Matrix[bool], source int, model *core.CostModel) ([]int64, error) {
+	return parentBFS(ctx, a, source, model, 0)
+}
+
+func parentBFS(ctx context.Context, a *graphblas.Matrix[bool], source int, model *core.CostModel, shards int) ([]int64, error) {
 	n := a.NRows()
 	if a.NCols() != n {
 		return nil, fmt.Errorf("algorithms: ParentBFS needs a square matrix, got %d×%d", a.NRows(), a.NCols())
@@ -74,6 +96,15 @@ func ParentBFSWithContext(ctx context.Context, a *graphblas.Matrix[bool], source
 	if model != nil {
 		desc.CostModel = model
 		desc.Corrector = &core.Corrector{}
+	}
+	if shards > 1 {
+		// Range-sharded levels: per-shard direction decisions with
+		// per-shard corrector feedback replacing the pipeline planner's
+		// hysteresis.
+		desc.Shards = shards
+		if desc.Corrector == nil {
+			desc.Corrector = &core.Corrector{}
+		}
 	}
 	assignDesc := &graphblas.Descriptor{Workspace: ws, Context: ctx}
 

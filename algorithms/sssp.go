@@ -27,6 +27,11 @@ type SSSPOptions struct {
 	// nanosecond coefficients and feeds each relaxation matvec's measured
 	// time back into the planner's corrector (see BFSOptions.Model).
 	Model *core.CostModel
+	// Shards, when > 1, range-shards each relaxation matvec: the 2-phase
+	// direction choice still decides push vs pull for the round, but the
+	// kernel executes as that many edge-balanced destination ranges
+	// concurrently, and traces carry the per-shard records.
+	Shards int
 	// Trace, when non-nil, receives one record per relaxation round.
 	Trace func(IterStats)
 	// Context, when non-nil, makes the relaxation abortable: the pipeline
@@ -87,6 +92,13 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 	ws := graphblas.AcquireWorkspace(n, n)
 	defer ws.Release()
 	desc := &graphblas.Descriptor{Transpose: true, Workspace: ws, Context: opt.Context}
+	var shardPlan core.Plan
+	if opt.Shards > 1 {
+		desc.Shards = opt.Shards
+		desc.CostModel = opt.Model
+		desc.Corrector = &core.Corrector{}
+		desc.Plan = &shardPlan
+	}
 	improves := func(i int, d float64) bool { return d < distVal[i] }
 	minOp := sr.Add.Op
 	// Partial result for aborted runs: the distances relaxed so far, valid
@@ -131,6 +143,10 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 		if planned {
 			planner.Observe(plan, measured)
 		}
+		// Snapshot the matvec's shard records before the Select/Assign calls
+		// below overwrite the shared plan sink.
+		mxvShards := shardPlan.Shards
+		mxvHybrid := shardPlan.Hybrid
 		// Relax, as two pipeline calls: the new active set is the
 		// candidates that improve (a select against dist), and the fold is
 		// a min-accumulating assign — dist min= active — in place of the
@@ -142,7 +158,7 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 			return snapshot(), err
 		}
 		if opt.Trace != nil {
-			opt.Trace(IterStats{
+			stats := IterStats{
 				Iteration:   round + 1,
 				Direction:   dir,
 				FrontierNNZ: active.NVals(),
@@ -151,7 +167,12 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 				PullCost:    plan.PullCost,
 				PredictedNs: plan.PredictedNs,
 				MeasuredNs:  float64(measured.Nanoseconds()),
-			})
+			}
+			if len(mxvShards) > 0 {
+				stats.Shards = append([]core.ShardPlan(nil), mxvShards...)
+				stats.Hybrid = mxvHybrid
+			}
+			opt.Trace(stats)
 		}
 	}
 	return snapshot(), nil

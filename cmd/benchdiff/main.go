@@ -54,7 +54,10 @@ func main() {
 		os.Exit(1)
 	}
 	if len(pairs) == 0 {
-		fmt.Println("benchdiff: no baseline snapshots to compare against; skipping (first build?)")
+		// First build of the trajectory (or an expired artifact): there is
+		// nothing to gate on yet. Exit 0 so CI proceeds to upload the fresh
+		// snapshot — this run IS the baseline the next run diffs against.
+		fmt.Println("benchdiff: seeding baseline — no prior snapshots to compare against; exit 0")
 		return
 	}
 	regressions := 0
@@ -78,7 +81,10 @@ func main() {
 func pairFiles(base, cur string) ([][2]string, error) {
 	bi, err := os.Stat(base)
 	if err != nil {
-		return nil, nil // no baseline: nothing to gate on
+		// The baseline path not existing is the normal first-build state
+		// (the artifact download step warns and continues), not an error.
+		fmt.Printf("benchdiff: no baseline at %s\n", base)
+		return nil, nil
 	}
 	ci, err := os.Stat(cur)
 	if err != nil {

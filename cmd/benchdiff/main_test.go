@@ -75,3 +75,29 @@ func TestMissingBaselineYieldsNoPairs(t *testing.T) {
 		t.Fatalf("pairs=%v err=%v; missing baseline must be a clean skip", pairs, err)
 	}
 }
+
+func TestEmptyBaselineDirSeedsCleanly(t *testing.T) {
+	// The artifact download step can leave an existing-but-empty baseline
+	// directory (if_no_artifact_found: warn); that is the same seeding
+	// state as no directory at all, not a gate failure.
+	dirA, dirB := t.TempDir(), t.TempDir()
+	writeSnap(t, dirB, "BENCH_bench.json", baseSnap)
+	pairs, err := pairFiles(dirA, dirB)
+	if err != nil || len(pairs) != 0 {
+		t.Fatalf("pairs=%v err=%v; empty baseline dir must yield no pairs and no error", pairs, err)
+	}
+}
+
+func TestNewExperimentFileHasNoBaselinePair(t *testing.T) {
+	// A brand-new experiment (fresh BENCH_*.json name) must not wedge the
+	// gate when the baseline predates it; it pairs nothing and seeds on
+	// upload.
+	dirA, dirB := t.TempDir(), t.TempDir()
+	writeSnap(t, dirA, "BENCH_bench.json", baseSnap)
+	writeSnap(t, dirB, "BENCH_bench.json", baseSnap)
+	writeSnap(t, dirB, "BENCH_newexp.json", baseSnap)
+	pairs, err := pairFiles(dirA, dirB)
+	if err != nil || len(pairs) != 1 {
+		t.Fatalf("pairs=%v err=%v; only the shared file should pair", pairs, err)
+	}
+}

@@ -239,7 +239,10 @@ func benchExperiment(cfg config) error {
 		[]string{"iter", "direction", "frontier", "format", "push-cost", "pull-cost", "mask-density", "predicted-ns", "measured-ns", "ms"}, trace); err != nil {
 		return err
 	}
-	return decisionQualityTables(cfg)
+	if err := decisionQualityTables(cfg); err != nil {
+		return err
+	}
+	return shardSweepTables(cfg)
 }
 
 // decisionQualityTables replays a small-scale BFS per graph with *both*

@@ -113,6 +113,60 @@
 // both kernels at every BFS level and reports the fraction of iterations
 // each model scheduled on the measured-faster kernel.
 //
+// # Range-sharded hybrid execution
+//
+// Frontier density is not uniform across a skewed graph: mid-traversal, a
+// hub-heavy destination range can be dense enough to pull while the tail
+// is still sparse enough to push, so any single whole-operation direction
+// is wrong for part of the index space. Descriptor.Shards > 1 splits one
+// MxV into that many contiguous destination ranges and gives each its own
+// direction decision:
+//
+//	Boundaries  edge-balanced over the in-edge prefix sums (CSR Ptr), so
+//	            a hub shard covers few rows and a tail shard many; built
+//	            once per matrix (with a destination-sharded CSC cut table
+//	            for the push side) and cached on the Matrix.
+//	Decisions   core.DecideDirection per shard, priced by the calibrated
+//	            model over shard-local evidence: exact frontier edge
+//	            counts off the cut table (sparse frontiers directly;
+//	            bitset/bitmap frontiers below ⅛ density are expanded into
+//	            workspace scratch so packed frontiers plan exactly too)
+//	            and the shard's own mask density.
+//	Execution   pull shards scan their own output rows; push shards
+//	            scatter through the cut table, which bounds every
+//	            frontier column's gather to the shard's destination
+//	            range. Each shard writes a disjoint slice of one bitmap
+//	            output, so a concurrent push+pull mix needs no atomics.
+//	            Consecutive push shards merge into at most one segment
+//	            per worker, restoring the unsharded push's per-edge cost
+//	            (a push shard pays one cut probe per frontier column no
+//	            matter how few edges it owns). The input's storage format
+//	            settles toward the shard majority, exactly as unsharded
+//	            planning settles it toward the whole-operation decision.
+//	Feedback    Descriptor.Corrector becomes shard-keyed: each shard's
+//	            (predicted, measured) pair feeds its own EWMA key, so a
+//	            hub shard's timing never bends a tail shard's estimate,
+//	            while per-direction sums feed the parent corrector as the
+//	            pooled prior a shard reads for a direction it has never
+//	            run. Per-shard flips carry multiplicative hysteresis: a
+//	            challenger direction must undercut the incumbent's
+//	            corrected cost decisively, so near-tied shards stick
+//	            (Rule "sticky" in the trace) instead of oscillating.
+//	Tracing     Descriptor.Plan records the whole-operation summary (Rule
+//	            "sharded", Hybrid when the mix is real) plus one
+//	            ShardPlan per range — direction, rule, exact edges, costs,
+//	            predicted and measured ns; BFS IterStats carries the same
+//	            per-iteration record.
+//
+// The sharded pipeline preserves the 0 allocs/op steady state (shard
+// plans, frontier expansion and both operand lowerings live in workspace
+// scratch), polls cancellation at shard and sub-shard granularity, and
+// taints the workspace on a shard panic exactly like the unsharded path —
+// sibling shards drain before the one captured fault surfaces as
+// ErrKernelPanic. Shards = 1, NoAutoConvert, or a degenerate output falls
+// back to whole-operation planning; `ppbench bench`'s shard-sweep tables
+// track the hybrid-vs-uniform speedup and the per-shard decision record.
+//
 // The paper's five optimizations map onto the API as follows.
 //
 //	Change of direction — automatic in MxV; force with Descriptor.Direction.

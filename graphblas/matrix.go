@@ -2,7 +2,9 @@ package graphblas
 
 import (
 	"fmt"
+	"sync"
 
+	"pushpull/internal/core"
 	"pushpull/internal/sparse"
 )
 
@@ -15,6 +17,46 @@ import (
 type Matrix[T comparable] struct {
 	csr *sparse.CSR[T]
 	csc *sparse.CSR[T] // csr of the transpose; may alias csr
+
+	// Shard-boundary cache for range-sharded MxV (Descriptor.Shards):
+	// edge-balanced output ranges plus the destination cut table into the
+	// push-side CSC, computed once per (shard count, orientation) and
+	// derived purely from the immutable Ptr/Ind arrays. Guarded by
+	// shardMu because concurrent read-only operations may share a matrix.
+	shardMu   sync.Mutex
+	shardSets map[shardKey]*core.ShardSet
+}
+
+// shardKey keys the shard-boundary cache: the requested shard count and
+// whether the operation multiplies by Aᵀ (which swaps which view is the
+// output side).
+type shardKey struct {
+	shards     int
+	transposed bool
+}
+
+// shardSet returns the cached edge-balanced shard boundaries and CSC cut
+// table for the given shard count and orientation, building them on first
+// use. Returns nil when the matrix cannot be sharded (degenerate dims, or
+// nnz beyond the int32 cut-table range) — callers fall back to the
+// unsharded pipeline. Negative results are cached too.
+func (m *Matrix[T]) shardSet(shards int, transposed bool) *core.ShardSet {
+	key := shardKey{shards, transposed}
+	m.shardMu.Lock()
+	defer m.shardMu.Unlock()
+	if ss, ok := m.shardSets[key]; ok {
+		return ss
+	}
+	rowG, colG := m.csr, m.csc
+	if transposed {
+		rowG, colG = colG, rowG
+	}
+	ss := core.BuildShardSet(rowG.Ptr, colG.Ptr, colG.Ind, shards)
+	if m.shardSets == nil {
+		m.shardSets = make(map[shardKey]*core.ShardSet, 2)
+	}
+	m.shardSets[key] = ss
+	return ss
 }
 
 // NewMatrixFromCOO builds a matrix from coordinate triples, folding

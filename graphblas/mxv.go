@@ -67,6 +67,15 @@ func (s OpSpec[T]) MxV(sr Semiring[T], a *Matrix[T], u *Vector[T]) (dir Traversa
 		rowG, colG = colG, rowG
 	}
 
+	// Range-sharded dispatch: Descriptor.Shards > 1 hands the call to the
+	// per-shard hybrid pipeline, unless the matrix cannot be sharded (nil
+	// shard set) — then the ordinary whole-operation path runs.
+	if shards := effShards(desc, outDim); shards > 1 {
+		if ss := a.shardSet(shards, transpose); ss != nil && ss.Shards() > 1 {
+			return s.mxvSharded(sr, a, u, rowG, colG, ss, outDim)
+		}
+	}
+
 	plan := planMxV(u, mask, desc, rowG, colG, outDim)
 	dir = plan.Dir
 	if desc != nil && desc.Plan != nil {

@@ -205,6 +205,44 @@ func TestCorrectorConvergesAndClamps(t *testing.T) {
 	}
 }
 
+// TestCorrectorDecaysUnobservedDirection pins the explore/exploit contract:
+// a direction the planner stops running receives no fresh timings, so its
+// scale — possibly inflated by one degenerate cold measurement — must relax
+// toward 1 as the other direction keeps being observed, instead of banning
+// the direction forever.
+func TestCorrectorDecaysUnobservedDirection(t *testing.T) {
+	var c Corrector
+	// One cold pull measurement 10× over prediction primes a heavy penalty.
+	c.Observe(Pull, 1000, 10000)
+	inflated := c.Scale(Pull)
+	if inflated < 9 {
+		t.Fatalf("pull scale %g, want ≈10 after the cold sample", inflated)
+	}
+	// Push-only observations thereafter: pull's stale scale must shrink
+	// monotonically toward 1 while push's own converges normally.
+	prev := inflated
+	for i := 0; i < 60; i++ {
+		c.Observe(Push, 1000, 1000)
+		s := c.Scale(Pull)
+		if s > prev {
+			t.Fatalf("pull scale rose without a pull observation: %g -> %g", prev, s)
+		}
+		prev = s
+	}
+	if prev > 1.1 {
+		t.Fatalf("pull scale %g after 60 one-sided observations, want ≈1", prev)
+	}
+	if s := c.Scale(Push); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("push scale %g, want 1", s)
+	}
+	// An unprimed direction stays unprimed: decay never invents a scale.
+	c.Reset()
+	c.Observe(Push, 1000, 2000)
+	if c.Scale(Pull) != 1 {
+		t.Fatalf("decay primed an unobserved direction: %g", c.Scale(Pull))
+	}
+}
+
 // TestCorrectorFlipsDecision runs the whole feedback loop through the
 // planner: a profile that badly underprices pull must, after a few
 // observed (predicted, measured) pairs, stop choosing pull at a frontier
@@ -238,5 +276,41 @@ func TestCorrectorFlipsDecision(t *testing.T) {
 	}
 	if p.Dir != Push {
 		t.Fatalf("corrector failed to overturn the mispriced pull: %+v (pull scale %g)", p, corr.Scale(Pull))
+	}
+}
+
+// TestCorrectorShardPooledPrior pins the hierarchical fallback: a shard
+// that has never measured a direction reads the parent pool's scale for
+// it, its own measurements override the pool, and the exploration decay
+// relaxes a stale shard scale toward the pool rather than optimistic 1.
+func TestCorrectorShardPooledPrior(t *testing.T) {
+	var c Corrector
+	c.Observe(Push, 100, 300) // pool: push runs 3x the raw estimate
+	if s := c.Shard(4).Scale(Push); s != 3 {
+		t.Fatalf("cold shard push scale = %v, want pooled 3", s)
+	}
+	if s := c.Shard(4).Scale(Pull); s != 1 {
+		t.Fatalf("cold shard pull scale = %v, want 1 (pool unprimed too)", s)
+	}
+	c.Shard(4).Observe(Push, 100, 600) // shard 4's own push: 6x
+	if s := c.Shard(4).Scale(Push); s != 6 {
+		t.Fatalf("primed shard push scale = %v, want own 6 over pooled 3", s)
+	}
+	if s := c.Shard(2).Scale(Push); s != 3 {
+		t.Fatalf("sibling shard push scale = %v, want pooled 3 (no cross-shard leak)", s)
+	}
+	if s := c.Scale(Push); s != 3 {
+		t.Fatalf("pool scale = %v, want 3 (shard observation must not leak up)", s)
+	}
+
+	// Decay target: shard 4's pull goes stale while push is re-observed;
+	// it must relax toward the pooled pull scale, not toward 1.
+	c.Observe(Pull, 100, 500) // pool: pull runs 5x
+	c.Shard(4).Observe(Pull, 100, 900)
+	for i := 0; i < 200; i++ {
+		c.Shard(4).Observe(Push, 100, 600)
+	}
+	if s, pool := c.Shard(4).Scale(Pull), c.Scale(Pull); math.Abs(s-pool) > 0.01 {
+		t.Fatalf("stale shard pull scale %v did not relax to pooled %v", s, pool)
 	}
 }

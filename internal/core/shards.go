@@ -1,0 +1,361 @@
+package core
+
+import "math"
+
+// This file implements range sharding of a matvec's output index space:
+// contiguous, edge-balanced destination ranges, each of which gets its own
+// push/pull direction decision. The motivation is the paper's own density
+// argument turned local — on skewed graphs a mid-traversal frontier is
+// dense around the hubs and sparse in the tail, so one whole-operation
+// direction is wrong for part of every such frontier. Shards make the
+// decision per destination range: pull the hub shards (their rows are
+// cheap to scan and mostly allowed), push the tail (few frontier edges
+// land there), concurrently, in one operation.
+//
+// Geometry. Boundaries come off the pull-side CSR's Ptr prefix sums, so
+// every shard holds roughly the same number of *in-edges* (edges whose
+// destination lies in the shard) — the quantity both kernels' work scales
+// with. Pull shards simply scan their row range. Push shards need the
+// transposed view: for a destination-sharded scatter, shard s must gather,
+// for each frontier column j, exactly the CSC entries of row j whose
+// destination falls in [Bounds[s], Bounds[s+1]). CSC rows store
+// destinations sorted ascending, so that subset is a contiguous subrange
+// of the row, and one flat array of precomputed cut offsets (Cuts) locates
+// it in O(1) per (shard, column) — no storage is rebuilt, the shards share
+// the matrix's CSC.
+
+// ShardBounds splits the vertex range [0, n) into at most want contiguous
+// shards of roughly equal edge count, where ptr is the CSR row-pointer
+// prefix-sum array (len n+1; ptr[v] = edges before vertex v). The returned
+// bounds are strictly increasing with bounds[0] = 0 and bounds[len-1] = n:
+// shard s owns [bounds[s], bounds[s+1]). want is clamped to [1, n] (every
+// shard owns at least one vertex), so n < want degrades to n singleton
+// shards; an all-zero ptr (empty graph) degrades to equal vertex counts.
+func ShardBounds(ptr []int, n, want int) []int {
+	if n < 0 {
+		n = 0
+	}
+	if want > n {
+		want = n
+	}
+	if want < 1 {
+		want = 1
+	}
+	bounds := make([]int, want+1)
+	if n == 0 {
+		return bounds // [0, 0]: one empty shard
+	}
+	total := ptr[n]
+	for k := 1; k < want; k++ {
+		// Smallest v with ptr[v] >= k/want of the edges, then clamped so
+		// bounds stay strictly increasing and every remaining shard keeps
+		// at least one vertex.
+		v := lowerBoundInt(ptr[:n+1], total/want*k+total%want*k/want)
+		if v < bounds[k-1]+1 {
+			v = bounds[k-1] + 1
+		}
+		if hi := n - (want - k); v > hi {
+			v = hi
+		}
+		bounds[k] = v
+	}
+	bounds[want] = n
+	return bounds
+}
+
+// ShardSet is the per-(matrix, shard count) geometry the sharded matvec
+// runs against: the destination-range boundaries, the per-shard in-edge
+// totals, and the CSC cut offsets that make each shard's scatter
+// range-local. Built once per matrix orientation and cached (the
+// graphblas.Matrix layer owns the cache); immutable afterwards, so
+// concurrent operations may share one.
+type ShardSet struct {
+	// Bounds holds the destination-range boundaries (see ShardBounds);
+	// shard s owns output rows [Bounds[s], Bounds[s+1]).
+	Bounds []int
+	// InEdges[s] is the number of matrix entries whose destination lies in
+	// shard s — the pull side's exact work term, read off the row Ptr.
+	InEdges []int
+	// Cuts is the flat inDim×(Shards()+1) cut-offset table, stored
+	// column-major: entry j*(Shards()+1)+s is the offset into the CSC's Ind
+	// of the first entry of CSC row j with destination ≥ Bounds[s]. Entry
+	// s=0 reproduces cscPtr[j], entry s=Shards() reproduces cscPtr[j+1];
+	// shard s's slice of column j is Ind[cut(j,s):cut(j,s+1)]. The
+	// column-major layout is a locality decision: both the per-shard planner
+	// (summing a shard run's frontier edges) and the push kernel (bounding a
+	// column's gather) read several consecutive s entries of one column per
+	// frontier index, and packing a column's Shards()+1 offsets onto one or
+	// two cache lines turns what would be per-(shard, column) random misses
+	// into one miss per column. Offsets are int32, so a ShardSet exists only
+	// for matrices with nnz ≤ MaxInt32 (BuildShardSet returns nil past
+	// that; callers fall back to the unsharded kernel).
+	Cuts []int32
+
+	inDim int
+}
+
+// Shards returns the number of shards.
+func (ss *ShardSet) Shards() int { return len(ss.Bounds) - 1 }
+
+// InDim returns the input dimension the cut table was built for.
+func (ss *ShardSet) InDim() int { return ss.inDim }
+
+// cutSpan returns the CSC Ind offsets bounding column j's entries whose
+// destinations fall in shards [s0, s1): the contiguous gather subrange is
+// Ind[lo:hi]. One call costs one or two adjacent loads (see Cuts).
+func (ss *ShardSet) cutSpan(j, s0, s1 int) (lo, hi int32) {
+	base := j * len(ss.Bounds)
+	return ss.Cuts[base+s0], ss.Cuts[base+s1]
+}
+
+// BuildShardSet builds the shard geometry for one matrix orientation:
+// rowPtr is the pull-side CSR's pointer array (len outDim+1), cscPtr and
+// cscInd the push-side CSC's pointers and (destination-sorted) indices,
+// and want the requested shard count. Returns nil when the output
+// dimension is zero or nnz exceeds MaxInt32 (the int32 cut table cannot
+// address it) — callers treat nil as "run unsharded".
+func BuildShardSet(rowPtr []int, cscPtr []int, cscInd []uint32, want int) *ShardSet {
+	outDim := len(rowPtr) - 1
+	inDim := len(cscPtr) - 1
+	if outDim <= 0 || len(cscInd) > math.MaxInt32 {
+		return nil
+	}
+	bounds := ShardBounds(rowPtr, outDim, want)
+	S := len(bounds) - 1
+	ss := &ShardSet{Bounds: bounds, inDim: inDim}
+	ss.InEdges = make([]int, S)
+	for s := 0; s < S; s++ {
+		ss.InEdges[s] = rowPtr[bounds[s+1]] - rowPtr[bounds[s]]
+	}
+	// One pass per CSC row: its destinations are sorted ascending, so
+	// walking them against the ascending bounds yields every cut in
+	// O(nnz + S·inDim) total.
+	ss.Cuts = make([]int32, inDim*(S+1))
+	for j := 0; j < inDim; j++ {
+		base := j * (S + 1)
+		e, hi := cscPtr[j], cscPtr[j+1]
+		ss.Cuts[base] = int32(e)
+		for s := 1; s <= S; s++ {
+			b := uint32(bounds[s])
+			for e < hi && cscInd[e] < b {
+				e++
+			}
+			ss.Cuts[base+s] = int32(e)
+		}
+	}
+	return ss
+}
+
+// shardFlipMargin is the multiplicative hysteresis on per-shard direction
+// flips: a challenger direction's corrected cost must undercut the
+// incumbent's by this factor before the shard switches. Wide enough that
+// estimate noise and the corrector's exploration decay cannot make a
+// near-tied shard oscillate (each oscillation pays the slower direction's
+// real cost), narrow enough that a genuinely mispriced incumbent — a cold
+// first measurement, a frontier regime change — is overturned within a few
+// corrector updates.
+const shardFlipMargin = 1.1
+
+// ShardPlan is one shard's direction decision plus its evidence and, after
+// the kernel ran, its measured time — the per-shard analogue of Plan,
+// surfaced through Plan.Shards. The backing array is workspace-owned and
+// overwritten by the next sharded operation; copy entries to retain them.
+type ShardPlan struct {
+	// Lo, Hi delimit the shard's destination range [Lo, Hi).
+	Lo, Hi int
+	// Dir is the shard's chosen kernel orientation.
+	Dir Direction
+	// PushCost and PullCost are the model's estimates for this shard alone
+	// (same currency as Plan.PushCost: edge touches under the unit model,
+	// nanoseconds under a calibrated one, both including the per-shard
+	// stitch overhead when calibrated).
+	PushCost, PullCost float64
+	// PredictedNs is the chosen direction's uncorrected ns estimate plus
+	// the stitch overhead (zero under the unit model); MeasuredNs is the
+	// shard body's measured wall-clock, filled in by the kernel on timed
+	// runs.
+	PredictedNs, MeasuredNs float64
+	// Edges is the shard-local frontier edge count the push estimate used:
+	// exact (summed off the cut table) for sparse frontiers, the
+	// density-scaled estimate otherwise.
+	Edges float64
+	// MaskAllowFrac is the shard-local effective mask density the pull
+	// estimate was discounted by.
+	MaskAllowFrac float64
+	// InKind is the frontier storage kind the decision priced pull probes
+	// by (the whole operation's input kind — shards share one frontier).
+	InKind VecKind
+	// Rule names the per-shard decision path (forced, switchpoint,
+	// cost-model).
+	Rule string
+}
+
+// PlanShards runs one direction decision per shard, refining the
+// whole-operation PlanInput with shard-local evidence: the shard's row
+// count and in-edge degree sum, its exact frontier edge count (summed off
+// the cut table when frontier lists the sparse input's indices; estimated
+// from the global frontier density otherwise), and its local mask density
+// (popcounted over word masks, bisected over allow-lists, the global
+// fraction otherwise). Each shard's estimate is corrected by its own
+// corrector key (Corrector.Shard), so a pushed shard's feedback never
+// contaminates a pulled shard's estimate. Decisions carry flip hysteresis
+// against the previous entry in plans (see shardFlipMargin): callers that
+// reuse the plans scratch across iterations — the workspace-pinned steady
+// state — get sticky per-shard directions; callers passing fresh scratch
+// get stateless decisions. Results are written into plans, which must have
+// length ss.Shards().
+func PlanShards(in PlanInput, ss *ShardSet, frontier []uint32, mask MaskView, masked bool, plans []ShardPlan) {
+	density := 0.0
+	if in.N > 0 {
+		density = float64(in.NNZ) / float64(in.N)
+	}
+	stitch := 0.0
+	if in.Model.Calibrated() {
+		stitch = in.Model.StitchNs
+	}
+	if frontier != nil {
+		// Exact per-shard frontier edge counts in one pass over the frontier:
+		// each column's Shards()+1 cut offsets are contiguous (see Cuts), so
+		// the whole column differences out of one or two cache lines instead
+		// of one random probe pair per (shard, column). Accumulated into the
+		// plan entries' Edges fields, which double as the scratch here.
+		S := len(plans)
+		stride := S + 1
+		for s := range plans {
+			plans[s].Edges = 0
+		}
+		for _, j := range frontier {
+			base := int(j) * stride
+			prev := ss.Cuts[base]
+			for s := 0; s < S; s++ {
+				next := ss.Cuts[base+s+1]
+				plans[s].Edges += float64(next - prev)
+				prev = next
+			}
+		}
+	}
+	for s := range plans {
+		lo, hi := ss.Bounds[s], ss.Bounds[s+1]
+		rows := hi - lo
+		sub := in
+		sub.OutRows = rows
+		if rows > 0 {
+			sub.AvgDeg = float64(ss.InEdges[s]) / float64(rows)
+		} else {
+			sub.AvgDeg = 0
+		}
+		if frontier != nil {
+			sub.PushEdges = plans[s].Edges
+		} else {
+			sub.PushEdges = density * float64(ss.InEdges[s])
+		}
+		if masked {
+			sub.MaskAllowFrac = shardAllowFrac(mask, lo, hi, in.MaskAllowFrac)
+		}
+		sub.Correct = in.Correct.Shard(s)
+		p := DecideDirection(sub, nil)
+		// Flip hysteresis against the previous call's decision for this
+		// shard, read out of the workspace-persisted plan entry (validated
+		// by geometry so a scratch slice reused across shard counts or
+		// matrices never fakes an incumbent). The corrector's decay makes
+		// a banned direction's corrected cost creep back toward its raw
+		// estimate; without a flip margin, two directions priced within
+		// noise of each other would alternate every few calls, paying the
+		// worse one's real cost half the time. The margin turns the creep
+		// into a bounded experiment: a challenger must undercut the
+		// incumbent decisively, so near-ties stick with whatever the shard
+		// last measured.
+		if in.Force == nil && plans[s].Rule != "" && plans[s].Lo == lo && plans[s].Hi == hi &&
+			p.Dir != plans[s].Dir {
+			chal, inc := p.PushCost, p.PullCost
+			if p.Dir == Pull {
+				chal, inc = p.PullCost, p.PushCost
+			}
+			if chal*shardFlipMargin > inc {
+				prev := plans[s].Dir
+				p.Dir = prev
+				p.Rule = RuleSticky
+				if in.Model.Calibrated() {
+					// PredictedNs must describe the direction actually run,
+					// as a raw (uncorrected) estimate — divide the shard
+					// corrector's scale back out so Observe's feedback ratio
+					// measures the model, not the correction.
+					if prev == Push {
+						p.PredictedNs = p.PushCost / sub.Correct.Scale(Push)
+					} else {
+						p.PredictedNs = p.PullCost / sub.Correct.Scale(Pull)
+					}
+				}
+			}
+		}
+		plans[s] = ShardPlan{
+			Lo: lo, Hi: hi,
+			Dir:           p.Dir,
+			PushCost:      p.PushCost + stitch,
+			PullCost:      p.PullCost + stitch,
+			PredictedNs:   p.PredictedNs,
+			MeasuredNs:    0,
+			Edges:         sub.PushEdges,
+			MaskAllowFrac: p.MaskAllowFrac,
+			InKind:        in.InKind,
+			Rule:          p.Rule,
+		}
+		if p.PredictedNs > 0 {
+			plans[s].PredictedNs += stitch
+		}
+	}
+}
+
+// shardAllowFrac returns the effective mask density over output rows
+// [lo, hi): exact for allow-lists (two bisections) and word masks (a
+// range popcount), the global fraction for byte bitmaps (an O(rows) scan
+// per shard would cost more than the decision is worth).
+func shardAllowFrac(mask MaskView, lo, hi int, global float64) float64 {
+	rows := hi - lo
+	if rows <= 0 {
+		return global
+	}
+	switch {
+	case mask.List != nil:
+		k0 := lowerBoundU32(mask.List, uint32(lo))
+		k1 := lowerBoundU32(mask.List, uint32(hi))
+		return float64(k1-k0) / float64(rows)
+	case mask.Words != nil:
+		f := float64(BitsetCountRange(mask.Words, lo, hi)) / float64(rows)
+		if mask.Scmp {
+			f = 1 - f
+		}
+		return f
+	default:
+		return global
+	}
+}
+
+// lowerBoundU32 returns the smallest index k with a[k] >= x (len(a) when
+// none), for sorted a. Hand-rolled so planning stays closure-free.
+func lowerBoundU32(a []uint32, x uint32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lowerBoundInt is lowerBoundU32 over a sorted []int.
+func lowerBoundInt(a []int, x int) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randCSRPair builds a random n×n pattern and returns (rowPtr, cscPtr,
+// cscInd) in the shapes BuildShardSet wants: the CSC is represented as the
+// CSR of the transpose, destinations sorted ascending within each row.
+func randCSRPair(rng *rand.Rand, n int, density float64) (rowPtr []int, cscPtr []int, cscInd []uint32) {
+	rows := make([][]uint32, n) // rows[i] = sorted cols of row i
+	cols := make([][]uint32, n) // cols[j] = sorted rows (destinations) of col j
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				rows[i] = append(rows[i], uint32(j))
+				cols[j] = append(cols[j], uint32(i))
+			}
+		}
+	}
+	rowPtr = make([]int, n+1)
+	cscPtr = make([]int, n+1)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = rowPtr[i] + len(rows[i])
+		cscPtr[i+1] = cscPtr[i] + len(cols[i])
+		cscInd = append(cscInd, cols[i]...)
+	}
+	return rowPtr, cscPtr, cscInd
+}
+
+func TestShardBoundsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(50)
+		ptr := make([]int, n+1)
+		for v := 0; v < n; v++ {
+			deg := 0
+			if rng.Intn(4) > 0 { // leave some zero-degree vertices
+				deg = rng.Intn(20)
+			}
+			ptr[v+1] = ptr[v] + deg
+		}
+		for _, want := range []int{1, 2, 3, 7, n, n + 3, 64} {
+			b := ShardBounds(ptr, n, want)
+			if b[0] != 0 || b[len(b)-1] != n {
+				t.Fatalf("n=%d want=%d: bounds %v do not cover [0,%d]", n, want, b, n)
+			}
+			if n == 0 {
+				if len(b) != 2 {
+					t.Fatalf("n=0 want=%d: expected [0 0], got %v", want, b)
+				}
+				continue
+			}
+			if got := len(b) - 1; got > want || got > n || got < 1 {
+				t.Fatalf("n=%d want=%d: shard count %d out of range", n, want, got)
+			}
+			for s := 1; s < len(b); s++ {
+				if b[s] <= b[s-1] {
+					t.Fatalf("n=%d want=%d: bounds %v not strictly increasing", n, want, b)
+				}
+			}
+		}
+	}
+}
+
+func TestShardBoundsEdgeBalance(t *testing.T) {
+	// A heavily skewed degree sequence: the balance target is that no
+	// shard exceeds the ideal share by more than the largest single
+	// vertex (a vertex is indivisible).
+	n := 1000
+	ptr := make([]int, n+1)
+	maxDeg := 0
+	rng := rand.New(rand.NewSource(11))
+	for v := 0; v < n; v++ {
+		deg := 1
+		if v%97 == 0 {
+			deg = 500 + rng.Intn(500) // hubs
+		}
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+		ptr[v+1] = ptr[v] + deg
+	}
+	total := ptr[n]
+	for _, want := range []int{2, 4, 8, 16} {
+		b := ShardBounds(ptr, n, want)
+		ideal := total / want
+		for s := 0; s+1 < len(b); s++ {
+			edges := ptr[b[s+1]] - ptr[b[s]]
+			if edges > ideal+maxDeg {
+				t.Fatalf("want=%d shard %d has %d edges (ideal %d, maxdeg %d): %v", want, s, edges, ideal, maxDeg, b)
+			}
+		}
+	}
+}
+
+func TestBuildShardSetCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		rowPtr, cscPtr, cscInd := randCSRPair(rng, n, 0.05+rng.Float64()*0.3)
+		for _, want := range []int{1, 2, 5, n + 2} {
+			ss := BuildShardSet(rowPtr, cscPtr, cscInd, want)
+			if ss == nil {
+				t.Fatalf("n=%d want=%d: unexpected nil shard set", n, want)
+			}
+			S := ss.Shards()
+			for s := 0; s < S; s++ {
+				if got := rowPtr[ss.Bounds[s+1]] - rowPtr[ss.Bounds[s]]; got != ss.InEdges[s] {
+					t.Fatalf("InEdges[%d]=%d, want %d", s, ss.InEdges[s], got)
+				}
+			}
+			for j := 0; j < n; j++ {
+				if lo, _ := ss.cutSpan(j, 0, S); int(lo) != cscPtr[j] {
+					t.Fatalf("cut 0 col %d: %d != ptr %d", j, lo, cscPtr[j])
+				}
+				if _, hi := ss.cutSpan(j, 0, S); int(hi) != cscPtr[j+1] {
+					t.Fatalf("cut %d col %d: %d != ptr %d", S, j, hi, cscPtr[j+1])
+				}
+				for s := 0; s < S; s++ {
+					lo, hi := ss.cutSpan(j, s, s+1)
+					if lo > hi {
+						t.Fatalf("shard %d col %d: cut range inverted", s, j)
+					}
+					for e := lo; e < hi; e++ {
+						d := int(cscInd[e])
+						if d < ss.Bounds[s] || d >= ss.Bounds[s+1] {
+							t.Fatalf("shard %d col %d edge %d: dest %d outside [%d,%d)", s, j, e, d, ss.Bounds[s], ss.Bounds[s+1])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuildShardSetDegenerate(t *testing.T) {
+	if ss := BuildShardSet([]int{0}, []int{0}, nil, 4); ss != nil {
+		t.Fatalf("empty matrix: expected nil shard set, got %+v", ss)
+	}
+}
+
+func TestBitsetCountRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 517 // deliberately not word-aligned
+	words := make([]uint64, BitsetWords(n))
+	set := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			BitsetSet(words, i)
+			set[i] = true
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		lo := rng.Intn(n + 1)
+		hi := lo + rng.Intn(n+1-lo)
+		want := 0
+		for i := lo; i < hi; i++ {
+			if set[i] {
+				want++
+			}
+		}
+		if got := BitsetCountRange(words, lo, hi); got != want {
+			t.Fatalf("count[%d,%d) = %d, want %d", lo, hi, got, want)
+		}
+	}
+}
+
+func TestCorrectorShardIsolation(t *testing.T) {
+	var c Corrector
+	c.Shard(2).Observe(Push, 100, 400) // shard 2 runs 4x slower than predicted
+	if s := c.Shard(2).Scale(Push); s != 4 {
+		t.Fatalf("shard 2 push scale = %v, want 4", s)
+	}
+	if s := c.Shard(0).Scale(Push); s != 1 {
+		t.Fatalf("shard 0 push scale = %v, want unprimed 1", s)
+	}
+	if s := c.Shard(2).Scale(Pull); s != 1 {
+		t.Fatalf("shard 2 pull scale = %v, want unprimed 1", s)
+	}
+	if s := c.Scale(Push); s != 1 {
+		t.Fatalf("whole-op scale = %v, want unprimed 1 (shard feedback must not leak up)", s)
+	}
+	c.Reset()
+	if s := c.Shard(2).Scale(Push); s != 1 {
+		t.Fatalf("post-reset shard scale = %v, want 1", s)
+	}
+	var nilC *Corrector
+	if nilC.Shard(3) != nil {
+		t.Fatal("nil corrector must hand out nil shard correctors")
+	}
+	nilC.Shard(3).Observe(Push, 1, 1) // must not panic
+}
+
+func TestPlanShardsExactEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 60
+	rowPtr, cscPtr, cscInd := randCSRPair(rng, n, 0.2)
+	ss := BuildShardSet(rowPtr, cscPtr, cscInd, 4)
+	var frontier []uint32
+	for j := 0; j < n; j += 3 {
+		frontier = append(frontier, uint32(j))
+	}
+	in := PlanInput{NNZ: len(frontier), N: n, OutRows: n, PushEdges: -1, AvgDeg: 2, MaskAllowFrac: 1, InKind: KindSparse}
+	plans := make([]ShardPlan, ss.Shards())
+	PlanShards(in, ss, frontier, MaskView{}, false, plans)
+	for s := range plans {
+		want := 0.0
+		for _, j := range frontier {
+			lo, hi := ss.cutSpan(int(j), s, s+1)
+			want += float64(hi - lo)
+		}
+		if plans[s].Edges != want {
+			t.Fatalf("shard %d: planner saw %v frontier edges, cut table says %v", s, plans[s].Edges, want)
+		}
+		if plans[s].Lo != ss.Bounds[s] || plans[s].Hi != ss.Bounds[s+1] {
+			t.Fatalf("shard %d: range [%d,%d) != bounds [%d,%d)", s, plans[s].Lo, plans[s].Hi, ss.Bounds[s], ss.Bounds[s+1])
+		}
+	}
+}

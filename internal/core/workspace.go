@@ -133,6 +133,7 @@ type arena[T comparable] struct {
 	row   rowLoop[T]
 	col   colLoop[T]
 	fused fusedLoop[T]
+	shard shardLoop[T]
 
 	spaCols int        // dimension the mxm scratch pool was built for
 	spaPool *sync.Pool // per-worker SpGEMM accumulators, persistent across calls

@@ -23,4 +23,11 @@ const (
 	// between planning and kernel execution — an armed delay or context
 	// cancellation here exercises the between-phase abort path.
 	SiteMxVKernel = "graphblas.mxv.kernel"
+
+	// SiteShardKernel fires once per shard body of the range-sharded
+	// matvec, on the par worker running that shard — an armed panic here
+	// exercises the first-fault capture with sibling shards still in
+	// flight: the fault must surface as ErrKernelPanic, taint the
+	// workspace, and strand no worker.
+	SiteShardKernel = "core.mxv.shard"
 )

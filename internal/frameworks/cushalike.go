@@ -3,6 +3,7 @@ package frameworks
 import (
 	"sync/atomic"
 
+	"pushpull/internal/core"
 	"pushpull/internal/par"
 )
 
@@ -57,27 +58,9 @@ func CuShaBFS(g *Graph, source int) []int32 {
 }
 
 // buildShards splits vertices into contiguous ranges with roughly equal
-// in-edge populations, mirroring CuSha's shard construction.
+// in-edge populations, mirroring CuSha's shard construction. The boundary
+// math lives in core.ShardBounds — the same edge-balanced splitter the
+// range-sharded MxV uses — so both callers share one implementation.
 func buildShards(g *Graph, want int) []int {
-	if want > g.N {
-		want = g.N
-	}
-	if want < 1 {
-		want = 1
-	}
-	perShard := (g.In.NNZ() + want - 1) / want
-	if perShard < 1 {
-		perShard = 1
-	}
-	bounds := []int{0}
-	acc := 0
-	for v := 0; v < g.N; v++ {
-		acc += g.In.RowLen(v)
-		if acc >= perShard && v+1 < g.N {
-			bounds = append(bounds, v+1)
-			acc = 0
-		}
-	}
-	bounds = append(bounds, g.N)
-	return bounds
+	return core.ShardBounds(g.In.Ptr, g.N, want)
 }
