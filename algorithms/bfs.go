@@ -64,6 +64,13 @@ type BFSOptions struct {
 	// back into the planner's corrector, so a mis-fitted profile converges
 	// mid-traversal. Nil keeps the unit model.
 	Model *core.CostModel
+	// Workspace, when non-nil, pins the caller's scratch arena for the
+	// traversal instead of acquiring a pooled one — the seam long-lived
+	// serving workers use to keep one warm arena per worker across queries
+	// (internal/serve). The caller owns its lifecycle: BFS does not
+	// Release it, and it must not be used by concurrent operations. Nil
+	// keeps the acquire/release-per-run behaviour.
+	Workspace *graphblas.Workspace
 	// Merge selects the push-phase merge strategy.
 	Merge graphblas.MergeStrategy
 	// Trace, when non-nil, receives one record per BFS iteration.
@@ -218,9 +225,13 @@ func BFS(a *graphblas.Matrix[bool], source int, opt BFSOptions) (BFSResult, erro
 
 	// One workspace and one descriptor serve the whole traversal: after
 	// the first couple of levels every buffer in the stack is warm and an
-	// iteration allocates nothing.
-	ws := graphblas.AcquireWorkspace(n, n)
-	defer ws.Release()
+	// iteration allocates nothing. A caller-pinned workspace outlives the
+	// run (serving workers reuse theirs query over query).
+	ws := opt.Workspace
+	if ws == nil {
+		ws = graphblas.AcquireWorkspace(n, n)
+		defer ws.Release()
+	}
 	desc := &graphblas.Descriptor{
 		Transpose:     true,
 		StructureOnly: !opt.DisableStructureOnly,

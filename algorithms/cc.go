@@ -21,6 +21,23 @@ func ConnectedComponents(a *graphblas.Matrix[bool]) ([]uint32, error) {
 	return ConnectedComponentsWithContext(nil, a)
 }
 
+// CCOptions configures ConnectedComponentsRun, the options form of the
+// ConnectedComponents family.
+type CCOptions struct {
+	// Workspace, when non-nil, pins the caller's scratch arena for the run
+	// instead of acquiring a pooled one (see BFSOptions.Workspace): not
+	// released by the run, not shareable between concurrent operations.
+	Workspace *graphblas.Workspace
+	// Context makes the propagation abortable (see
+	// ConnectedComponentsWithContext).
+	Context context.Context
+}
+
+// ConnectedComponentsRun is ConnectedComponents with the full option set.
+func ConnectedComponentsRun(a *graphblas.Matrix[bool], opt CCOptions) ([]uint32, error) {
+	return connectedComponents(opt.Context, a, opt.Workspace)
+}
+
 // ConnectedComponentsWithContext is ConnectedComponents with cooperative
 // cancellation: the pipeline checks ctx between kernel phases, the parallel
 // kernels stop claiming chunks once it is done, and the propagation loop
@@ -29,6 +46,10 @@ func ConnectedComponents(a *graphblas.Matrix[bool]) ([]uint32, error) {
 // the final labels, since propagation only ever lowers them. ctx == nil
 // means never cancelled.
 func ConnectedComponentsWithContext(ctx context.Context, a *graphblas.Matrix[bool]) ([]uint32, error) {
+	return connectedComponents(ctx, a, nil)
+}
+
+func connectedComponents(ctx context.Context, a *graphblas.Matrix[bool], pinned *graphblas.Workspace) ([]uint32, error) {
 	n := a.NRows()
 	if a.NCols() != n {
 		return nil, fmt.Errorf("algorithms: ConnectedComponents needs a square matrix, got %d×%d", a.NRows(), a.NCols())
@@ -53,8 +74,11 @@ func ConnectedComponentsWithContext(ctx context.Context, a *graphblas.Matrix[boo
 
 	// One workspace serves both propagation passes for the whole run; the
 	// reverse pass's accumulate target is the workspace scratch vector.
-	ws := graphblas.AcquireWorkspace(n, n)
-	defer ws.Release()
+	ws := pinned
+	if ws == nil {
+		ws = graphblas.AcquireWorkspace(n, n)
+		defer ws.Release()
+	}
 	fwdDesc := &graphblas.Descriptor{Transpose: true, Workspace: ws, Context: ctx}
 	revDesc := &graphblas.Descriptor{Workspace: ws, Context: ctx}
 	improves := func(i int, l uint32) bool { return l < labVal[i] }

@@ -37,6 +37,10 @@ type PageRankOptions struct {
 	// PageRank pins ForcePull, so every shard pulls — the benefit is the
 	// edge-balanced split itself (hub rows no longer serialize a chunk).
 	Shards int
+	// Workspace, when non-nil, pins the caller's scratch arena for the run
+	// instead of acquiring a pooled one (see BFSOptions.Workspace): not
+	// released by PageRank, not shareable between concurrent operations.
+	Workspace *graphblas.Workspace
 	// Context, when non-nil, makes the power iteration abortable: the
 	// pipeline checks it between kernel phases, the parallel kernels stop
 	// claiming chunks once it is done, and the iteration loop checks it at
@@ -156,8 +160,11 @@ func pageRank(a *graphblas.Matrix[bool], opt PageRankOptions, adaptive bool) (re
 	}()
 	// Pin one workspace and descriptor across the power iteration so the
 	// steady state allocates nothing.
-	ws := graphblas.AcquireWorkspace(n, n)
-	defer ws.Release()
+	ws := opt.Workspace
+	if ws == nil {
+		ws = graphblas.AcquireWorkspace(n, n)
+		defer ws.Release()
+	}
 	desc := &graphblas.Descriptor{Transpose: true, Direction: graphblas.ForcePull, Workspace: ws, CostModel: opt.Model, Context: opt.Context, Shards: opt.Shards}
 	// Frozen rows carry their old rank: newRanks⟨¬active⟩ = ranks.
 	carryDesc := &graphblas.Descriptor{StructuralComplement: true, Workspace: ws, Context: opt.Context}

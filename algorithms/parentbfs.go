@@ -39,13 +39,17 @@ type ParentBFSOptions struct {
 	// Shards, when > 1, range-shards each level's matvec with per-shard
 	// direction decisions (see BFSOptions.Shards).
 	Shards int
+	// Workspace, when non-nil, pins the caller's scratch arena for the run
+	// instead of acquiring a pooled one (see BFSOptions.Workspace): not
+	// released by ParentBFS, not shareable between concurrent operations.
+	Workspace *graphblas.Workspace
 	// Context makes the traversal abortable (see ParentBFSWithContext).
 	Context context.Context
 }
 
 // ParentBFSRun is ParentBFS with the full option set.
 func ParentBFSRun(a *graphblas.Matrix[bool], source int, opt ParentBFSOptions) ([]int64, error) {
-	return parentBFS(opt.Context, a, source, opt.Model, opt.Shards)
+	return parentBFS(opt.Context, a, source, opt.Model, opt.Shards, opt.Workspace)
 }
 
 // ParentBFSWithContext is ParentBFSTuned with cooperative cancellation: the
@@ -55,10 +59,10 @@ func ParentBFSRun(a *graphblas.Matrix[bool], source int, opt ParentBFSOptions) (
 // along with the partial parent array discovered so far (unreached vertices
 // stay -1). ctx == nil means never cancelled.
 func ParentBFSWithContext(ctx context.Context, a *graphblas.Matrix[bool], source int, model *core.CostModel) ([]int64, error) {
-	return parentBFS(ctx, a, source, model, 0)
+	return parentBFS(ctx, a, source, model, 0, nil)
 }
 
-func parentBFS(ctx context.Context, a *graphblas.Matrix[bool], source int, model *core.CostModel, shards int) ([]int64, error) {
+func parentBFS(ctx context.Context, a *graphblas.Matrix[bool], source int, model *core.CostModel, shards int, pinned *graphblas.Workspace) ([]int64, error) {
 	n := a.NRows()
 	if a.NCols() != n {
 		return nil, fmt.Errorf("algorithms: ParentBFS needs a square matrix, got %d×%d", a.NRows(), a.NCols())
@@ -90,8 +94,11 @@ func parentBFS(ctx context.Context, a *graphblas.Matrix[bool], source int, model
 
 	// One workspace and descriptor across the traversal; the f ← Aᵀf
 	// aliased matvec bounces through the workspace scratch vector.
-	ws := graphblas.AcquireWorkspace(n, n)
-	defer ws.Release()
+	ws := pinned
+	if ws == nil {
+		ws = graphblas.AcquireWorkspace(n, n)
+		defer ws.Release()
+	}
 	desc := &graphblas.Descriptor{Transpose: true, StructuralComplement: true, Workspace: ws, Context: ctx}
 	if model != nil {
 		desc.CostModel = model

@@ -32,6 +32,10 @@ type SSSPOptions struct {
 	// kernel executes as that many edge-balanced destination ranges
 	// concurrently, and traces carry the per-shard records.
 	Shards int
+	// Workspace, when non-nil, pins the caller's scratch arena for the run
+	// instead of acquiring a pooled one (see BFSOptions.Workspace): not
+	// released by SSSP, not shareable between concurrent operations.
+	Workspace *graphblas.Workspace
 	// Trace, when non-nil, receives one record per relaxation round.
 	Trace func(IterStats)
 	// Context, when non-nil, makes the relaxation abortable: the pipeline
@@ -89,8 +93,11 @@ func SSSP(a *graphblas.Matrix[float64], source int, opt SSSPOptions) ([]float64,
 
 	// One workspace and descriptor for the whole relaxation loop; the
 	// improvement predicate reads dist's stable dense storage.
-	ws := graphblas.AcquireWorkspace(n, n)
-	defer ws.Release()
+	ws := opt.Workspace
+	if ws == nil {
+		ws = graphblas.AcquireWorkspace(n, n)
+		defer ws.Release()
+	}
 	desc := &graphblas.Descriptor{Transpose: true, Workspace: ws, Context: opt.Context}
 	var shardPlan core.Plan
 	if opt.Shards > 1 {

@@ -17,8 +17,6 @@ import (
 	"time"
 
 	"pushpull/algorithms"
-	"pushpull/generate/mmio"
-	"pushpull/graphblas"
 	"pushpull/internal/frameworks"
 	"pushpull/internal/harness"
 	"pushpull/internal/perf"
@@ -42,18 +40,9 @@ func main() {
 }
 
 func run(file, dataset string, scale, source, nsources int, framework string, trace bool) error {
-	var g *graphblas.Matrix[bool]
-	var err error
-	if file != "" {
-		g, err = mmio.ReadPatternFile(file)
-	} else {
-		var ds harness.Dataset
-		ds, err = harness.FindDataset(scale, dataset)
-		if err != nil {
-			return err
-		}
-		g, err = ds.Build()
-	}
+	// Graph loading goes through the shared harness seam (the same path
+	// ppserve resolves its -graph specs with).
+	g, err := harness.LoadGraph(file, dataset, scale)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"pushpull/internal/serve"
+)
+
+// newHandler wires the service's HTTP surface:
+//
+//	GET/POST /query         run one query (params or JSON body)
+//	GET      /graphs        loaded graphs and their sizes
+//	GET      /metrics       live counters, latency histograms, planner quality
+//	GET      /debug/queries in-flight and recently completed queries
+//	GET      /healthz       liveness
+func newHandler(srv *serve.Server, logger *log.Logger) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		handleQuery(srv, logger, w, r)
+	})
+	mux.HandleFunc("/graphs", func(w http.ResponseWriter, r *http.Request) {
+		type gi struct {
+			Name     string `json:"name"`
+			Vertices int    `json:"vertices"`
+			Edges    int    `json:"edges"`
+		}
+		names := srv.GraphNames()
+		sort.Strings(names)
+		out := make([]gi, 0, len(names))
+		for _, name := range names {
+			g, _ := srv.Graph(name)
+			out = append(out, gi{Name: name, Vertices: g.Mat.NRows(), Edges: g.Mat.NVals()})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"graphs":     out,
+			"algorithms": serve.AlgorithmNames(),
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, srv.Metrics().Snapshot())
+	})
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, srv.Queries())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// parseRequest accepts the query either as URL parameters (GET-friendly:
+// ?graph=kron&algo=bfs&source=0&timeout=2s&full=1) or as a JSON body.
+func parseRequest(r *http.Request) (serve.Request, error) {
+	var req serve.Request
+	if r.Method == http.MethodPost && r.Header.Get("Content-Type") == "application/json" {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return req, fmt.Errorf("%w: body: %v", serve.ErrBadRequest, err)
+		}
+		return req, nil
+	}
+	q := r.URL.Query()
+	req.Graph = q.Get("graph")
+	req.Algo = q.Get("algo")
+	if s := q.Get("source"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return req, fmt.Errorf("%w: source %q", serve.ErrBadRequest, s)
+		}
+		req.Source = v
+	}
+	if s := q.Get("timeout"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return req, fmt.Errorf("%w: timeout %q", serve.ErrBadRequest, s)
+		}
+		req.Timeout = d
+	}
+	if s := q.Get("full"); s != "" {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return req, fmt.Errorf("%w: full %q", serve.ErrBadRequest, s)
+		}
+		req.Full = v
+	}
+	return req, nil
+}
+
+func handleQuery(srv *serve.Server, logger *log.Logger, w http.ResponseWriter, r *http.Request) {
+	req, err := parseRequest(r)
+	if err != nil {
+		writeError(w, logger, 0, err)
+		return
+	}
+	res, err := srv.Do(r.Context(), req)
+	if err != nil {
+		writeError(w, logger, res.ID, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// writeError maps the error taxonomy to transport codes. The response
+// body carries only the public message — kernel panic stacks go to the
+// server log keyed by query id, never on the wire. Queue rejections add
+// Retry-After so well-behaved clients back off.
+func writeError(w http.ResponseWriter, logger *log.Logger, id uint64, err error) {
+	status := serve.HTTPStatus(err)
+	switch status {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "1")
+	case http.StatusInternalServerError:
+		logger.Printf("query %d failed: %v", id, err)
+	}
+	body := map[string]any{"error": serve.PublicErrorMessage(err)}
+	if id != 0 {
+		body["id"] = id
+	}
+	writeJSON(w, status, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,162 @@
+// Command ppserve is the long-lived push-pull graph-query service: it
+// loads one or more graphs once, loads (or fits) the host-keyed PPTUNE
+// cost-model profile, and serves concurrent BFS / ParentBFS / SSSP /
+// PageRank / CC queries over HTTP+JSON from a fixed worker pool with
+// bounded admission and live metrics.
+//
+// Usage:
+//
+//	ppserve -graph kron:12 -graph web=file:web.mtx \
+//	        -tune PPTUNE_linux_amd64.json -workers 8 -addr :8080
+//
+// Query it:
+//
+//	curl 'localhost:8080/query?graph=kron&algo=bfs&source=0'
+//	curl 'localhost:8080/metrics'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pushpull/internal/calibrate"
+	"pushpull/internal/core"
+	"pushpull/internal/harness"
+	"pushpull/internal/serve"
+)
+
+// graphFlags collects repeatable -graph specs.
+type graphFlags []string
+
+func (g *graphFlags) String() string { return strings.Join(*g, ",") }
+func (g *graphFlags) Set(s string) error {
+	*g = append(*g, s)
+	return nil
+}
+
+func main() {
+	var specs graphFlags
+	flag.Var(&specs, "graph", "graph to serve: name=file:path.mtx | name=dataset:scale | dataset[:scale] (repeatable; default kron:-scale)")
+	scale := flag.Int("scale", 12, "default log2 vertex count for dataset graph specs")
+	addr := flag.String("addr", ":8080", "listen address")
+	tune := flag.String("tune", "", "cost-model profile to load (PPTUNE_<os>_<arch>.json); missing/invalid profiles degrade to untuned")
+	calib := flag.Bool("calibrate", false, "fit a quick cost model at startup instead of loading -tune (writes to -tune when set)")
+	workers := flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth (default 4x workers)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "ppserve: ", log.LstdFlags)
+	if err := run(logger, specs, *scale, *addr, *tune, *calib, *workers, *queue, *timeout); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+func run(logger *log.Logger, specs []string, scale int, addr, tune string, calib bool, workers, queue int, timeout time.Duration) error {
+	if len(specs) == 0 {
+		specs = []string{"kron"}
+	}
+	graphs := make([]*serve.Graph, 0, len(specs))
+	for _, spec := range specs {
+		gs, err := harness.ParseGraphSpec(spec, scale)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		m, err := gs.Load()
+		if err != nil {
+			return fmt.Errorf("-graph %s: %w", spec, err)
+		}
+		logger.Printf("loaded graph %q: %d vertices, %d edges (%.1fs)",
+			gs.Name, m.NRows(), m.NVals(), time.Since(start).Seconds())
+		graphs = append(graphs, serve.NewGraph(gs.Name, m))
+	}
+
+	model, err := resolveModel(logger, tune, calib)
+	if err != nil {
+		return err
+	}
+
+	srv, err := serve.New(serve.Config{
+		Workers:        workers,
+		QueueDepth:     queue,
+		DefaultTimeout: timeout,
+		Model:          model,
+	}, graphs...)
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{Addr: addr, Handler: newHandler(srv, logger)}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving on %s (%d graphs, algorithms: %s)",
+		ln.Addr(), len(graphs), strings.Join(serve.AlgorithmNames(), " "))
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		logger.Printf("received %s, shutting down", sig)
+	case err := <-errc:
+		srv.Close()
+		return err
+	}
+
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	srv.Close()
+	logger.Printf("drained; bye")
+	return nil
+}
+
+// resolveModel produces the planner's cost model: a quick startup
+// calibration when -calibrate is set, otherwise a lenient load of -tune
+// (missing or corrupt profiles degrade to the untuned unit model rather
+// than refusing to start — serving beats tuning).
+func resolveModel(logger *log.Logger, tune string, calib bool) (*core.CostModel, error) {
+	if calib {
+		logger.Printf("calibrating cost model (quick)...")
+		prof, err := calibrate.Run(calibrate.Options{Quick: true})
+		if err != nil {
+			return nil, fmt.Errorf("calibrate: %w", err)
+		}
+		if tune != "" {
+			if err := calibrate.Save(tune, prof); err != nil {
+				logger.Printf("could not save profile to %s: %v", tune, err)
+			} else {
+				logger.Printf("saved profile to %s", tune)
+			}
+		}
+		return &prof.Model, nil
+	}
+	if tune == "" {
+		logger.Printf("running untuned (no -tune profile; planner uses unit RAM costs)")
+		return nil, nil
+	}
+	prof := calibrate.LoadLenient(tune, func(format string, args ...any) {
+		logger.Printf("-tune: "+format, args...)
+	})
+	if prof == nil {
+		return nil, nil
+	}
+	logger.Printf("loaded cost-model profile %s", tune)
+	return &prof.Model, nil
+}

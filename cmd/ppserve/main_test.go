@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pushpull/graphblas"
+	"pushpull/internal/harness"
+	"pushpull/internal/serve"
+)
+
+func newTestServer(t *testing.T, cfg serve.Config, graphs ...*serve.Graph) (*httptest.Server, *serve.Server) {
+	t.Helper()
+	srv, err := serve.New(cfg, graphs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger := log.New(io.Discard, "", 0)
+	hs := httptest.NewServer(newHandler(srv, logger))
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return hs, srv
+}
+
+func kronGraph(t *testing.T, scale int) *serve.Graph {
+	t.Helper()
+	m, err := harness.LoadGraph("", "kron", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serve.NewGraph("kron", m)
+}
+
+func pathGraph(t *testing.T, n int) *serve.Graph {
+	t.Helper()
+	rows := make([]uint32, n-1)
+	cols := make([]uint32, n-1)
+	vals := make([]bool, n-1)
+	for i := 0; i < n-1; i++ {
+		rows[i], cols[i], vals[i] = uint32(i), uint32(i + 1), true
+	}
+	m, err := graphblas.NewMatrixFromCOO(n, n, rows, cols, vals, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serve.NewGraph("path", m)
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d (body %s)", url, resp.StatusCode, wantStatus, body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v (body %s)", url, err, body)
+		}
+	}
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	hs, _ := newTestServer(t, serve.Config{Workers: 4}, kronGraph(t, 8))
+
+	getJSON(t, hs.URL+"/healthz", http.StatusOK, nil)
+
+	var graphs struct {
+		Graphs []struct {
+			Name     string `json:"name"`
+			Vertices int    `json:"vertices"`
+		} `json:"graphs"`
+		Algorithms []string `json:"algorithms"`
+	}
+	getJSON(t, hs.URL+"/graphs", http.StatusOK, &graphs)
+	if len(graphs.Graphs) != 1 || graphs.Graphs[0].Name != "kron" || graphs.Graphs[0].Vertices != 256 {
+		t.Fatalf("graphs listing: %+v", graphs)
+	}
+	if len(graphs.Algorithms) != 5 {
+		t.Fatalf("algorithms listing: %v", graphs.Algorithms)
+	}
+
+	// Repeat GET queries are deterministic: same checksum both times.
+	var first, second serve.Result
+	getJSON(t, hs.URL+"/query?graph=kron&algo=bfs&source=0", http.StatusOK, &first)
+	getJSON(t, hs.URL+"/query?graph=kron&algo=bfs&source=0", http.StatusOK, &second)
+	if first.Payload.Checksum == 0 || first.Payload.Checksum != second.Payload.Checksum {
+		t.Fatalf("GET checksums %x then %x, want equal and non-zero", first.Payload.Checksum, second.Payload.Checksum)
+	}
+
+	// POST body form produces the identical result.
+	body, _ := json.Marshal(serve.Request{Graph: "kron", Algo: "bfs", Source: 0})
+	resp, err := http.Post(hs.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var posted serve.Result
+	if err := json.NewDecoder(resp.Body).Decode(&posted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || posted.Payload.Checksum != first.Payload.Checksum {
+		t.Fatalf("POST: status %d checksum %x, want 200 / %x", resp.StatusCode, posted.Payload.Checksum, first.Payload.Checksum)
+	}
+
+	// Every algorithm serves over HTTP.
+	for _, algo := range graphs.Algorithms {
+		var res serve.Result
+		getJSON(t, fmt.Sprintf("%s/query?graph=kron&algo=%s&source=1", hs.URL, algo), http.StatusOK, &res)
+		if res.Payload.Checksum == 0 {
+			t.Errorf("%s: zero checksum", algo)
+		}
+	}
+
+	// Error taxonomy over the wire.
+	getJSON(t, hs.URL+"/query?graph=nope&algo=bfs", http.StatusNotFound, nil)
+	getJSON(t, hs.URL+"/query?graph=kron&algo=dijkstra", http.StatusNotFound, nil)
+	getJSON(t, hs.URL+"/query?graph=kron&algo=bfs&source=notanumber", http.StatusBadRequest, nil)
+	getJSON(t, hs.URL+"/query?graph=kron&algo=bfs&source=99999", http.StatusBadRequest, nil)
+	getJSON(t, hs.URL+"/query?graph=kron&algo=bfs&timeout=bogus", http.StatusBadRequest, nil)
+
+	var metrics serve.MetricsSnapshot
+	getJSON(t, hs.URL+"/metrics", http.StatusOK, &metrics)
+	if metrics.Submitted == 0 || metrics.Algorithms["bfs"].OK == 0 {
+		t.Fatalf("metrics: %+v", metrics)
+	}
+	var queries []serve.QueryInfo
+	getJSON(t, hs.URL+"/debug/queries", http.StatusOK, &queries)
+	if len(queries) == 0 {
+		t.Fatal("debug/queries: empty")
+	}
+}
+
+// TestHTTPCancelledQuery abandons an in-flight HTTP query client-side and
+// asserts the service sheds it and keeps serving.
+func TestHTTPCancelledQuery(t *testing.T) {
+	hs, srv := newTestServer(t, serve.Config{Workers: 1}, pathGraph(t, 100_000))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, hs.URL+"/query?graph=path&algo=bfs", nil)
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+
+	waitRunning := time.Now().Add(10 * time.Second)
+	for {
+		hasRunning := false
+		for _, q := range srv.Queries() {
+			if q.State == "running" {
+				hasRunning = true
+			}
+		}
+		if hasRunning {
+			break
+		}
+		if time.Now().After(waitRunning) {
+			t.Fatal("query never started running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("abandoned request returned %v, want context cancellation", err)
+	}
+
+	// The pool sheds the traversal and the next (cheap) query succeeds.
+	var res serve.Result
+	getJSON(t, hs.URL+"/query?graph=path&algo=bfs&source=99998", http.StatusOK, &res)
+	if res.Payload.Reached != 2 {
+		t.Fatalf("post-cancel query reached %d vertices, want 2", res.Payload.Reached)
+	}
+}
+
+// TestHTTPAdmissionSheds fills the one-worker, one-slot service and
+// asserts the third query is shed with 429 + Retry-After.
+func TestHTTPAdmissionSheds(t *testing.T) {
+	hs, srv := newTestServer(t, serve.Config{Workers: 1, QueueDepth: 1}, pathGraph(t, 100_000))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	slow := func() {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, hs.URL+"/query?graph=path&algo=bfs", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+	go slow()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		running := false
+		for _, q := range srv.Queries() {
+			running = running || q.State == "running"
+		}
+		if running {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first query never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	go slow()
+	for srv.Metrics().Snapshot().QueueDepth != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second query never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Get(hs.URL + "/query?graph=path&algo=bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+}
+
+func TestParseRequestForms(t *testing.T) {
+	r := httptest.NewRequest(http.MethodGet, "/query?graph=kron&algo=sssp&source=7&timeout=2s&full=true", nil)
+	req, err := parseRequest(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serve.Request{Graph: "kron", Algo: "sssp", Source: 7, Timeout: 2 * time.Second, Full: true}
+	if req != want {
+		t.Fatalf("parseRequest = %+v, want %+v", req, want)
+	}
+
+	body, _ := json.Marshal(want)
+	r = httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+	r.Header.Set("Content-Type", "application/json")
+	req, err = parseRequest(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req != want {
+		t.Fatalf("parseRequest POST = %+v, want %+v", req, want)
+	}
+
+	r = httptest.NewRequest(http.MethodPost, "/query", strings.NewReader("{not json"))
+	r.Header.Set("Content-Type", "application/json")
+	if _, err := parseRequest(r); err == nil {
+		t.Fatal("malformed body accepted")
+	}
+}
+
+func TestResolveModelDegrades(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+	m, err := resolveModel(logger, "", false)
+	if err != nil || m != nil {
+		t.Fatalf("no profile: model %v err %v, want nil/nil", m, err)
+	}
+	m, err = resolveModel(logger, t.TempDir()+"/missing.json", false)
+	if err != nil || m != nil {
+		t.Fatalf("missing profile: model %v err %v, want nil/nil (lenient)", m, err)
+	}
+}

@@ -301,6 +301,16 @@
 // AcquireWorkspace and the parallel runtime's worker set are themselves
 // goroutine-safe.
 //
+// The audited serving rule is therefore: one Descriptor per goroutine,
+// one Matrix for everyone. Any number of concurrent traversals may read
+// the same Matrix — including sharded ones: the shard-set cache the
+// Matrix builds lazily on first sharded call is guarded by a mutex and
+// immutable once published. The direction planner's hysteresis rides on
+// the input Vector (per-traversal by construction) and the Corrector's
+// EWMAs on the Descriptor, so concurrent queries cannot bend each
+// other's direction decisions. graphblas/concurrency_test.go pins this
+// contract under the race detector.
+//
 // # Fault aftermath
 //
 // Two failure modes can interrupt an operation, and they leave different
@@ -329,4 +339,15 @@
 // unspecified; rebuild it before trusting it. The worker pool itself is
 // unaffected — parked workers survive panics and later operations run
 // normally.
+//
+// # Serving
+//
+// The concurrency contract and the fault aftermath together are what make
+// the library servable: cmd/ppserve (package internal/serve) keeps a
+// fixed pool of worker goroutines over graphs loaded once, each worker
+// pinning one Workspace per graph shape so repeat queries run the
+// allocation-free kernel path, with per-query deadline contexts tearing
+// down overdue traversals mid-flight and kernel panics costing one
+// tainted arena instead of the process. See the internal/serve package
+// docs for the pool design and the README for the HTTP quickstart.
 package graphblas

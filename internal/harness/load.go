@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pushpull/generate/mmio"
+	"pushpull/graphblas"
+)
+
+// This file is the shared graph-loading seam: every command that needs a
+// graph — ppbfs's one-shot traversal, ppserve's long-lived registry —
+// resolves it through LoadGraph/GraphSpec instead of duplicating the
+// file-vs-generator branching. ppbench reaches the same generators through
+// the Dataset registry directly (its experiments iterate whole dataset
+// families, not single graphs).
+
+// LoadGraph loads a graph from a MatrixMarket file when file is non-empty,
+// or builds the named generated dataset (see Datasets) at the given scale
+// otherwise. This is the one loading path shared by ppbfs and ppserve.
+func LoadGraph(file, dataset string, scale int) (*graphblas.Matrix[bool], error) {
+	if file != "" {
+		return mmio.ReadPatternFile(file)
+	}
+	ds, err := FindDataset(scale, dataset)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Build()
+}
+
+// GraphSpec is one parsed -graph argument of a serving command: either a
+// generated dataset at a scale, or a MatrixMarket file, under a name the
+// query API addresses it by.
+type GraphSpec struct {
+	// Name is the handle queries use (?graph=<name>).
+	Name string
+	// File is the MatrixMarket path, empty for generated datasets.
+	File string
+	// Dataset and Scale select a generated stand-in when File is empty.
+	Dataset string
+	Scale   int
+}
+
+// ParseGraphSpec parses a -graph argument. Accepted forms:
+//
+//	kron            generated dataset at the default scale
+//	kron:12         generated dataset at scale 12
+//	file:g.mtx      MatrixMarket file, named by its basename
+//	web=file:g.mtx  MatrixMarket file under an explicit name
+//	web=kron:12     generated dataset under an explicit name
+//
+// Anything ending in .mtx is treated as a file path even without the
+// file: prefix.
+func ParseGraphSpec(s string, defaultScale int) (GraphSpec, error) {
+	spec := GraphSpec{Scale: defaultScale}
+	rest := s
+	if eq := strings.IndexByte(rest, '='); eq >= 0 {
+		spec.Name = rest[:eq]
+		rest = rest[eq+1:]
+	}
+	if rest == "" {
+		return GraphSpec{}, fmt.Errorf("harness: empty graph spec %q", s)
+	}
+	switch {
+	case strings.HasPrefix(rest, "file:"):
+		spec.File = strings.TrimPrefix(rest, "file:")
+	case strings.HasSuffix(rest, ".mtx"):
+		spec.File = rest
+	default:
+		spec.Dataset = rest
+		if c := strings.LastIndexByte(rest, ':'); c >= 0 {
+			scale, err := strconv.Atoi(rest[c+1:])
+			if err != nil || scale <= 0 {
+				return GraphSpec{}, fmt.Errorf("harness: bad scale in graph spec %q", s)
+			}
+			spec.Dataset = rest[:c]
+			spec.Scale = scale
+		}
+	}
+	if spec.Name == "" && spec.File != "" {
+		base := spec.File
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		spec.Name = strings.TrimSuffix(base, ".mtx")
+	}
+	if spec.Name == "" {
+		spec.Name = spec.Dataset
+	}
+	if spec.Name == "" {
+		return GraphSpec{}, fmt.Errorf("harness: graph spec %q has no name", s)
+	}
+	return spec, nil
+}
+
+// Load builds the spec's graph through the shared loading path.
+func (s GraphSpec) Load() (*graphblas.Matrix[bool], error) {
+	return LoadGraph(s.File, s.Dataset, s.Scale)
+}

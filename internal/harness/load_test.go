@@ -1,0 +1,45 @@
+package harness
+
+import "testing"
+
+func TestParseGraphSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want GraphSpec
+	}{
+		{"kron", GraphSpec{Name: "kron", Dataset: "kron", Scale: 14}},
+		{"kron:12", GraphSpec{Name: "kron", Dataset: "kron", Scale: 12}},
+		{"web=kron:10", GraphSpec{Name: "web", Dataset: "kron", Scale: 10}},
+		{"file:graphs/g.mtx", GraphSpec{Name: "g", File: "graphs/g.mtx", Scale: 14}},
+		{"g.mtx", GraphSpec{Name: "g", File: "g.mtx", Scale: 14}},
+		{"web=file:any.bin", GraphSpec{Name: "web", File: "any.bin", Scale: 14}},
+	}
+	for _, c := range cases {
+		got, err := ParseGraphSpec(c.in, 14)
+		if err != nil {
+			t.Errorf("ParseGraphSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseGraphSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "web=", "kron:zero", "kron:-3"} {
+		if _, err := ParseGraphSpec(bad, 14); err == nil {
+			t.Errorf("ParseGraphSpec(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestLoadGraphDataset(t *testing.T) {
+	g, err := LoadGraph("", "kron", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NRows() != 1<<6 {
+		t.Fatalf("kron scale 6: %d rows, want %d", g.NRows(), 1<<6)
+	}
+	if _, err := LoadGraph("", "nosuch", 6); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"context"
+	"runtime/debug"
+	"testing"
+
+	"pushpull/graphblas"
+)
+
+// TestWarmWorkerKernelPathAllocs pins the serving pool's zero-allocation
+// claim: after real queries have warmed a worker's pinned workspace, the
+// kernel path a repeat query drives through that same arena — masked
+// matvec in both directions plus the visited merge — allocates nothing.
+// The per-query envelope (result arrays, channel plumbing) necessarily
+// allocates; the guard is that the arena-backed kernel work does not.
+func TestWarmWorkerKernelPathAllocs(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	g := kronGraph(t, 8)
+	n := g.Mat.NRows()
+	srv, err := New(Config{Workers: 1}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Warm the worker's pinned arena with real traffic, keeping one full
+	// result to rebuild mid-traversal state from.
+	var depths []int32
+	for i := 0; i < 3; i++ {
+		res, err := srv.Do(context.Background(), Request{Graph: "kron", Algo: "bfs", Full: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		depths = res.Payload.Depths
+	}
+
+	// The pool is idle now (Do's completion synchronizes with the worker),
+	// so the test may drive the pinned arena directly — the same arena a
+	// repeat query would run on.
+	w := srv.workers[0]
+	ws := w.pinned[[2]int{n, n}]
+	if ws == nil {
+		t.Fatal("warm worker has no pinned workspace for the served shape")
+	}
+
+	// Mid-traversal state: level-1 frontier, source+level-1 visited.
+	sr := graphblas.OrAndBool()
+	f := graphblas.NewVector[bool](n)
+	visited := graphblas.NewVector[bool](n)
+	visited.ToBitmap()
+	_ = visited.SetElement(0, true)
+	for v, d := range depths {
+		if d == 1 {
+			_ = f.SetElement(v, true)
+			_ = visited.SetElement(v, true)
+		}
+	}
+	out := graphblas.NewVector[bool](n)
+	desc := &graphblas.Descriptor{
+		Transpose:            true,
+		StructureOnly:        true,
+		StructuralComplement: true,
+		Workspace:            ws,
+	}
+
+	for _, dirCase := range []struct {
+		name string
+		dir  graphblas.Direction
+	}{{"push", graphblas.ForcePush}, {"pull", graphblas.ForcePull}} {
+		iteration := func() {
+			desc.Direction = dirCase.dir
+			input := f
+			if dirCase.dir == graphblas.ForcePull {
+				input = visited
+			}
+			if _, err := graphblas.MxV(out, visited, nil, sr, g.Mat, input, desc); err != nil {
+				t.Fatal(err)
+			}
+			if err := graphblas.AssignVector(visited, out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		iteration() // settle visited to its fixpoint for this direction
+		iteration()
+		if avg := testing.AllocsPerRun(20, iteration); avg != 0 {
+			t.Errorf("%s kernel path on warm pinned workspace: %v allocs, want 0", dirCase.name, avg)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+//go:build faultinject
+
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"pushpull/graphblas"
+	"pushpull/internal/faultinject"
+	"pushpull/internal/par"
+)
+
+// TestPoolSurvivesKernelPanic injects a kernel panic into one query's
+// matvec and pins the serving contract around it: the query fails with
+// ErrKernelPanic (HTTP 500, stack kept out of the public message), the
+// worker drops its tainted pinned workspace, and the pool keeps serving —
+// subsequent queries on every algorithm return oracle-identical checksums
+// with no stranded parallel workers.
+func TestPoolSurvivesKernelPanic(t *testing.T) {
+	g := kronGraph(t, 8)
+	srv, err := New(Config{Workers: 2}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Oracle checksums before any fault.
+	oracle := make(map[string]uint64)
+	for _, algo := range AlgorithmNames() {
+		res, err := srv.Do(context.Background(), Request{Graph: "kron", Algo: algo, Source: 3})
+		if err != nil {
+			t.Fatalf("pre-fault %s: %v", algo, err)
+		}
+		oracle[algo] = res.Payload.Checksum
+	}
+	base := par.ParkedWorkers()
+
+	disarm := faultinject.Arm(faultinject.SiteMxVKernel, 2, func() {
+		panic("injected serve fault")
+	})
+	defer disarm()
+	_, err = srv.Do(context.Background(), Request{Graph: "kron", Algo: "bfs", Source: 3})
+	if !errors.Is(err, graphblas.ErrKernelPanic) {
+		t.Fatalf("faulted query: %v, want ErrKernelPanic", err)
+	}
+	if got := HTTPStatus(err); got != http.StatusInternalServerError {
+		t.Errorf("HTTPStatus = %d, want 500", got)
+	}
+	if pub := PublicErrorMessage(err); strings.Contains(pub, "goroutine") || strings.Contains(pub, "injected") {
+		t.Errorf("public message leaks diagnostics: %q", pub)
+	}
+	disarm()
+
+	// The pool keeps serving, results stay oracle-identical on the fresh
+	// scratch the panicked worker re-acquired.
+	for round := 0; round < 3; round++ {
+		for _, algo := range AlgorithmNames() {
+			res, err := srv.Do(context.Background(), Request{Graph: "kron", Algo: algo, Source: 3})
+			if err != nil {
+				t.Fatalf("post-fault %s: %v", algo, err)
+			}
+			if res.Payload.Checksum != oracle[algo] {
+				t.Errorf("post-fault %s: checksum %x, oracle %x", algo, res.Payload.Checksum, oracle[algo])
+			}
+		}
+	}
+
+	waitFor(t, "parked workers to return to baseline", func() bool {
+		return par.ParkedWorkers() == base
+	})
+	snap := srv.Metrics().Snapshot()
+	if snap.Algorithms["bfs"].Panics != 1 {
+		t.Errorf("bfs panic count = %d, want 1", snap.Algorithms["bfs"].Panics)
+	}
+	// The faulted query's record carries only the public message.
+	for _, q := range srv.Queries() {
+		if strings.Contains(q.Status, "goroutine") || strings.Contains(q.Status, "injected") {
+			t.Errorf("query %d status leaks diagnostics: %q", q.ID, q.Status)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"pushpull/graphblas"
+)
+
+// StatusClientClosedRequest is the non-standard status (nginx convention)
+// for queries abandoned by the client before completion.
+const StatusClientClosedRequest = 499
+
+// HTTPStatus maps a query error onto its transport status code. Ordering
+// matters: ErrCancelled wraps the context cause, so a deadline expiry
+// matches both ErrCancelled and context.DeadlineExceeded — the deadline
+// check runs first so timeouts surface as 504, not 499.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownGraph), errors.Is(err, ErrUnknownAlgorithm):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, graphblas.ErrCancelled):
+		return StatusClientClosedRequest
+	default:
+		// Kernel faults and anything else unexpected.
+		return http.StatusInternalServerError
+	}
+}
+
+// PublicErrorMessage is the error text safe to put in a response body or
+// the /debug/queries listing. Kernel panic errors carry a goroutine stack
+// in Error() — that detail belongs in the server log keyed by query id,
+// never on the wire — so they collapse to the sentinel's generic text.
+func PublicErrorMessage(err error) string {
+	if err == nil {
+		return ""
+	}
+	if isKernelPanic(err) {
+		return graphblas.ErrKernelPanic.Error()
+	}
+	return err.Error()
+}
+
+func isKernelPanic(err error) bool {
+	return errors.Is(err, graphblas.ErrKernelPanic)
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"pushpull/graphblas"
+	"pushpull/internal/par"
+)
+
+// latBuckets is the number of power-of-two latency histogram buckets:
+// bucket b counts queries whose latency is < 2^b microseconds (the last
+// bucket absorbs everything slower — 2^23 µs ≈ 8.4 s).
+const latBuckets = 24
+
+// algoMetrics is one algorithm's outcome counters and latency histogram.
+// All fields are atomics: workers record concurrently, Snapshot reads
+// without stopping the world.
+type algoMetrics struct {
+	ok        atomic.Uint64
+	errs      atomic.Uint64 // failures outside the taxonomy below
+	cancelled atomic.Uint64 // client gone (ErrCancelled, not deadline)
+	deadline  atomic.Uint64 // per-query deadline expired
+	panics    atomic.Uint64 // kernel faults (ErrKernelPanic)
+	totalNs   atomic.Uint64
+	buckets   [latBuckets]atomic.Uint64
+}
+
+func (m *algoMetrics) observe(d time.Duration, err error) {
+	switch {
+	case err == nil:
+		m.ok.Add(1)
+	case errors.Is(err, graphblas.ErrKernelPanic):
+		m.panics.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		m.deadline.Add(1)
+	case errors.Is(err, graphblas.ErrCancelled):
+		m.cancelled.Add(1)
+	default:
+		m.errs.Add(1)
+	}
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	m.totalNs.Add(uint64(ns))
+	b := 0
+	for us := ns / 1e3; us > 0 && b < latBuckets-1; us >>= 1 {
+		b++
+	}
+	m.buckets[b].Add(1)
+}
+
+// PlannerMetrics aggregates the direction planner's decision-quality
+// evidence across every traced traversal the pool serves: the push/pull
+// iteration mix, how often a traversal flips direction, and — on
+// calibrated runs — the predicted-vs-measured nanosecond sums whose ratio
+// is the live prediction error.
+type PlannerMetrics struct {
+	pushIters atomic.Uint64
+	pullIters atomic.Uint64
+	flips     atomic.Uint64
+	// measuredNs sums every traced iteration's kernel time; pricedNs
+	// pairs sum only iterations the calibrated model priced
+	// (PredictedNs > 0), so predicted/measured compares like with like.
+	measuredNs        atomic.Uint64
+	pricedIters       atomic.Uint64
+	pricedPredictedNs atomic.Uint64
+	pricedMeasuredNs  atomic.Uint64
+}
+
+// observe folds one traversal iteration's trace record in. prevDir/first
+// are the caller's per-traversal flip-detection state.
+func (p *PlannerMetrics) observe(dir graphblas.TraversalDirection, predictedNs, measuredNs float64, flipped bool) {
+	if dir == graphblas.PullDirection {
+		p.pullIters.Add(1)
+	} else {
+		p.pushIters.Add(1)
+	}
+	if flipped {
+		p.flips.Add(1)
+	}
+	if measuredNs > 0 {
+		p.measuredNs.Add(uint64(measuredNs))
+	}
+	if predictedNs > 0 {
+		p.pricedIters.Add(1)
+		p.pricedPredictedNs.Add(uint64(predictedNs))
+		if measuredNs > 0 {
+			p.pricedMeasuredNs.Add(uint64(measuredNs))
+		}
+	}
+}
+
+// Metrics is the server's live counter set. One instance per Server;
+// everything is lock-free on the record path.
+type Metrics struct {
+	algos     map[string]*algoMetrics // fixed key set after newMetrics
+	submitted atomic.Uint64
+	rejected  atomic.Uint64
+	queueHigh atomic.Int64
+	planner   PlannerMetrics
+	queueLen  func() int // bound to the pool's channel by New
+}
+
+func newMetrics(algos []string) *Metrics {
+	m := &Metrics{algos: make(map[string]*algoMetrics, len(algos))}
+	for _, a := range algos {
+		m.algos[a] = &algoMetrics{}
+	}
+	m.queueLen = func() int { return 0 }
+	return m
+}
+
+func (m *Metrics) noteQueueDepth(depth int) {
+	for {
+		cur := m.queueHigh.Load()
+		if int64(depth) <= cur || m.queueHigh.CompareAndSwap(cur, int64(depth)) {
+			return
+		}
+	}
+}
+
+// AlgoSnapshot is one algorithm's counters at Snapshot time.
+type AlgoSnapshot struct {
+	OK        uint64 `json:"ok"`
+	Errors    uint64 `json:"errors"`
+	Cancelled uint64 `json:"cancelled"`
+	Deadline  uint64 `json:"deadline"`
+	Panics    uint64 `json:"panics"`
+	// MeanMS is the mean completed-query latency in milliseconds.
+	MeanMS float64 `json:"mean_ms"`
+	// LatencyBuckets[b] counts queries with latency < 2^b microseconds;
+	// the last bucket absorbs the overflow.
+	LatencyBuckets []uint64 `json:"latency_buckets_us_pow2"`
+}
+
+// PlannerSnapshot is the decision-quality section of /metrics.
+type PlannerSnapshot struct {
+	PushIters uint64 `json:"push_iters"`
+	PullIters uint64 `json:"pull_iters"`
+	Flips     uint64 `json:"flips"`
+	// FlipRate is flips per traced iteration.
+	FlipRate   float64 `json:"flip_rate"`
+	MeasuredNs uint64  `json:"measured_ns"`
+	// Priced* cover only iterations the calibrated cost model priced;
+	// PredictionRatio = measured/predicted over those (1.0 = perfectly
+	// fitted profile, 0 when the pool runs untuned).
+	PricedIters       uint64  `json:"priced_iters"`
+	PricedPredictedNs uint64  `json:"priced_predicted_ns"`
+	PricedMeasuredNs  uint64  `json:"priced_measured_ns"`
+	PredictionRatio   float64 `json:"prediction_ratio"`
+}
+
+// MetricsSnapshot is the JSON document /metrics serves.
+type MetricsSnapshot struct {
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	// QueueDepth is the admission queue's population right now;
+	// QueueHighWater the deepest it has been.
+	QueueDepth     int   `json:"queue_depth"`
+	QueueHighWater int64 `json:"queue_high_water"`
+	// ParkedWorkers is the parallel runtime's persistent worker count —
+	// stable across a healthy run (the no-goroutine-leak invariant).
+	ParkedWorkers int                     `json:"parked_workers"`
+	Algorithms    map[string]AlgoSnapshot `json:"algorithms"`
+	Planner       PlannerSnapshot         `json:"planner"`
+}
+
+// Snapshot captures the counters for /metrics. Safe to call concurrently
+// with serving; individual counters are read atomically (the set is not a
+// consistent cut, which monitoring does not need).
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Submitted:      m.submitted.Load(),
+		Rejected:       m.rejected.Load(),
+		QueueDepth:     m.queueLen(),
+		QueueHighWater: m.queueHigh.Load(),
+		ParkedWorkers:  par.ParkedWorkers(),
+		Algorithms:     make(map[string]AlgoSnapshot, len(m.algos)),
+	}
+	for name, a := range m.algos {
+		as := AlgoSnapshot{
+			OK:        a.ok.Load(),
+			Errors:    a.errs.Load(),
+			Cancelled: a.cancelled.Load(),
+			Deadline:  a.deadline.Load(),
+			Panics:    a.panics.Load(),
+		}
+		var done uint64
+		as.LatencyBuckets = make([]uint64, latBuckets)
+		for b := range a.buckets {
+			as.LatencyBuckets[b] = a.buckets[b].Load()
+			done += as.LatencyBuckets[b]
+		}
+		if done > 0 {
+			as.MeanMS = float64(a.totalNs.Load()) / float64(done) / 1e6
+		}
+		s.Algorithms[name] = as
+	}
+	p := &m.planner
+	ps := PlannerSnapshot{
+		PushIters:         p.pushIters.Load(),
+		PullIters:         p.pullIters.Load(),
+		Flips:             p.flips.Load(),
+		MeasuredNs:        p.measuredNs.Load(),
+		PricedIters:       p.pricedIters.Load(),
+		PricedPredictedNs: p.pricedPredictedNs.Load(),
+		PricedMeasuredNs:  p.pricedMeasuredNs.Load(),
+	}
+	if iters := ps.PushIters + ps.PullIters; iters > 0 {
+		ps.FlipRate = float64(ps.Flips) / float64(iters)
+	}
+	if ps.PricedPredictedNs > 0 {
+		ps.PredictionRatio = float64(ps.PricedMeasuredNs) / float64(ps.PricedPredictedNs)
+	}
+	s.Planner = ps
+	return s
+}

@@ -1,0 +1,395 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pushpull/graphblas"
+	"pushpull/internal/core"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Workers is the fixed worker-goroutine count (default GOMAXPROCS).
+	// Each worker owns its pinned workspaces; queries on one worker run
+	// serially, concurrency comes from the pool width.
+	Workers int
+	// QueueDepth bounds the admission queue (default 4×Workers). A full
+	// queue rejects with ErrQueueFull instead of building unbounded
+	// latency.
+	QueueDepth int
+	// DefaultTimeout is the per-query deadline when the request does not
+	// set one (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied deadlines (default 5m).
+	MaxTimeout time.Duration
+	// Model, when non-nil, is the calibrated cost model every query's
+	// planner prices with (loaded from the host-keyed PPTUNE profile, or
+	// fitted at startup). Shared read-only across workers — correctors,
+	// which are mutable, stay per-query.
+	Model *core.CostModel
+	// RecentQueries sizes the /debug/queries completed-query ring
+	// (default 32).
+	RecentQueries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.RecentQueries <= 0 {
+		c.RecentQueries = 32
+	}
+	return c
+}
+
+// task is one admitted query traveling from Do to a worker.
+type task struct {
+	id      uint64
+	req     Request
+	g       *Graph
+	r       *runner
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan outcome // buffered(1): the worker never blocks on delivery
+	info    *QueryInfo
+	started time.Time
+}
+
+type outcome struct {
+	res Result
+	err error
+}
+
+// QueryInfo is one query's lifecycle record for /debug/queries. Fields
+// are written by the owning worker and read racily-but-safely via the
+// server's query mutex.
+type QueryInfo struct {
+	ID      uint64    `json:"id"`
+	Graph   string    `json:"graph"`
+	Algo    string    `json:"algo"`
+	Source  int       `json:"source"`
+	State   string    `json:"state"` // queued | running | done
+	Status  string    `json:"status,omitempty"`
+	Worker  int       `json:"worker,omitempty"`
+	Started time.Time `json:"started"`
+	// DurationMS is the total queue+run wall clock once done.
+	DurationMS float64 `json:"duration_ms,omitempty"`
+}
+
+// worker is one pool goroutine's private state: the pinned workspaces
+// (one per graph shape, reused query over query — the zero-alloc kernel
+// path), the shared read-only cost model, and the shared metrics sinks.
+type worker struct {
+	id      int
+	pinned  map[[2]int]*graphblas.Workspace
+	model   *core.CostModel
+	planner *PlannerMetrics
+}
+
+// workspace returns the worker's pinned arena for a graph shape, acquiring
+// one on first use. Exclusively owned: only this worker's current query
+// touches it.
+func (w *worker) workspace(rows, cols int) *graphblas.Workspace {
+	key := [2]int{rows, cols}
+	ws := w.pinned[key]
+	if ws == nil {
+		ws = graphblas.AcquireWorkspace(rows, cols)
+		w.pinned[key] = ws
+	}
+	return ws
+}
+
+// dropWorkspace releases the pinned arena for a shape after a kernel
+// fault: Release discards a tainted workspace instead of pooling it, and
+// the next query on this shape re-acquires fresh scratch.
+func (w *worker) dropWorkspace(rows, cols int) {
+	key := [2]int{rows, cols}
+	if ws := w.pinned[key]; ws != nil {
+		ws.Release()
+		delete(w.pinned, key)
+	}
+}
+
+// releaseAll returns every pinned workspace to the pool on shutdown.
+func (w *worker) releaseAll() {
+	for key, ws := range w.pinned {
+		ws.Release()
+		delete(w.pinned, key)
+	}
+}
+
+// Server is the query service: loaded graphs, the admission queue, and
+// the worker pool.
+type Server struct {
+	cfg     Config
+	graphs  map[string]*Graph // immutable after New
+	queue   chan *task
+	workers []*worker
+	wg      sync.WaitGroup
+	metrics *Metrics
+	nextID  atomic.Uint64
+	closed  atomic.Bool
+
+	qmu      sync.Mutex
+	inflight map[uint64]*QueryInfo
+	recent   []*QueryInfo // ring, newest at len-1
+}
+
+// New builds a Server over the given graphs and starts its workers.
+func New(cfg Config, graphs ...*Graph) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("%w: no graphs", ErrBadRequest)
+	}
+	s := &Server{
+		cfg:      cfg,
+		graphs:   make(map[string]*Graph, len(graphs)),
+		queue:    make(chan *task, cfg.QueueDepth),
+		metrics:  newMetrics(AlgorithmNames()),
+		inflight: make(map[uint64]*QueryInfo),
+	}
+	for _, g := range graphs {
+		if g == nil || g.Mat == nil || g.Name == "" {
+			return nil, fmt.Errorf("%w: nil or unnamed graph", ErrBadRequest)
+		}
+		if _, dup := s.graphs[g.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate graph %q", ErrBadRequest, g.Name)
+		}
+		s.graphs[g.Name] = g
+	}
+	s.metrics.queueLen = func() int { return len(s.queue) }
+	s.workers = make([]*worker, cfg.Workers)
+	for i := range s.workers {
+		w := &worker{
+			id:      i,
+			pinned:  make(map[[2]int]*graphblas.Workspace),
+			model:   cfg.Model,
+			planner: &s.metrics.planner,
+		}
+		s.workers[i] = w
+		s.wg.Add(1)
+		go s.serveLoop(w)
+	}
+	return s, nil
+}
+
+// Metrics exposes the live counters.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Graph returns a loaded graph by name.
+func (s *Server) Graph(name string) (*Graph, bool) {
+	g, ok := s.graphs[name]
+	return g, ok
+}
+
+// GraphNames lists the loaded graphs.
+func (s *Server) GraphNames() []string {
+	names := make([]string, 0, len(s.graphs))
+	for name := range s.graphs {
+		names = append(names, name)
+	}
+	return names
+}
+
+// Close stops admission, drains the queue, and waits for in-flight
+// queries to finish (each still bounded by its own deadline).
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// validate resolves the request against the graph set and registry,
+// fast-failing before admission so malformed queries never consume a
+// queue slot.
+func (s *Server) validate(req Request) (*Graph, *runner, error) {
+	g, ok := s.graphs[req.Graph]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownGraph, req.Graph)
+	}
+	r, ok := registry[req.Algo]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, req.Algo)
+	}
+	if r.needsSource && (req.Source < 0 || req.Source >= g.Mat.NRows()) {
+		return nil, nil, fmt.Errorf("%w: source %d out of range [0,%d)", ErrBadRequest, req.Source, g.Mat.NRows())
+	}
+	if req.Timeout < 0 {
+		return nil, nil, fmt.Errorf("%w: negative timeout", ErrBadRequest)
+	}
+	return g, r, nil
+}
+
+// Do admits and runs one query, blocking until it completes, its deadline
+// expires, or ctx (the client's context) is done. Admission is
+// non-blocking: a full queue returns ErrQueueFull immediately.
+func (s *Server) Do(ctx context.Context, req Request) (Result, error) {
+	if s.closed.Load() {
+		return Result{}, ErrShuttingDown
+	}
+	g, r, err := s.validate(req)
+	if err != nil {
+		return Result{}, err
+	}
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	qctx, cancel := context.WithTimeout(ctx, timeout)
+
+	id := s.nextID.Add(1)
+	info := &QueryInfo{
+		ID: id, Graph: req.Graph, Algo: r.name, Source: req.Source,
+		State: "queued", Started: time.Now(),
+	}
+	t := &task{
+		id: id, req: req, g: g, r: r,
+		ctx: qctx, cancel: cancel,
+		done: make(chan outcome, 1),
+		info: info, started: info.Started,
+	}
+	s.metrics.submitted.Add(1)
+	select {
+	case s.queue <- t:
+	default:
+		cancel()
+		s.metrics.rejected.Add(1)
+		return Result{}, ErrQueueFull
+	}
+	s.trackQueued(info)
+	s.metrics.noteQueueDepth(len(s.queue))
+
+	select {
+	case out := <-t.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		// The client is gone; the worker still observes qctx and aborts
+		// at the next phase boundary, delivering into the buffered done
+		// channel — nothing leaks, the caller just stops waiting.
+		return Result{ID: id}, fmt.Errorf("%w: %w", graphblas.ErrCancelled, context.Cause(ctx))
+	}
+}
+
+// serveLoop is one worker goroutine: take a task, run it under its
+// deadline, deliver the outcome, repeat until the queue closes.
+func (s *Server) serveLoop(w *worker) {
+	defer s.wg.Done()
+	defer w.releaseAll()
+	for t := range s.queue {
+		s.runTask(w, t)
+	}
+}
+
+func (s *Server) runTask(w *worker, t *task) {
+	defer t.cancel()
+	var out outcome
+	// A query whose context died while queued (client gone, or a
+	// deadline shorter than the queue wait) is cheap to shed here.
+	if err := graphblas.CheckContext(t.ctx); err != nil {
+		out.err = err
+	} else {
+		s.trackRunning(t.info, w.id)
+		payload, err := s.invoke(w, t)
+		if err != nil {
+			out.err = err
+		} else {
+			out.res = Result{
+				ID: t.id, Graph: t.req.Graph, Algo: t.r.name, Source: t.req.Source,
+				Worker: w.id, Payload: payload,
+			}
+		}
+	}
+	d := time.Since(t.started)
+	out.res.Duration = d
+	out.res.DurationMS = float64(d.Nanoseconds()) / 1e6
+	s.metrics.algos[t.r.name].observe(d, out.err)
+	s.trackDone(t.info, d, out.err)
+	t.done <- out
+}
+
+// invoke runs the registry entry with a defensive recover: kernel panics
+// already surface as ErrKernelPanic from the graphblas fault boundary,
+// and this backstop converts anything that escapes (a panic in registry
+// or algorithm bookkeeping) into the same taxonomy instead of killing the
+// worker goroutine. Either way the worker's pinned workspace for that
+// graph shape is dropped — Release discards tainted arenas — so corrupted
+// scratch never serves a later query.
+func (s *Server) invoke(w *worker, t *task) (p Payload, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = graphblas.NewPanicError(r)
+		}
+		if err != nil && isKernelPanic(err) {
+			w.dropWorkspace(t.g.Mat.NRows(), t.g.Mat.NCols())
+		}
+	}()
+	return t.r.run(t.ctx, t.g, t.req, w)
+}
+
+func (s *Server) trackQueued(info *QueryInfo) {
+	s.qmu.Lock()
+	s.inflight[info.ID] = info
+	s.qmu.Unlock()
+}
+
+func (s *Server) trackRunning(info *QueryInfo, workerID int) {
+	s.qmu.Lock()
+	info.State = "running"
+	info.Worker = workerID
+	s.qmu.Unlock()
+}
+
+func (s *Server) trackDone(info *QueryInfo, d time.Duration, err error) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	delete(s.inflight, info.ID)
+	info.State = "done"
+	info.DurationMS = float64(d.Nanoseconds()) / 1e6
+	if err != nil {
+		info.Status = PublicErrorMessage(err)
+	} else {
+		info.Status = "ok"
+	}
+	s.recent = append(s.recent, info)
+	if over := len(s.recent) - s.cfg.RecentQueries; over > 0 {
+		s.recent = append(s.recent[:0], s.recent[over:]...)
+	}
+}
+
+// Queries snapshots the live and recently completed queries for
+// /debug/queries: in-flight first (queued and running), then the
+// completed ring, newest last.
+func (s *Server) Queries() []QueryInfo {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	out := make([]QueryInfo, 0, len(s.inflight)+len(s.recent))
+	for _, info := range s.inflight {
+		out = append(out, *info)
+	}
+	for _, info := range s.recent {
+		out = append(out, *info)
+	}
+	return out
+}

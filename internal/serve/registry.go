@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"context"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"pushpull/algorithms"
+	"pushpull/graphblas"
+)
+
+// runner is one registry entry: how to run a named algorithm on a worker.
+// Runners receive the worker so they can pin its per-graph workspace and
+// feed its trace records into the shared planner metrics; everything else
+// they allocate per query and own exclusively (the graphblas concurrency
+// contract).
+type runner struct {
+	name string
+	// needsSource marks the traversal algorithms that root at a vertex.
+	needsSource bool
+	run         func(ctx context.Context, g *Graph, req Request, w *worker) (Payload, error)
+}
+
+// registry is the fixed algorithm set, keyed by query name. Immutable
+// after init, so concurrent lookups need no lock.
+var registry = map[string]*runner{
+	"bfs":       {name: "bfs", needsSource: true, run: runBFS},
+	"parentbfs": {name: "parentbfs", needsSource: true, run: runParentBFS},
+	"sssp":      {name: "sssp", needsSource: true, run: runSSSP},
+	"pagerank":  {name: "pagerank", run: runPageRank},
+	"cc":        {name: "cc", run: runCC},
+}
+
+// AlgorithmNames lists the registry's query names, sorted.
+func AlgorithmNames() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// plannerTrace adapts an algorithm's per-iteration trace into the shared
+// PlannerMetrics, carrying the per-traversal flip-detection state in its
+// closure (one closure per query — never shared).
+func plannerTrace(m *PlannerMetrics) func(algorithms.IterStats) {
+	first := true
+	var prev graphblas.TraversalDirection
+	return func(s algorithms.IterStats) {
+		flipped := !first && s.Direction != prev
+		first, prev = false, s.Direction
+		m.observe(s.Direction, s.PredictedNs, s.MeasuredNs, flipped)
+	}
+}
+
+func runBFS(ctx context.Context, g *Graph, req Request, w *worker) (Payload, error) {
+	res, err := algorithms.BFS(g.Mat, req.Source, algorithms.BFSOptions{
+		Model:     w.model,
+		Workspace: w.workspace(g.Mat.NRows(), g.Mat.NCols()),
+		Context:   ctx,
+		Trace:     plannerTrace(w.planner),
+	})
+	if err != nil {
+		return Payload{}, err
+	}
+	p := Payload{Reached: res.Visited, Iterations: res.Iterations}
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, d := range res.Depths {
+		if d > p.MaxDepth {
+			p.MaxDepth = d
+		}
+		putU32(&buf, uint32(d))
+		h.Write(buf[:])
+	}
+	p.Checksum = h.Sum64()
+	if req.Full {
+		p.Depths = res.Depths
+	}
+	return p, nil
+}
+
+func runParentBFS(ctx context.Context, g *Graph, req Request, w *worker) (Payload, error) {
+	parents, err := algorithms.ParentBFSRun(g.Mat, req.Source, algorithms.ParentBFSOptions{
+		Model:     w.model,
+		Workspace: w.workspace(g.Mat.NRows(), g.Mat.NCols()),
+		Context:   ctx,
+	})
+	if err != nil {
+		return Payload{}, err
+	}
+	p := Payload{}
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, par := range parents {
+		if par >= 0 {
+			p.Reached++
+		}
+		putU64(&buf, uint64(par))
+		h.Write(buf[:])
+	}
+	p.Checksum = h.Sum64()
+	if req.Full {
+		p.Parents = parents
+	}
+	return p, nil
+}
+
+func runSSSP(ctx context.Context, g *Graph, req Request, w *worker) (Payload, error) {
+	wm, err := g.Weighted()
+	if err != nil {
+		return Payload{}, err
+	}
+	dist, err := algorithms.SSSP(wm, req.Source, algorithms.SSSPOptions{
+		Model:     w.model,
+		Workspace: w.workspace(wm.NRows(), wm.NCols()),
+		Context:   ctx,
+		Trace:     plannerTrace(w.planner),
+	})
+	if err != nil {
+		return Payload{}, err
+	}
+	p := Payload{}
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, d := range dist {
+		if !math.IsInf(d, 1) {
+			p.Reached++
+		}
+		putU64(&buf, math.Float64bits(d))
+		h.Write(buf[:])
+	}
+	p.Checksum = h.Sum64()
+	if req.Full {
+		p.Dist = dist
+	}
+	return p, nil
+}
+
+func runPageRank(ctx context.Context, g *Graph, req Request, w *worker) (Payload, error) {
+	res, err := algorithms.PageRank(g.Mat, algorithms.PageRankOptions{
+		Model:     w.model,
+		Workspace: w.workspace(g.Mat.NRows(), g.Mat.NCols()),
+		Context:   ctx,
+	})
+	if err != nil {
+		return Payload{}, err
+	}
+	p := Payload{Reached: len(res.Ranks), Iterations: res.Iterations}
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, r := range res.Ranks {
+		putU64(&buf, math.Float64bits(r))
+		h.Write(buf[:])
+	}
+	p.Checksum = h.Sum64()
+	if req.Full {
+		p.Ranks = res.Ranks
+	}
+	return p, nil
+}
+
+func runCC(ctx context.Context, g *Graph, req Request, w *worker) (Payload, error) {
+	labels, err := algorithms.ConnectedComponentsRun(g.Mat, algorithms.CCOptions{
+		Workspace: w.workspace(g.Mat.NRows(), g.Mat.NCols()),
+		Context:   ctx,
+	})
+	if err != nil {
+		return Payload{}, err
+	}
+	p := Payload{Reached: len(labels)}
+	h := fnv.New64a()
+	var buf [4]byte
+	for i, l := range labels {
+		if int(l) == i {
+			p.Components++
+		}
+		putU32(&buf, l)
+		h.Write(buf[:])
+	}
+	p.Checksum = h.Sum64()
+	if req.Full {
+		p.Labels = labels
+	}
+	return p, nil
+}
+
+func putU32(buf *[4]byte, v uint32) {
+	buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func putU64(buf *[8]byte, v uint64) {
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,149 @@
+// Package serve is the concurrent graph-query service behind cmd/ppserve:
+// a fixed pool of worker goroutines serving BFS / ParentBFS / SSSP /
+// PageRank / CC queries over graphs loaded once at startup.
+//
+// The design leans on the concurrency contract the graphblas package
+// documents ("Concurrency contract" in its package docs): a Matrix is
+// immutable after construction and shared by every worker, while all
+// mutable per-traversal state — vectors, the Descriptor, the Planner's
+// hysteresis, the Corrector's EWMAs, and the scratch Workspace — is owned
+// by exactly one query at a time. Each worker pins one Workspace per graph
+// shape across queries (the algorithms' Workspace option), so a warm
+// worker serves repeat queries with an allocation-free kernel path; a
+// kernel panic taints the pinned arena, and the worker drops and replaces
+// it instead of trusting corrupted scratch.
+//
+// Admission is a bounded queue: Submit either enqueues the query or fails
+// fast with ErrQueueFull, which the HTTP layer maps to 429 + Retry-After.
+// Every query runs under a context with a per-query deadline, so overdue
+// or abandoned queries tear down mid-traversal through the cancellation
+// substrate (wrapped graphblas.ErrCancelled; deadline expiries additionally
+// match context.DeadlineExceeded). Metrics counts every outcome, buckets
+// latencies per algorithm, and aggregates the direction planner's
+// decision-quality numbers (push/pull iteration mix, flip counts,
+// predicted-vs-measured nanoseconds) so the calibration loop stays
+// observable in production.
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"pushpull/generate"
+	"pushpull/graphblas"
+)
+
+// Service-level error values. Query execution additionally surfaces the
+// graphblas taxonomy (ErrCancelled, ErrKernelPanic) unchanged; HTTPStatus
+// maps both families to transport codes.
+var (
+	// ErrQueueFull reports that the admission queue rejected the query —
+	// shed load and retry later (HTTP 429).
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrShuttingDown reports that the server no longer accepts queries.
+	ErrShuttingDown = errors.New("serve: shutting down")
+	// ErrUnknownGraph reports a query against a graph name that was never
+	// loaded.
+	ErrUnknownGraph = errors.New("serve: unknown graph")
+	// ErrUnknownAlgorithm reports a query for an algorithm the registry
+	// does not carry.
+	ErrUnknownAlgorithm = errors.New("serve: unknown algorithm")
+	// ErrBadRequest reports a structurally invalid query (source out of
+	// range, negative timeout, ...).
+	ErrBadRequest = errors.New("serve: bad request")
+)
+
+// Graph is one served graph: the immutable Boolean adjacency matrix every
+// worker shares, plus lazily derived per-algorithm views. The pattern
+// matrix is safe for any number of concurrent readers; the derived views
+// are built once under sync.Once and are immutable afterwards.
+type Graph struct {
+	Name string
+	Mat  *graphblas.Matrix[bool]
+
+	// weightedSeed picks the deterministic edge weights SSSP queries run
+	// on when the graph itself is unweighted (pattern input). Zero means
+	// the default seed.
+	weightedSeed int64
+
+	weightedOnce sync.Once
+	weighted     *graphblas.Matrix[float64]
+	weightedErr  error
+}
+
+// NewGraph wraps a loaded pattern matrix for serving.
+func NewGraph(name string, m *graphblas.Matrix[bool]) *Graph {
+	return &Graph{Name: name, Mat: m}
+}
+
+// Weighted returns the graph's deterministic positively-weighted copy —
+// the SSSP input — building it on first use. The build is once per graph,
+// not per query: concurrent SSSP queries share the result.
+func (g *Graph) Weighted() (*graphblas.Matrix[float64], error) {
+	g.weightedOnce.Do(func() {
+		seed := g.weightedSeed
+		if seed == 0 {
+			seed = 99
+		}
+		g.weighted, g.weightedErr = generate.WeightedCopy(g.Mat, 1, 10, seed)
+	})
+	return g.weighted, g.weightedErr
+}
+
+// Request is one graph query.
+type Request struct {
+	// Graph names a loaded graph.
+	Graph string `json:"graph"`
+	// Algo is the registry name: bfs, parentbfs, sssp, pagerank, cc.
+	Algo string `json:"algo"`
+	// Source is the root vertex for the traversal algorithms (ignored by
+	// pagerank and cc).
+	Source int `json:"source"`
+	// Timeout is the per-query deadline; zero means the server default,
+	// and values above the server maximum are clamped to it.
+	Timeout time.Duration `json:"timeout,omitempty"`
+	// Full requests the complete per-vertex result arrays in the payload;
+	// by default only the summary (counts, iterations, checksum) returns,
+	// which is what a serving tier actually ships per query.
+	Full bool `json:"full,omitempty"`
+}
+
+// Result is one completed query.
+type Result struct {
+	ID       uint64        `json:"id"`
+	Graph    string        `json:"graph"`
+	Algo     string        `json:"algo"`
+	Source   int           `json:"source"`
+	Duration time.Duration `json:"-"`
+	// DurationMS mirrors Duration for the JSON surface.
+	DurationMS float64 `json:"duration_ms"`
+	// Worker is the pool worker that served the query.
+	Worker  int     `json:"worker"`
+	Payload Payload `json:"result"`
+}
+
+// Payload is the algorithm-specific result. Summary fields are always
+// set; the per-vertex arrays only under Request.Full. Checksum is an
+// FNV-1a fold over the result array, so clients (and the CI smoke test)
+// can assert determinism without shipping the array.
+type Payload struct {
+	// Reached counts vertices with a defined result: BFS/ParentBFS
+	// discovered, SSSP finite-distance, CC/PageRank all.
+	Reached int `json:"reached"`
+	// Iterations is the traversal's level/round/power-iteration count
+	// (zero where the algorithm does not report one).
+	Iterations int `json:"iterations,omitempty"`
+	// MaxDepth is the BFS eccentricity from the source (BFS only).
+	MaxDepth int32 `json:"max_depth,omitempty"`
+	// Components is the number of weakly connected components (CC only).
+	Components int `json:"components,omitempty"`
+	// Checksum is the FNV-1a fold over the full result array.
+	Checksum uint64 `json:"checksum"`
+
+	Depths  []int32   `json:"depths,omitempty"`
+	Parents []int64   `json:"parents,omitempty"`
+	Dist    []float64 `json:"dist,omitempty"`
+	Ranks   []float64 `json:"ranks,omitempty"`
+	Labels  []uint32  `json:"labels,omitempty"`
+}
