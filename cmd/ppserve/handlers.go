@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"sort"
 	"strconv"
 	"time"
 
@@ -15,31 +14,23 @@ import (
 // newHandler wires the service's HTTP surface:
 //
 //	GET/POST /query         run one query (params or JSON body)
-//	GET      /graphs        loaded graphs and their sizes
-//	GET      /metrics       live counters, latency histograms, planner quality
+//	GET      /graphs        registered graphs: status, generation, sizes, last error
+//	GET      /metrics       live counters, latency histograms, planner quality,
+//	                        lifecycle (snapshots, reloads, worker self-healing)
 //	GET      /debug/queries in-flight and recently completed queries
-//	GET      /healthz       liveness
+//	GET      /healthz       liveness (200 while the process runs, even degraded)
+//	GET      /readyz        readiness (503 while any graph has no serving snapshot)
+//	POST     /admin/reload  re-read every -graph spec: load, validate, swap or roll back
 func newHandler(srv *serve.Server, logger *log.Logger) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		handleQuery(srv, logger, w, r)
 	})
 	mux.HandleFunc("/graphs", func(w http.ResponseWriter, r *http.Request) {
-		type gi struct {
-			Name     string `json:"name"`
-			Vertices int    `json:"vertices"`
-			Edges    int    `json:"edges"`
-		}
-		names := srv.GraphNames()
-		sort.Strings(names)
-		out := make([]gi, 0, len(names))
-		for _, name := range names {
-			g, _ := srv.Graph(name)
-			out = append(out, gi{Name: name, Vertices: g.Mat.NRows(), Edges: g.Mat.NVals()})
-		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"graphs":     out,
+			"graphs":     srv.GraphInfos(),
 			"algorithms": serve.AlgorithmNames(),
+			"degraded":   srv.Degraded(),
 		})
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -49,9 +40,55 @@ func newHandler(srv *serve.Server, logger *log.Logger) http.Handler {
 		writeJSON(w, http.StatusOK, srv.Queries())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		// Liveness: the process is up and can answer — a degraded server
+		// is alive (it serves its valid subset); only readiness flips.
+		mode := "serving"
+		if srv.Degraded() {
+			mode = "degraded"
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "mode": mode})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if srv.Ready() {
+			writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready":  false,
+			"graphs": srv.GraphInfos(),
+		})
+	})
+	mux.HandleFunc("/admin/reload", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST required"})
+			return
+		}
+		rep := srv.Reload(r.Context())
+		logReload(logger, "admin reload", rep)
+		status := http.StatusOK
+		if rep.Failed > 0 {
+			// Partial or total rollback: the report carries per-graph
+			// reasons; 207 signals "look inside".
+			status = http.StatusMultiStatus
+		}
+		writeJSON(w, status, rep)
 	})
 	return mux
+}
+
+// logReload prints one line per reloaded graph so the startup log is the
+// audit trail for swaps and rollbacks.
+func logReload(logger *log.Logger, what string, rep serve.ReloadReport) {
+	for _, res := range rep.Results {
+		if res.Error != "" {
+			logger.Printf("%s: graph %q ROLLED BACK (%s, gen stays %d): %s",
+				what, res.Graph, res.Status, res.Gen, res.Error)
+		} else {
+			logger.Printf("%s: graph %q swapped to gen %d (%.1fms)",
+				what, res.Graph, res.Gen, res.DurationMS)
+		}
+	}
 }
 
 // parseRequest accepts the query either as URL parameters (GET-friendly:
@@ -94,12 +131,12 @@ func parseRequest(r *http.Request) (serve.Request, error) {
 func handleQuery(srv *serve.Server, logger *log.Logger, w http.ResponseWriter, r *http.Request) {
 	req, err := parseRequest(r)
 	if err != nil {
-		writeError(w, logger, 0, err)
+		writeError(srv, w, logger, 0, req, err)
 		return
 	}
 	res, err := srv.Do(r.Context(), req)
 	if err != nil {
-		writeError(w, logger, res.ID, err)
+		writeError(srv, w, logger, res.ID, req, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -108,12 +145,14 @@ func handleQuery(srv *serve.Server, logger *log.Logger, w http.ResponseWriter, r
 // writeError maps the error taxonomy to transport codes. The response
 // body carries only the public message — kernel panic stacks go to the
 // server log keyed by query id, never on the wire. Queue rejections add
-// Retry-After so well-behaved clients back off.
-func writeError(w http.ResponseWriter, logger *log.Logger, id uint64, err error) {
+// Retry-After derived from the queue's estimated drain time (queue depth
+// × the algorithm's recent p50 latency) so well-behaved clients back off
+// proportionally to the actual overload.
+func writeError(srv *serve.Server, w http.ResponseWriter, logger *log.Logger, id uint64, req serve.Request, err error) {
 	status := serve.HTTPStatus(err)
 	switch status {
 	case http.StatusTooManyRequests:
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(srv.RetryAfterSeconds(req.Algo)))
 	case http.StatusInternalServerError:
 		logger.Printf("query %d failed: %v", id, err)
 	}

@@ -1,8 +1,9 @@
 // Command ppserve is the long-lived push-pull graph-query service: it
-// loads one or more graphs once, loads (or fits) the host-keyed PPTUNE
+// loads one or more graphs, loads (or fits) the host-keyed PPTUNE
 // cost-model profile, and serves concurrent BFS / ParentBFS / SSSP /
-// PageRank / CC queries over HTTP+JSON from a fixed worker pool with
-// bounded admission and live metrics.
+// PageRank / CC queries over HTTP+JSON from a self-healing worker pool
+// with bounded admission, refcounted graph snapshots, validated hot
+// reload, and live metrics.
 //
 // Usage:
 //
@@ -13,6 +14,13 @@
 //
 //	curl 'localhost:8080/query?graph=kron&algo=bfs&source=0'
 //	curl 'localhost:8080/metrics'
+//
+// Reload the -graph specs without restarting (file-backed graphs re-read
+// from disk; a graph that fails to load or validate rolls back to its
+// old snapshot while the rest swap):
+//
+//	kill -HUP $(pidof ppserve)          # or:
+//	curl -X POST localhost:8080/admin/reload
 package main
 
 import (
@@ -53,32 +61,50 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "admission queue depth (default 4x workers)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
+	degraded := flag.Bool("degraded-start", true, "start serving the valid subset when some -graph specs fail to load (failures report via /graphs and /readyz); off = any failure aborts startup")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ppserve: ", log.LstdFlags)
-	if err := run(logger, specs, *scale, *addr, *tune, *calib, *workers, *queue, *timeout); err != nil {
+	if err := run(logger, specs, *scale, *addr, *tune, *calib, *workers, *queue, *timeout, *degraded); err != nil {
 		logger.Fatal(err)
 	}
 }
 
-func run(logger *log.Logger, specs []string, scale int, addr, tune string, calib bool, workers, queue int, timeout time.Duration) error {
-	if len(specs) == 0 {
-		specs = []string{"kron"}
-	}
-	graphs := make([]*serve.Graph, 0, len(specs))
+// graphSources turns the -graph specs into reloadable sources: each
+// source's Load re-resolves the spec, so file-backed graphs pick up new
+// on-disk data at every reload.
+func graphSources(logger *log.Logger, specs []string, scale int) ([]serve.GraphSource, error) {
+	sources := make([]serve.GraphSource, 0, len(specs))
 	for _, spec := range specs {
 		gs, err := harness.ParseGraphSpec(spec, scale)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		start := time.Now()
-		m, err := gs.Load()
-		if err != nil {
-			return fmt.Errorf("-graph %s: %w", spec, err)
-		}
-		logger.Printf("loaded graph %q: %d vertices, %d edges (%.1fs)",
-			gs.Name, m.NRows(), m.NVals(), time.Since(start).Seconds())
-		graphs = append(graphs, serve.NewGraph(gs.Name, m))
+		spec := spec // the closure logs the original flag text
+		sources = append(sources, serve.GraphSource{
+			Name: gs.Name,
+			Load: func() (*serve.Graph, error) {
+				start := time.Now()
+				m, err := gs.Load()
+				if err != nil {
+					return nil, fmt.Errorf("-graph %s: %w", spec, err)
+				}
+				logger.Printf("loaded graph %q: %d vertices, %d edges (%.1fs)",
+					gs.Name, m.NRows(), m.NVals(), time.Since(start).Seconds())
+				return serve.NewGraph(gs.Name, m), nil
+			},
+		})
+	}
+	return sources, nil
+}
+
+func run(logger *log.Logger, specs []string, scale int, addr, tune string, calib bool, workers, queue int, timeout time.Duration, degradedStart bool) error {
+	if len(specs) == 0 {
+		specs = []string{"kron"}
+	}
+	sources, err := graphSources(logger, specs, scale)
+	if err != nil {
+		return err
 	}
 
 	model, err := resolveModel(logger, tune, calib)
@@ -86,14 +112,23 @@ func run(logger *log.Logger, specs []string, scale int, addr, tune string, calib
 		return err
 	}
 
-	srv, err := serve.New(serve.Config{
+	srv, err := serve.NewFromSources(serve.Config{
 		Workers:        workers,
 		QueueDepth:     queue,
 		DefaultTimeout: timeout,
 		Model:          model,
-	}, graphs...)
+		DegradedStart:  degradedStart,
+	}, sources)
 	if err != nil {
 		return err
+	}
+	for _, gi := range srv.GraphInfos() {
+		if gi.Status != serve.GraphServing {
+			logger.Printf("graph %q FAILED to load (serving degraded; fix and SIGHUP to retry): %s", gi.Name, gi.Error)
+		}
+	}
+	if srv.Degraded() {
+		logger.Printf("started DEGRADED: readiness (/readyz) reports 503 until every graph serves")
 	}
 
 	hs := &http.Server{Addr: addr, Handler: newHandler(srv, logger)}
@@ -102,19 +137,28 @@ func run(logger *log.Logger, specs []string, scale int, addr, tune string, calib
 		return err
 	}
 	logger.Printf("serving on %s (%d graphs, algorithms: %s)",
-		ln.Addr(), len(graphs), strings.Join(serve.AlgorithmNames(), " "))
+		ln.Addr(), len(sources), strings.Join(serve.AlgorithmNames(), " "))
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
-	select {
-	case sig := <-sigc:
-		logger.Printf("received %s, shutting down", sig)
-	case err := <-errc:
-		srv.Close()
-		return err
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+loop:
+	for {
+		select {
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				logger.Printf("received SIGHUP, reloading graph specs")
+				logReload(logger, "sighup reload", srv.Reload(context.Background()))
+				continue
+			}
+			logger.Printf("received %s, shutting down", sig)
+			break loop
+		case err := <-errc:
+			srv.Close()
+			return err
+		}
 	}
 
 	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

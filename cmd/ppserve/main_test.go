@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -268,6 +270,131 @@ func TestParseRequestForms(t *testing.T) {
 	r.Header.Set("Content-Type", "application/json")
 	if _, err := parseRequest(r); err == nil {
 		t.Fatal("malformed body accepted")
+	}
+}
+
+// TestHTTPLifecycleEndpoints drives the serving lifecycle over the wire:
+// degraded start with a failing source, liveness vs readiness split,
+// per-graph status in /graphs, admin reload (method-gated, 207 on
+// rollback, 200 on recovery), and the /metrics lifecycle counters.
+func TestHTTPLifecycleEndpoints(t *testing.T) {
+	var loadErr atomic.Pointer[string]
+	msg := "fixture corrupt"
+	loadErr.Store(&msg)
+	sources := []serve.GraphSource{
+		{Name: "good", Load: func() (*serve.Graph, error) {
+			m, err := harness.LoadGraph("", "kron", 6)
+			if err != nil {
+				return nil, err
+			}
+			return serve.NewGraph("good", m), nil
+		}},
+		{Name: "flaky", Load: func() (*serve.Graph, error) {
+			if e := loadErr.Load(); e != nil {
+				return nil, errors.New(*e)
+			}
+			m, err := harness.LoadGraph("", "kron", 7)
+			if err != nil {
+				return nil, err
+			}
+			return serve.NewGraph("flaky", m), nil
+		}},
+	}
+	srv, err := serve.NewFromSources(serve.Config{Workers: 2, DegradedStart: true}, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(newHandler(srv, log.New(io.Discard, "", 0)))
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+
+	// Liveness holds while degraded; readiness does not.
+	var health struct{ Mode string }
+	getJSON(t, hs.URL+"/healthz", http.StatusOK, &health)
+	if health.Mode != "degraded" {
+		t.Errorf("healthz mode %q, want degraded", health.Mode)
+	}
+	var ready struct {
+		Ready  bool
+		Graphs []serve.GraphInfo
+	}
+	getJSON(t, hs.URL+"/readyz", http.StatusServiceUnavailable, &ready)
+	if ready.Ready || len(ready.Graphs) != 2 {
+		t.Errorf("readyz while degraded: %+v", ready)
+	}
+
+	// The valid subset serves; the failed graph answers 503.
+	getJSON(t, hs.URL+"/query?graph=good&algo=bfs", http.StatusOK, nil)
+	getJSON(t, hs.URL+"/query?graph=flaky&algo=bfs", http.StatusServiceUnavailable, nil)
+
+	var graphs struct {
+		Degraded bool
+		Graphs   []serve.GraphInfo
+	}
+	getJSON(t, hs.URL+"/graphs", http.StatusOK, &graphs)
+	if !graphs.Degraded {
+		t.Error("graphs listing does not report degraded")
+	}
+	for _, gi := range graphs.Graphs {
+		if gi.Name == "flaky" && (gi.Status != serve.GraphFailed || !strings.Contains(gi.Error, "fixture corrupt")) {
+			t.Errorf("flaky graph info %+v, want failed with reason", gi)
+		}
+	}
+
+	// Reload is POST-only; while the source stays broken it reports 207.
+	resp, err := http.Get(hs.URL + "/admin/reload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /admin/reload: %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(hs.URL+"/admin/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serve.ReloadReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMultiStatus || rep.Failed != 1 || rep.OK != 1 {
+		t.Fatalf("broken reload: status %d report %+v, want 207 with 1 ok / 1 failed", resp.StatusCode, rep)
+	}
+
+	// Fix the source: reload recovers, readiness flips, mode returns.
+	loadErr.Store(nil)
+	resp, err = http.Post(hs.URL+"/admin/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep = serve.ReloadReport{}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rep.Failed != 0 || rep.OK != 2 {
+		t.Fatalf("recovery reload: status %d report %+v, want 200 with 2 ok", resp.StatusCode, rep)
+	}
+	getJSON(t, hs.URL+"/readyz", http.StatusOK, &ready)
+	getJSON(t, hs.URL+"/healthz", http.StatusOK, &health)
+	if health.Mode != "serving" {
+		t.Errorf("healthz mode after recovery %q, want serving", health.Mode)
+	}
+	getJSON(t, hs.URL+"/query?graph=flaky&algo=bfs", http.StatusOK, nil)
+
+	var metrics serve.MetricsSnapshot
+	getJSON(t, hs.URL+"/metrics", http.StatusOK, &metrics)
+	lc := metrics.Lifecycle
+	if lc.Degraded || lc.Reloads != 3 || lc.ReloadFailures != 1 {
+		t.Errorf("lifecycle counters %+v, want healthy with 3 reloads / 1 failure", lc)
+	}
+	if lc.SnapshotsInstalled == 0 || len(lc.Graphs) != 2 {
+		t.Errorf("lifecycle snapshot surface %+v", lc)
 	}
 }
 

@@ -84,6 +84,7 @@ func ReadPattern(r io.Reader) (*graphblas.Matrix[bool], error) {
 	}
 	// Skip comments, read the size line.
 	var nr, nc, nnz int
+	haveSize := false
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
@@ -92,10 +93,36 @@ func ReadPattern(r io.Reader) (*graphblas.Matrix[bool], error) {
 		if _, err := fmt.Sscanf(line, "%d %d %d", &nr, &nc, &nnz); err != nil {
 			return nil, fmt.Errorf("mmio: bad size line %q: %v", line, err)
 		}
+		haveSize = true
 		break
 	}
-	rows := make([]uint32, 0, nnz)
-	cols := make([]uint32, 0, nnz)
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mmio: %w", err)
+	}
+	if !haveSize {
+		return nil, fmt.Errorf("mmio: truncated input: no size line after header")
+	}
+	if nr <= 0 || nc <= 0 {
+		return nil, fmt.Errorf("mmio: invalid dimensions %d×%d (rows and cols must be positive)", nr, nc)
+	}
+	const maxDim = int64(1) << 32 // indices are stored as uint32
+	if int64(nr) > maxDim || int64(nc) > maxDim {
+		return nil, fmt.Errorf("mmio: dimensions %d×%d exceed the uint32 index limit", nr, nc)
+	}
+	if nnz < 0 {
+		return nil, fmt.Errorf("mmio: negative entry count %d", nnz)
+	}
+	if capacity := int64(nr) * int64(nc); int64(nnz) > capacity {
+		return nil, fmt.Errorf("mmio: entry count %d exceeds %d×%d capacity", nnz, nr, nc)
+	}
+	// Cap the preallocation: a lying header ("declare 4e9 entries, supply
+	// three lines") must fail with a truncation error, not an OOM.
+	prealloc := nnz
+	if prealloc > 1<<24 {
+		prealloc = 1 << 24
+	}
+	rows := make([]uint32, 0, prealloc)
+	cols := make([]uint32, 0, prealloc)
 	read := 0
 	for read < nnz && sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -129,7 +156,7 @@ func ReadPattern(r io.Reader) (*graphblas.Matrix[bool], error) {
 		return nil, fmt.Errorf("mmio: %w", err)
 	}
 	if read < nnz {
-		return nil, fmt.Errorf("mmio: expected %d entries, found %d", nnz, read)
+		return nil, fmt.Errorf("mmio: truncated input: header declares %d entries, found %d", nnz, read)
 	}
 	vals := make([]bool, len(rows))
 	for i := range vals {

@@ -348,6 +348,23 @@
 // pinning one Workspace per graph shape so repeat queries run the
 // allocation-free kernel path, with per-query deadline contexts tearing
 // down overdue traversals mid-flight and kernel panics costing one
-// tainted arena instead of the process. See the internal/serve package
-// docs for the pool design and the README for the HTTP quickstart.
+// tainted arena instead of the process.
+//
+// Graphs themselves live behind refcounted snapshots: a query acquires
+// its graph's current snapshot at admission and releases it at
+// completion, and a hot reload (SIGHUP or POST /admin/reload) builds the
+// replacement off to the side — load, then a validation gate of
+// dimension and CSR/CSC parity checks plus a push-vs-pull smoke
+// traversal — before atomically swapping it in. A snapshot that fails
+// the gate rolls back to the old one; a retired snapshot frees (its
+// Matrix shard caches purged via PurgeShardCache, workers' pinned arenas
+// for dead shapes pruned) only after its last in-flight query releases
+// it, so a traversal never observes a torn or freed graph. Because a
+// Matrix is immutable after construction, the swap is just a pointer:
+// nothing in this package needs locking to make reload safe. Workers
+// self-heal on top — a streak of consecutive kernel faults retires the
+// worker and its arenas for a fresh replacement — and a graph that fails
+// to load degrades the process (failed graph answers 503, the rest keep
+// serving) instead of killing it. See the internal/serve package docs
+// for the lifecycle design and the README for the HTTP quickstart.
 package graphblas

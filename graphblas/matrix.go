@@ -59,6 +59,17 @@ func (m *Matrix[T]) shardSet(shards int, transposed bool) *core.ShardSet {
 	return ss
 }
 
+// PurgeShardCache drops the cached shard boundaries and cut tables; later
+// sharded operations rebuild them on demand, so purging is always safe.
+// The serving layer calls this when a retired snapshot's last reference
+// releases, so a dead generation's derived structures free even while the
+// Matrix itself is still reachable through a static graph source.
+func (m *Matrix[T]) PurgeShardCache() {
+	m.shardMu.Lock()
+	m.shardSets = nil
+	m.shardMu.Unlock()
+}
+
 // NewMatrixFromCOO builds a matrix from coordinate triples, folding
 // duplicates with dup (last write wins if nil).
 func NewMatrixFromCOO[T comparable](nrows, ncols int, rows, cols []uint32, vals []T, dup BinaryOp[T]) (*Matrix[T], error) {

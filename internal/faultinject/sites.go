@@ -30,4 +30,18 @@ const (
 	// flight: the fault must surface as ErrKernelPanic, taint the
 	// workspace, and strand no worker.
 	SiteShardKernel = "core.mxv.shard"
+
+	// SiteServeLoad fires once per graph-source load in the serving
+	// lifecycle (initial load and every reload attempt), inside the
+	// recover scope that converts a panic into a load error — an armed
+	// panic here exercises the degraded-start and reload-rollback paths
+	// without needing a corrupt file on disk.
+	SiteServeLoad = "serve.lifecycle.load"
+
+	// SiteServeValidate fires once per snapshot validation (the
+	// dimension/CSR-CSC parity checks plus the smoke traversal that gate
+	// every snapshot before it swaps in) — an armed panic here exercises a
+	// graph that loads but fails validation: the reload must roll back and
+	// the old snapshot must keep serving.
+	SiteServeValidate = "serve.lifecycle.validate"
 )

@@ -19,9 +19,17 @@ import (
 // LoadGraph loads a graph from a MatrixMarket file when file is non-empty,
 // or builds the named generated dataset (see Datasets) at the given scale
 // otherwise. This is the one loading path shared by ppbfs and ppserve.
+// Malformed input — truncated files, out-of-range indices, zero-dimension
+// headers — returns a descriptive error naming the file, never a panic or
+// a silently mis-shaped matrix (the serving layer turns these into
+// degraded-mode entries and reload rollbacks).
 func LoadGraph(file, dataset string, scale int) (*graphblas.Matrix[bool], error) {
 	if file != "" {
-		return mmio.ReadPatternFile(file)
+		m, err := mmio.ReadPatternFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("harness: load %s: %w", file, err)
+		}
+		return m, nil
 	}
 	ds, err := FindDataset(scale, dataset)
 	if err != nil {

@@ -1,6 +1,11 @@
 package harness
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseGraphSpec(t *testing.T) {
 	cases := []struct {
@@ -28,6 +33,75 @@ func TestParseGraphSpec(t *testing.T) {
 		if _, err := ParseGraphSpec(bad, 14); err == nil {
 			t.Errorf("ParseGraphSpec(%q) accepted, want error", bad)
 		}
+	}
+}
+
+// TestLoadGraphCorruptFiles is the malformed-input table: every corrupt
+// fixture must come back as a descriptive error naming the file — no
+// panic, no silently mis-loaded matrix. These are exactly the inputs the
+// serving layer's reload path must survive by rolling back.
+func TestLoadGraphCorruptFiles(t *testing.T) {
+	const header = "%%MatrixMarket matrix coordinate pattern general\n"
+	cases := []struct {
+		name    string
+		content string
+		wantSub string // substring the error must carry
+	}{
+		{"empty file", "", "empty input"},
+		{"garbage header", "not a matrix market file\n1 1 1\n1 1\n", "unsupported header"},
+		{"missing size line", header + "% only comments follow\n", "no size line"},
+		{"zero dimensions", header + "0 0 0\n", "dimensions"},
+		{"negative rows", header + "-3 4 1\n1 1\n", "dimensions"},
+		{"negative entry count", header + "4 4 -2\n", "negative entry count"},
+		{"entry count over capacity", header + "2 2 9\n1 1\n1 2\n2 1\n2 2\n1 1\n1 2\n2 1\n2 2\n1 1\n", "capacity"},
+		{"truncated entries", header + "4 4 5\n1 1\n2 2\n", "truncated"},
+		{"row index out of range", header + "4 4 1\n9 1\n", "outside"},
+		{"col index out of range", header + "4 4 1\n1 9\n", "outside"},
+		{"zero-based index", header + "4 4 1\n0 1\n", "outside"},
+		{"non-numeric entry", header + "4 4 1\nx y\n", "bad row"},
+		{"one-field entry", header + "4 4 1\n3\n", "bad entry"},
+		{"bad size line", header + "four by four\n", "bad size line"},
+		{"unsupported field", "%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 1\n", "unsupported field"},
+		{"unsupported symmetry", "%%MatrixMarket matrix coordinate pattern hermitian\n2 2 1\n1 1\n", "unsupported symmetry"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "corrupt.mtx")
+			if err := os.WriteFile(path, []byte(c.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			m, err := LoadGraph(path, "", 0)
+			if err == nil {
+				t.Fatalf("corrupt input accepted: got %d×%d matrix", m.NRows(), m.NCols())
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Errorf("error %q does not name the file", err)
+			}
+		})
+	}
+
+	if _, err := LoadGraph(filepath.Join(t.TempDir(), "missing.mtx"), "", 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestLoadGraphValidFile pins the happy path the corrupt table gates:
+// a well-formed file round-trips with the declared shape.
+func TestLoadGraphValidFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ok.mtx")
+	content := "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n3 1\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadGraph(path, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NRows() != 3 || m.NCols() != 3 || m.NVals() != 2 {
+		t.Fatalf("loaded %d×%d with %d entries, want 3×3 with 2", m.NRows(), m.NCols(), m.NVals())
 	}
 }
 

@@ -88,3 +88,94 @@ func TestWarmWorkerKernelPathAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestPostReloadKernelPathAllocs pins the reload half of the zero-alloc
+// claim: a reload that swaps in a new snapshot of the same shape must not
+// cost the worker its pinned arena — the prune keeps live shapes — so warm
+// queries return to the allocation-free kernel path immediately on the new
+// generation.
+func TestPostReloadKernelPathAllocs(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	g := kronGraph(t, 8)
+	n := g.Mat.NRows()
+	srv, err := NewFromSources(Config{Workers: 1},
+		[]GraphSource{{Name: "kron", Load: func() (*Graph, error) { return NewGraph("kron", g.Mat), nil }}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Warm the worker's arena, then swap generations underneath it.
+	var depths []int32
+	for i := 0; i < 3; i++ {
+		res, err := srv.Do(context.Background(), Request{Graph: "kron", Algo: "bfs", Full: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		depths = res.Payload.Depths
+	}
+	shape := [2]int{n, n}
+	warmWS := srv.workers[0].pinned[shape]
+	if warmWS == nil {
+		t.Fatal("warm worker has no pinned workspace")
+	}
+	if rep := srv.Reload(context.Background()); rep.Failed != 0 {
+		t.Fatalf("reload: %+v", rep)
+	}
+
+	// The first post-reload query triggers the worker's stale-shape prune;
+	// the shape is still live, so the warm arena must survive it.
+	res, err := srv.Do(context.Background(), Request{Graph: "kron", Algo: "bfs", Full: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gen != 2 {
+		t.Fatalf("post-reload query ran on gen %d, want 2", res.Gen)
+	}
+	if srv.workers[0].pinned[shape] != warmWS {
+		t.Fatal("same-shape reload dropped the warm pinned workspace")
+	}
+
+	// The kernel path through that surviving arena is still allocation-free.
+	sr := graphblas.OrAndBool()
+	f := graphblas.NewVector[bool](n)
+	visited := graphblas.NewVector[bool](n)
+	visited.ToBitmap()
+	_ = visited.SetElement(0, true)
+	for v, d := range depths {
+		if d == 1 {
+			_ = f.SetElement(v, true)
+			_ = visited.SetElement(v, true)
+		}
+	}
+	out := graphblas.NewVector[bool](n)
+	desc := &graphblas.Descriptor{
+		Transpose:            true,
+		StructureOnly:        true,
+		StructuralComplement: true,
+		Workspace:            warmWS,
+	}
+	for _, dirCase := range []struct {
+		name string
+		dir  graphblas.Direction
+	}{{"push", graphblas.ForcePush}, {"pull", graphblas.ForcePull}} {
+		iteration := func() {
+			desc.Direction = dirCase.dir
+			input := f
+			if dirCase.dir == graphblas.ForcePull {
+				input = visited
+			}
+			if _, err := graphblas.MxV(out, visited, nil, sr, g.Mat, input, desc); err != nil {
+				t.Fatal(err)
+			}
+			if err := graphblas.AssignVector(visited, out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		iteration()
+		iteration()
+		if avg := testing.AllocsPerRun(20, iteration); avg != 0 {
+			t.Errorf("post-reload %s kernel path: %v allocs, want 0", dirCase.name, avg)
+		}
+	}
+}

@@ -22,7 +22,7 @@ func HTTPStatus(err error) int {
 		return http.StatusOK
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrGraphUnavailable):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownGraph), errors.Is(err, ErrUnknownAlgorithm):
 		return http.StatusNotFound

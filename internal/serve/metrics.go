@@ -103,6 +103,84 @@ type Metrics struct {
 	queueHigh atomic.Int64
 	planner   PlannerMetrics
 	queueLen  func() int // bound to the pool's channel by New
+	// graphInfos reads the registry's per-graph lifecycle surface for
+	// Snapshot (bound by the Server; nil-safe for bare Metrics tests).
+	graphInfos func() (degraded bool, infos []GraphInfo)
+
+	// Lifecycle counters: snapshot refcount transitions, reload outcomes,
+	// and worker self-healing.
+	snapshotsInstalled atomic.Uint64 // snapshots that passed validation and swapped in
+	snapshotsRetired   atomic.Uint64 // snapshots replaced or closed out
+	snapshotsReleased  atomic.Uint64 // retired snapshots whose last reference dropped
+	reloads            atomic.Uint64 // per-graph reload attempts that succeeded
+	reloadFailures     atomic.Uint64 // per-graph reload attempts that rolled back
+	workerRetirements  atomic.Uint64 // workers retired by the fault-streak limit
+	faultStreakHigh    atomic.Int64  // deepest consecutive-fault streak seen
+}
+
+func (m *Metrics) noteFaultStreak(streak int) {
+	for {
+		cur := m.faultStreakHigh.Load()
+		if int64(streak) <= cur || m.faultStreakHigh.CompareAndSwap(cur, int64(streak)) {
+			return
+		}
+	}
+}
+
+// minRetryAfterSeconds floors the 429 backoff hint: even an empty
+// histogram tells a shed client to wait at least this long.
+const minRetryAfterSeconds = 1
+
+// maxRetryAfterSeconds caps the hint so one pathological traversal cannot
+// tell clients to go away for minutes.
+const maxRetryAfterSeconds = 60
+
+// retryAfterSeconds derives the 429 Retry-After hint from live state: the
+// queue's estimated drain time, i.e. queued queries × the algorithm's
+// recent p50 latency ÷ pool width, rounded up to whole seconds and
+// clamped to [minRetryAfterSeconds, maxRetryAfterSeconds]. The p50 comes
+// off the power-of-two latency histogram (bucket b counts queries under
+// 2^b µs, so the estimate is the upper edge of the median bucket). With
+// no completed queries yet the floor stands in.
+func (m *Metrics) retryAfterSeconds(algo string, queueDepth, workers int) int {
+	a := m.algos[algo]
+	if a == nil {
+		return minRetryAfterSeconds
+	}
+	var counts [latBuckets]uint64
+	var total uint64
+	for b := range a.buckets {
+		counts[b] = a.buckets[b].Load()
+		total += counts[b]
+	}
+	if total == 0 {
+		return minRetryAfterSeconds
+	}
+	half := (total + 1) / 2
+	var cum uint64
+	p50us := uint64(1) << (latBuckets - 1)
+	for b := range counts {
+		cum += counts[b]
+		if cum >= half {
+			p50us = uint64(1) << b
+			break
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	drainUs := (uint64(queueDepth) + 1) * p50us / uint64(workers)
+	secs := int((drainUs + 999_999) / 1_000_000)
+	if secs < minRetryAfterSeconds {
+		secs = minRetryAfterSeconds
+	}
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
+	}
+	return secs
 }
 
 func newMetrics(algos []string) *Metrics {
@@ -154,6 +232,32 @@ type PlannerSnapshot struct {
 	PredictionRatio   float64 `json:"prediction_ratio"`
 }
 
+// LifecycleSnapshot is the graph-lifecycle section of /metrics: snapshot
+// refcount transitions, reload outcomes (including each graph's
+// structured rollback reason), and worker self-healing counters.
+type LifecycleSnapshot struct {
+	// Degraded is true while any registered graph has no serving snapshot.
+	Degraded bool `json:"degraded"`
+	// SnapshotsInstalled/Retired/Released trace the refcount lifecycle: a
+	// healthy idle server has Installed = Retired + live graphs and
+	// Retired = Released (every retired snapshot drained and freed).
+	SnapshotsInstalled uint64 `json:"snapshots_installed"`
+	SnapshotsRetired   uint64 `json:"snapshots_retired"`
+	SnapshotsReleased  uint64 `json:"snapshots_released"`
+	// Reloads/ReloadFailures count per-graph reload attempts; each
+	// failure's reason is on the graph's entry below.
+	Reloads        uint64 `json:"reloads"`
+	ReloadFailures uint64 `json:"reload_failures"`
+	// WorkerRetirements counts workers replaced by the fault-streak
+	// limit; FaultStreakHighWater is the deepest consecutive-fault streak
+	// any worker reached.
+	WorkerRetirements    uint64 `json:"worker_retirements"`
+	FaultStreakHighWater int64  `json:"fault_streak_high_water"`
+	// Graphs is each registered graph's lifecycle surface (status,
+	// serving generation, last load/validate error).
+	Graphs []GraphInfo `json:"graphs"`
+}
+
 // MetricsSnapshot is the JSON document /metrics serves.
 type MetricsSnapshot struct {
 	Submitted uint64 `json:"submitted"`
@@ -167,6 +271,7 @@ type MetricsSnapshot struct {
 	ParkedWorkers int                     `json:"parked_workers"`
 	Algorithms    map[string]AlgoSnapshot `json:"algorithms"`
 	Planner       PlannerSnapshot         `json:"planner"`
+	Lifecycle     LifecycleSnapshot       `json:"lifecycle"`
 }
 
 // Snapshot captures the counters for /metrics. Safe to call concurrently
@@ -217,5 +322,18 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		ps.PredictionRatio = float64(ps.PricedMeasuredNs) / float64(ps.PricedPredictedNs)
 	}
 	s.Planner = ps
+	ls := LifecycleSnapshot{
+		SnapshotsInstalled:   m.snapshotsInstalled.Load(),
+		SnapshotsRetired:     m.snapshotsRetired.Load(),
+		SnapshotsReleased:    m.snapshotsReleased.Load(),
+		Reloads:              m.reloads.Load(),
+		ReloadFailures:       m.reloadFailures.Load(),
+		WorkerRetirements:    m.workerRetirements.Load(),
+		FaultStreakHighWater: m.faultStreakHigh.Load(),
+	}
+	if m.graphInfos != nil {
+		ls.Degraded, ls.Graphs = m.graphInfos()
+	}
+	s.Lifecycle = ls
 	return s
 }

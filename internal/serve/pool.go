@@ -35,6 +35,18 @@ type Config struct {
 	// RecentQueries sizes the /debug/queries completed-query ring
 	// (default 32).
 	RecentQueries int
+	// FaultStreakLimit is the consecutive-kernel-fault count at which a
+	// worker is retired and replaced with a fresh goroutine and arena
+	// (default 3; negative disables self-healing).
+	FaultStreakLimit int
+	// ValidateTimeout bounds each snapshot validation's smoke traversal
+	// (default 30s).
+	ValidateTimeout time.Duration
+	// DegradedStart lets NewFromSources come up with some graphs failed:
+	// the valid subset serves, failed graphs answer 503 until a reload
+	// brings them up, and Ready reports false. When off, any initial
+	// load/validate failure refuses to start.
+	DegradedStart bool
 }
 
 func (c Config) withDefaults() Config {
@@ -53,14 +65,21 @@ func (c Config) withDefaults() Config {
 	if c.RecentQueries <= 0 {
 		c.RecentQueries = 32
 	}
+	if c.FaultStreakLimit == 0 {
+		c.FaultStreakLimit = 3
+	}
+	if c.ValidateTimeout <= 0 {
+		c.ValidateTimeout = 30 * time.Second
+	}
 	return c
 }
 
-// task is one admitted query traveling from Do to a worker.
+// task is one admitted query traveling from Do to a worker. It owns one
+// reference on its snapshot from admission until runTask releases it.
 type task struct {
 	id      uint64
 	req     Request
-	g       *Graph
+	snap    *snapshot
 	r       *runner
 	ctx     context.Context
 	cancel  context.CancelFunc
@@ -78,10 +97,12 @@ type outcome struct {
 // are written by the owning worker and read racily-but-safely via the
 // server's query mutex.
 type QueryInfo struct {
-	ID      uint64    `json:"id"`
-	Graph   string    `json:"graph"`
-	Algo    string    `json:"algo"`
-	Source  int       `json:"source"`
+	ID     uint64 `json:"id"`
+	Graph  string `json:"graph"`
+	Algo   string `json:"algo"`
+	Source int    `json:"source"`
+	// Gen is the snapshot generation the query ran on.
+	Gen     uint64    `json:"gen,omitempty"`
 	State   string    `json:"state"` // queued | running | done
 	Status  string    `json:"status,omitempty"`
 	Worker  int       `json:"worker,omitempty"`
@@ -93,11 +114,21 @@ type QueryInfo struct {
 // worker is one pool goroutine's private state: the pinned workspaces
 // (one per graph shape, reused query over query — the zero-alloc kernel
 // path), the shared read-only cost model, and the shared metrics sinks.
+// Workers self-heal: a streak of consecutive kernel faults retires the
+// worker, and the pool replaces it with a fresh goroutine and arena.
 type worker struct {
-	id      int
+	id   int // unique across the server's lifetime (replacements get new ids)
+	slot int // pool position, stable across replacement
 	pinned  map[[2]int]*graphblas.Workspace
 	model   *core.CostModel
 	planner *PlannerMetrics
+	// faultStreak counts consecutive queries that died to a kernel fault;
+	// any successful query resets it (cancellations and deadline expiries
+	// leave it unchanged — they say nothing about the worker's arena).
+	faultStreak int
+	// shapeEpoch is the registry epoch the pinned map was last pruned
+	// against.
+	shapeEpoch uint64
 }
 
 // workspace returns the worker's pinned arena for a graph shape, acquiring
@@ -124,7 +155,8 @@ func (w *worker) dropWorkspace(rows, cols int) {
 	}
 }
 
-// releaseAll returns every pinned workspace to the pool on shutdown.
+// releaseAll returns every pinned workspace to the pool on shutdown or
+// retirement.
 func (w *worker) releaseAll() {
 	for key, ws := range w.pinned {
 		ws.Release()
@@ -132,54 +164,103 @@ func (w *worker) releaseAll() {
 	}
 }
 
-// Server is the query service: loaded graphs, the admission queue, and
-// the worker pool.
+// pruneStale drops pinned workspaces whose graph shape no longer belongs
+// to any serving snapshot — the seam that frees per-worker arenas keyed to
+// a retired shape after a reload changes a graph's dimensions. Runs
+// between tasks (the pinned map is never shared), and only when the
+// registry's shape set actually changed since the last prune.
+func (w *worker) pruneStale(r *graphRegistry) {
+	epoch := r.shapeEpoch.Load()
+	if epoch == w.shapeEpoch {
+		return
+	}
+	live := r.liveShapes()
+	for key, ws := range w.pinned {
+		if !live[key] {
+			ws.Release()
+			delete(w.pinned, key)
+		}
+	}
+	w.shapeEpoch = epoch
+}
+
+// Server is the query service: the snapshot registry, the admission
+// queue, and the self-healing worker pool.
 type Server struct {
-	cfg     Config
-	graphs  map[string]*Graph // immutable after New
-	queue   chan *task
-	workers []*worker
-	wg      sync.WaitGroup
-	metrics *Metrics
-	nextID  atomic.Uint64
-	closed  atomic.Bool
+	cfg      Config
+	registry *graphRegistry
+	reloadMu sync.Mutex // serializes Reload passes
+	queue    chan *task
+	metrics  *Metrics
+	nextID   atomic.Uint64
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+
+	wmu          sync.Mutex
+	workers      []*worker // slot-indexed; entries swap on self-heal
+	nextWorkerID atomic.Int64
 
 	qmu      sync.Mutex
 	inflight map[uint64]*QueryInfo
 	recent   []*QueryInfo // ring, newest at len-1
 }
 
-// New builds a Server over the given graphs and starts its workers.
+// New builds a Server over already-loaded graphs and starts its workers.
+// Every graph must validate — New is the strict entry point; use
+// NewFromSources with Config.DegradedStart for a server that can come up
+// with a partial graph set.
 func New(cfg Config, graphs ...*Graph) (*Server, error) {
-	cfg = cfg.withDefaults()
-	if len(graphs) == 0 {
-		return nil, fmt.Errorf("%w: no graphs", ErrBadRequest)
-	}
-	s := &Server{
-		cfg:      cfg,
-		graphs:   make(map[string]*Graph, len(graphs)),
-		queue:    make(chan *task, cfg.QueueDepth),
-		metrics:  newMetrics(AlgorithmNames()),
-		inflight: make(map[uint64]*QueryInfo),
-	}
+	sources := make([]GraphSource, 0, len(graphs))
 	for _, g := range graphs {
 		if g == nil || g.Mat == nil || g.Name == "" {
 			return nil, fmt.Errorf("%w: nil or unnamed graph", ErrBadRequest)
 		}
-		if _, dup := s.graphs[g.Name]; dup {
-			return nil, fmt.Errorf("%w: duplicate graph %q", ErrBadRequest, g.Name)
+		sources = append(sources, StaticSource(g))
+	}
+	cfg.DegradedStart = false
+	return NewFromSources(cfg, sources)
+}
+
+// NewFromSources builds a Server over graph sources, loading and
+// validating each one. With cfg.DegradedStart, load/validate failures
+// leave that graph failed-but-registered (503 until a reload brings it
+// up) as long as at least one graph serves; without it, any failure
+// refuses to start.
+func NewFromSources(cfg Config, sources []GraphSource) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("%w: no graphs", ErrBadRequest)
+	}
+	s := &Server{
+		cfg:      cfg,
+		queue:    make(chan *task, cfg.QueueDepth),
+		metrics:  newMetrics(AlgorithmNames()),
+		inflight: make(map[uint64]*QueryInfo),
+	}
+	s.registry = newGraphRegistry(s.metrics)
+	var firstErr error
+	for _, src := range sources {
+		if err := s.registry.add(src, cfg.ValidateTimeout); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			if !cfg.DegradedStart {
+				s.registry.close()
+				return nil, err
+			}
 		}
-		s.graphs[g.Name] = g
+	}
+	if s.registry.degraded() && len(s.registry.liveShapes()) == 0 {
+		s.registry.close()
+		return nil, fmt.Errorf("no graph loaded successfully: %w", firstErr)
 	}
 	s.metrics.queueLen = func() int { return len(s.queue) }
+	s.metrics.graphInfos = func() (bool, []GraphInfo) {
+		return s.registry.degraded(), s.registry.infos()
+	}
 	s.workers = make([]*worker, cfg.Workers)
 	for i := range s.workers {
-		w := &worker{
-			id:      i,
-			pinned:  make(map[[2]int]*graphblas.Workspace),
-			model:   cfg.Model,
-			planner: &s.metrics.planner,
-		}
+		w := s.newWorker(i)
 		s.workers[i] = w
 		s.wg.Add(1)
 		go s.serveLoop(w)
@@ -187,63 +268,111 @@ func New(cfg Config, graphs ...*Graph) (*Server, error) {
 	return s, nil
 }
 
+// newWorker builds a fresh worker for a pool slot with a new unique id
+// and empty arena map.
+func (s *Server) newWorker(slot int) *worker {
+	return &worker{
+		id:      int(s.nextWorkerID.Add(1)),
+		slot:    slot,
+		pinned:  make(map[[2]int]*graphblas.Workspace),
+		model:   s.cfg.Model,
+		planner: &s.metrics.planner,
+	}
+}
+
 // Metrics exposes the live counters.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Graph returns a loaded graph by name.
+// Graph returns a loaded graph's current snapshot matrix by name. The
+// returned Graph is a point-in-time read: a concurrent reload may retire
+// it, so query execution goes through snapshot acquisition instead.
 func (s *Server) Graph(name string) (*Graph, bool) {
-	g, ok := s.graphs[name]
-	return g, ok
-}
-
-// GraphNames lists the loaded graphs.
-func (s *Server) GraphNames() []string {
-	names := make([]string, 0, len(s.graphs))
-	for name := range s.graphs {
-		names = append(names, name)
+	snap, err := s.registry.acquire(name)
+	if err != nil {
+		return nil, false
 	}
-	return names
+	g := snap.graph
+	snap.release()
+	return g, true
 }
 
-// Close stops admission, drains the queue, and waits for in-flight
-// queries to finish (each still bounded by its own deadline).
+// GraphNames lists the registered graphs (serving and failed).
+func (s *Server) GraphNames() []string { return s.registry.names() }
+
+// GraphInfos lists every registered graph's lifecycle surface: status,
+// serving generation, dimensions, and the last load/validate failure.
+func (s *Server) GraphInfos() []GraphInfo { return s.registry.infos() }
+
+// Degraded reports whether any registered graph currently has no serving
+// snapshot (failed at startup, or never recovered by a reload).
+func (s *Server) Degraded() bool { return s.registry.degraded() }
+
+// Ready is the readiness signal behind /readyz: the server accepts
+// queries and every registered graph serves. A degraded server is alive
+// (serving its valid subset) but not ready.
+func (s *Server) Ready() bool { return !s.closed.Load() && !s.registry.degraded() }
+
+// SetReleaseHook installs a test sentinel observing every snapshot's
+// final release (name, generation). Set before traffic; not synchronized
+// against in-flight releases.
+func (s *Server) SetReleaseHook(hook func(name string, gen uint64)) {
+	s.registry.releaseHook = hook
+}
+
+// RetryAfterSeconds is the backoff hint for a shed query: the admission
+// queue's estimated drain time from the algorithm's recent p50 latency,
+// floored at one second. The HTTP layer puts it in the 429 Retry-After
+// header.
+func (s *Server) RetryAfterSeconds(algo string) int {
+	return s.metrics.retryAfterSeconds(algo, len(s.queue), s.cfg.Workers)
+}
+
+// Close stops admission, drains the queue, waits for in-flight queries to
+// finish (each still bounded by its own deadline), and retires every
+// snapshot.
 func (s *Server) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
 	close(s.queue)
 	s.wg.Wait()
+	s.registry.close()
 }
 
-// validate resolves the request against the graph set and registry,
-// fast-failing before admission so malformed queries never consume a
-// queue slot.
-func (s *Server) validate(req Request) (*Graph, *runner, error) {
-	g, ok := s.graphs[req.Graph]
-	if !ok {
-		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownGraph, req.Graph)
-	}
+// resolve checks the request against the registry and acquires the
+// graph's current snapshot, fast-failing before admission so malformed
+// queries never consume a queue slot. On success the caller owns one
+// snapshot reference.
+func (s *Server) resolve(req Request) (*snapshot, *runner, error) {
 	r, ok := registry[req.Algo]
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, req.Algo)
 	}
-	if r.needsSource && (req.Source < 0 || req.Source >= g.Mat.NRows()) {
-		return nil, nil, fmt.Errorf("%w: source %d out of range [0,%d)", ErrBadRequest, req.Source, g.Mat.NRows())
-	}
 	if req.Timeout < 0 {
 		return nil, nil, fmt.Errorf("%w: negative timeout", ErrBadRequest)
 	}
-	return g, r, nil
+	snap, err := s.registry.acquire(req.Graph)
+	if err != nil {
+		return nil, nil, err
+	}
+	if r.needsSource && (req.Source < 0 || req.Source >= snap.graph.Mat.NRows()) {
+		n := snap.graph.Mat.NRows()
+		snap.release()
+		return nil, nil, fmt.Errorf("%w: source %d out of range [0,%d)", ErrBadRequest, req.Source, n)
+	}
+	return snap, r, nil
 }
 
 // Do admits and runs one query, blocking until it completes, its deadline
 // expires, or ctx (the client's context) is done. Admission is
-// non-blocking: a full queue returns ErrQueueFull immediately.
+// non-blocking: a full queue returns ErrQueueFull immediately. The query
+// holds a reference on its graph snapshot for its whole lifetime, so a
+// concurrent reload can never free the graph under it.
 func (s *Server) Do(ctx context.Context, req Request) (Result, error) {
 	if s.closed.Load() {
 		return Result{}, ErrShuttingDown
 	}
-	g, r, err := s.validate(req)
+	snap, r, err := s.resolve(req)
 	if err != nil {
 		return Result{}, err
 	}
@@ -261,11 +390,11 @@ func (s *Server) Do(ctx context.Context, req Request) (Result, error) {
 
 	id := s.nextID.Add(1)
 	info := &QueryInfo{
-		ID: id, Graph: req.Graph, Algo: r.name, Source: req.Source,
+		ID: id, Graph: req.Graph, Algo: r.name, Source: req.Source, Gen: snap.gen,
 		State: "queued", Started: time.Now(),
 	}
 	t := &task{
-		id: id, req: req, g: g, r: r,
+		id: id, req: req, snap: snap, r: r,
 		ctx: qctx, cancel: cancel,
 		done: make(chan outcome, 1),
 		info: info, started: info.Started,
@@ -275,6 +404,7 @@ func (s *Server) Do(ctx context.Context, req Request) (Result, error) {
 	case s.queue <- t:
 	default:
 		cancel()
+		snap.release()
 		s.metrics.rejected.Add(1)
 		return Result{}, ErrQueueFull
 	}
@@ -287,22 +417,58 @@ func (s *Server) Do(ctx context.Context, req Request) (Result, error) {
 	case <-ctx.Done():
 		// The client is gone; the worker still observes qctx and aborts
 		// at the next phase boundary, delivering into the buffered done
-		// channel — nothing leaks, the caller just stops waiting.
+		// channel — nothing leaks, the caller just stops waiting, and the
+		// worker still releases the snapshot reference.
 		return Result{ID: id}, fmt.Errorf("%w: %w", graphblas.ErrCancelled, context.Cause(ctx))
 	}
 }
 
 // serveLoop is one worker goroutine: take a task, run it under its
-// deadline, deliver the outcome, repeat until the queue closes.
+// deadline, deliver the outcome, repeat until the queue closes — or until
+// the worker's fault streak trips the self-healing limit, at which point
+// it retires (releasing its arenas) and hands its pool slot to a fresh
+// worker.
 func (s *Server) serveLoop(w *worker) {
 	defer s.wg.Done()
-	defer w.releaseAll()
 	for t := range s.queue {
+		w.pruneStale(s.registry)
 		s.runTask(w, t)
+		if s.cfg.FaultStreakLimit > 0 && w.faultStreak >= s.cfg.FaultStreakLimit {
+			w.releaseAll()
+			s.replaceWorker(w)
+			return
+		}
 	}
+	w.releaseAll()
+}
+
+// replaceWorker retires w and spawns a fresh worker in its slot. The
+// wg.Add happens before this goroutine's deferred Done, so the waitgroup
+// never transiently reaches zero mid-replacement.
+func (s *Server) replaceWorker(w *worker) {
+	s.metrics.workerRetirements.Add(1)
+	nw := s.newWorker(w.slot)
+	s.wmu.Lock()
+	s.workers[w.slot] = nw
+	s.wmu.Unlock()
+	s.wg.Add(1)
+	go s.serveLoop(nw)
+}
+
+// workerIDs snapshots the pool's current worker ids by slot (test and
+// debug surface; ids change when self-healing replaces a worker).
+func (s *Server) workerIDs() []int {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	ids := make([]int, len(s.workers))
+	for i, w := range s.workers {
+		ids[i] = w.id
+	}
+	return ids
 }
 
 func (s *Server) runTask(w *worker, t *task) {
+	defer t.snap.release()
 	defer t.cancel()
 	var out outcome
 	// A query whose context died while queued (client gone, or a
@@ -317,9 +483,16 @@ func (s *Server) runTask(w *worker, t *task) {
 		} else {
 			out.res = Result{
 				ID: t.id, Graph: t.req.Graph, Algo: t.r.name, Source: t.req.Source,
-				Worker: w.id, Payload: payload,
+				Gen: t.snap.gen, Worker: w.id, Payload: payload,
 			}
 		}
+	}
+	switch {
+	case out.err == nil:
+		w.faultStreak = 0
+	case isKernelPanic(out.err):
+		w.faultStreak++
+		s.metrics.noteFaultStreak(w.faultStreak)
 	}
 	d := time.Since(t.started)
 	out.res.Duration = d
@@ -337,15 +510,16 @@ func (s *Server) runTask(w *worker, t *task) {
 // graph shape is dropped — Release discards tainted arenas — so corrupted
 // scratch never serves a later query.
 func (s *Server) invoke(w *worker, t *task) (p Payload, err error) {
+	g := t.snap.graph
 	defer func() {
 		if r := recover(); r != nil {
 			err = graphblas.NewPanicError(r)
 		}
 		if err != nil && isKernelPanic(err) {
-			w.dropWorkspace(t.g.Mat.NRows(), t.g.Mat.NCols())
+			w.dropWorkspace(g.Mat.NRows(), g.Mat.NCols())
 		}
 	}()
-	return t.r.run(t.ctx, t.g, t.req, w)
+	return t.r.run(t.ctx, g, t.req, w)
 }
 
 func (s *Server) trackQueued(info *QueryInfo) {

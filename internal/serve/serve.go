@@ -1,6 +1,23 @@
 // Package serve is the concurrent graph-query service behind cmd/ppserve:
 // a fixed pool of worker goroutines serving BFS / ParentBFS / SSSP /
-// PageRank / CC queries over graphs loaded once at startup.
+// PageRank / CC queries over a registry of refcounted graph snapshots.
+//
+// Graphs live in a snapshot registry (lifecycle.go): each loaded graph is
+// an immutable snapshot a query acquires at admission and releases at
+// completion, so an in-flight traversal never observes a torn or freed
+// graph. Reload (Server.Reload — POST /admin/reload or SIGHUP in
+// cmd/ppserve) re-runs every source through load → validate → atomic
+// swap; validation gates each snapshot with dimension and CSR/CSC parity
+// checks plus a push-vs-pull smoke traversal, and any failure rolls back
+// to the old snapshot with the reason recorded in /metrics. Retired
+// snapshots free — shard/cut-table caches purged, workers' pinned arenas
+// for dead shapes pruned — only after the last in-flight query releases
+// them. A graph that fails to load marks the process degraded instead of
+// killing it: served graphs keep working, the failed graph answers 503,
+// and readiness (Server.Ready, /readyz) reports false until a reload
+// brings it up. Workers self-heal: a worker whose queries die to kernel
+// faults FaultStreakLimit times in a row is retired and replaced with a
+// fresh goroutine and arena.
 //
 // The design leans on the concurrency contract the graphblas package
 // documents ("Concurrency contract" in its package docs): a Matrix is
@@ -44,8 +61,13 @@ var (
 	// ErrShuttingDown reports that the server no longer accepts queries.
 	ErrShuttingDown = errors.New("serve: shutting down")
 	// ErrUnknownGraph reports a query against a graph name that was never
-	// loaded.
+	// registered.
 	ErrUnknownGraph = errors.New("serve: unknown graph")
+	// ErrGraphUnavailable reports a query against a registered graph that
+	// currently has no serving snapshot — it failed to load or validate
+	// and no reload has brought it up yet (HTTP 503; the process is
+	// degraded but other graphs keep serving).
+	ErrGraphUnavailable = errors.New("serve: graph unavailable")
 	// ErrUnknownAlgorithm reports a query for an algorithm the registry
 	// does not carry.
 	ErrUnknownAlgorithm = errors.New("serve: unknown algorithm")
@@ -111,10 +133,14 @@ type Request struct {
 
 // Result is one completed query.
 type Result struct {
-	ID       uint64        `json:"id"`
-	Graph    string        `json:"graph"`
-	Algo     string        `json:"algo"`
-	Source   int           `json:"source"`
+	ID     uint64 `json:"id"`
+	Graph  string `json:"graph"`
+	Algo   string `json:"algo"`
+	Source int    `json:"source"`
+	// Gen is the graph snapshot generation the query ran on; it bumps on
+	// every successful reload, so clients can correlate results with the
+	// data version that produced them.
+	Gen      uint64        `json:"gen"`
 	Duration time.Duration `json:"-"`
 	// DurationMS mirrors Duration for the JSON surface.
 	DurationMS float64 `json:"duration_ms"`
