@@ -13,7 +13,10 @@ import (
 
 // newHandler wires the service's HTTP surface:
 //
-//	GET/POST /query         run one query (params or JSON body)
+//	GET/POST /query         run one query (params or JSON body; class=
+//	                        interactive|batch picks the scheduling class,
+//	                        client_id or X-Client-ID names the client for
+//	                        per-client quotas)
 //	GET      /graphs        registered graphs: status, generation, sizes, last error
 //	GET      /metrics       live counters, latency histograms, planner quality,
 //	                        lifecycle (snapshots, reloads, worker self-healing)
@@ -92,18 +95,29 @@ func logReload(logger *log.Logger, what string, rep serve.ReloadReport) {
 }
 
 // parseRequest accepts the query either as URL parameters (GET-friendly:
-// ?graph=kron&algo=bfs&source=0&timeout=2s&full=1) or as a JSON body.
+// ?graph=kron&algo=bfs&source=0&timeout=2s&class=batch&full=1) or as a
+// JSON body. The X-Client-ID header names the client for per-client
+// quotas on either form; an explicit client_id in the params or body
+// wins over the header.
 func parseRequest(r *http.Request) (serve.Request, error) {
 	var req serve.Request
 	if r.Method == http.MethodPost && r.Header.Get("Content-Type") == "application/json" {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			return req, fmt.Errorf("%w: body: %v", serve.ErrBadRequest, err)
 		}
+		if req.ClientID == "" {
+			req.ClientID = r.Header.Get("X-Client-ID")
+		}
 		return req, nil
 	}
 	q := r.URL.Query()
 	req.Graph = q.Get("graph")
 	req.Algo = q.Get("algo")
+	req.Class = q.Get("class")
+	req.ClientID = q.Get("client_id")
+	if req.ClientID == "" {
+		req.ClientID = r.Header.Get("X-Client-ID")
+	}
 	if s := q.Get("source"); s != "" {
 		v, err := strconv.Atoi(s)
 		if err != nil {
@@ -131,12 +145,12 @@ func parseRequest(r *http.Request) (serve.Request, error) {
 func handleQuery(srv *serve.Server, logger *log.Logger, w http.ResponseWriter, r *http.Request) {
 	req, err := parseRequest(r)
 	if err != nil {
-		writeError(srv, w, logger, 0, req, err)
+		writeError(srv, w, logger, serve.Result{}, req, err)
 		return
 	}
 	res, err := srv.Do(r.Context(), req)
 	if err != nil {
-		writeError(srv, w, logger, res.ID, req, err)
+		writeError(srv, w, logger, res, req, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -144,21 +158,33 @@ func handleQuery(srv *serve.Server, logger *log.Logger, w http.ResponseWriter, r
 
 // writeError maps the error taxonomy to transport codes. The response
 // body carries only the public message — kernel panic stacks go to the
-// server log keyed by query id, never on the wire. Queue rejections add
-// Retry-After derived from the queue's estimated drain time (queue depth
-// × the algorithm's recent p50 latency) so well-behaved clients back off
-// proportionally to the actual overload.
-func writeError(srv *serve.Server, w http.ResponseWriter, logger *log.Logger, id uint64, req serve.Request, err error) {
+// server log keyed by query id, never on the wire. 429 sheds add
+// Retry-After: the shed-specific prediction-derived hint when the error
+// carries one (infeasible-deadline and quota sheds), otherwise the
+// queue's estimated drain time (queue depth × the algorithm's recent p50
+// run latency) — so well-behaved clients back off proportionally to the
+// actual overload. Budget trips (598) additionally ship the query's
+// partial result, marked partial, alongside the error.
+func writeError(srv *serve.Server, w http.ResponseWriter, logger *log.Logger, res serve.Result, req serve.Request, err error) {
 	status := serve.HTTPStatus(err)
 	switch status {
 	case http.StatusTooManyRequests:
-		w.Header().Set("Retry-After", strconv.Itoa(srv.RetryAfterSeconds(req.Algo)))
+		secs, ok := serve.RetryAfterHint(err)
+		if !ok {
+			secs = srv.RetryAfterSeconds(req.Algo)
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	case http.StatusInternalServerError:
-		logger.Printf("query %d failed: %v", id, err)
+		logger.Printf("query %d failed: %v", res.ID, err)
 	}
 	body := map[string]any{"error": serve.PublicErrorMessage(err)}
-	if id != 0 {
-		body["id"] = id
+	if res.ID != 0 {
+		body["id"] = res.ID
+	}
+	if res.Partial {
+		body["partial"] = true
+		body["gen"] = res.Gen
+		body["result"] = res.Payload
 	}
 	writeJSON(w, status, body)
 }

@@ -2,8 +2,10 @@
 // loads one or more graphs, loads (or fits) the host-keyed PPTUNE
 // cost-model profile, and serves concurrent BFS / ParentBFS / SSSP /
 // PageRank / CC queries over HTTP+JSON from a self-healing worker pool
-// with bounded admission, refcounted graph snapshots, validated hot
-// reload, and live metrics.
+// with cost-aware admission (deadline-feasibility sheds, per-client
+// quotas, class-based earliest-deadline-first scheduling, per-query
+// execution budgets), refcounted graph snapshots, validated hot reload,
+// and live metrics.
 //
 // Usage:
 //
@@ -62,10 +64,30 @@ func main() {
 	queue := flag.Int("queue", 0, "admission queue depth (default 4x workers)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
 	degraded := flag.Bool("degraded-start", true, "start serving the valid subset when some -graph specs fail to load (failures report via /graphs and /readyz); off = any failure aborts startup")
+	batchAging := flag.Duration("batch-aging", 0, "anti-starvation bound for batch-class queries: one batch claim per bound even under interactive load (default 3s)")
+	budgetFactor := flag.Float64("budget-factor", 0, "execution budget as a multiple of each query's predicted run time (default 8; negative disables budgets)")
+	minBudget := flag.Duration("min-budget", 0, "floor on per-query execution budgets (default 1s)")
+	maxBudget := flag.Duration("max-budget", 0, "server-wide cap on per-query execution budgets (default the max timeout)")
+	quotaRate := flag.Float64("quota-rate", 0, "per-client admission rate in queries/s for requests carrying X-Client-ID (0 disables)")
+	quotaBurst := flag.Float64("quota-burst", 0, "per-client admission burst (token bucket capacity; default 2x rate)")
+	quotaInflight := flag.Int("quota-inflight", 0, "max concurrently admitted queries per client id (0 disables)")
 	flag.Parse()
 
+	cfg := serve.Config{
+		Workers:              *workers,
+		QueueDepth:           *queue,
+		DefaultTimeout:       *timeout,
+		DegradedStart:        *degraded,
+		BatchAgingBound:      *batchAging,
+		BudgetFactor:         *budgetFactor,
+		MinBudget:            *minBudget,
+		MaxBudget:            *maxBudget,
+		QuotaRate:            *quotaRate,
+		QuotaBurst:           *quotaBurst,
+		MaxInflightPerClient: *quotaInflight,
+	}
 	logger := log.New(os.Stderr, "ppserve: ", log.LstdFlags)
-	if err := run(logger, specs, *scale, *addr, *tune, *calib, *workers, *queue, *timeout, *degraded); err != nil {
+	if err := run(logger, specs, *scale, *addr, *tune, *calib, cfg); err != nil {
 		logger.Fatal(err)
 	}
 }
@@ -98,7 +120,7 @@ func graphSources(logger *log.Logger, specs []string, scale int) ([]serve.GraphS
 	return sources, nil
 }
 
-func run(logger *log.Logger, specs []string, scale int, addr, tune string, calib bool, workers, queue int, timeout time.Duration, degradedStart bool) error {
+func run(logger *log.Logger, specs []string, scale int, addr, tune string, calib bool, cfg serve.Config) error {
 	if len(specs) == 0 {
 		specs = []string{"kron"}
 	}
@@ -111,14 +133,9 @@ func run(logger *log.Logger, specs []string, scale int, addr, tune string, calib
 	if err != nil {
 		return err
 	}
+	cfg.Model = model
 
-	srv, err := serve.NewFromSources(serve.Config{
-		Workers:        workers,
-		QueueDepth:     queue,
-		DefaultTimeout: timeout,
-		Model:          model,
-		DegradedStart:  degradedStart,
-	}, sources)
+	srv, err := serve.NewFromSources(cfg, sources)
 	if err != nil {
 		return err
 	}

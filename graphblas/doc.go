@@ -365,6 +365,24 @@
 // self-heal on top — a streak of consecutive kernel faults retires the
 // worker and its arenas for a fresh replacement — and a graph that fails
 // to load degrades the process (failed graph answers 503, the rest keep
-// serving) instead of killing it. See the internal/serve package docs
-// for the lifecycle design and the README for the HTTP quickstart.
+// serving) instead of killing it.
+//
+// Overload is handled at the door, not in the queue. The serving tier
+// extends the paper's per-iteration cost model one level up into a
+// whole-query predictor: the calibrated model prices a full-sweep bound
+// per (graph, algorithm) before any query has run, and an EWMA over
+// measured run times refines it from live traffic. Admission prices
+// every query against that estimate — a query whose deadline the
+// predicted backlog already makes unmeetable is shed immediately with an
+// honest Retry-After instead of being admitted to time out in line — and
+// a class-aware earliest-deadline-first scheduler (interactive before
+// batch, with an anti-starvation aging bound) replaces FIFO claiming.
+// Per-query execution budgets ride the same Descriptor.Context seam the
+// deadlines use: the budget is a deadline on the run context with
+// ErrBudgetExceeded as its cancellation cause, so a tripped query tears
+// down at the next phase boundary like any cancellation, surfaces
+// distinguishably from both deadline expiry and client abandonment, and
+// still returns the algorithm's coherent partial progress. See the
+// internal/serve package docs for the lifecycle and admission design and
+// the README for the HTTP quickstart.
 package graphblas

@@ -29,4 +29,16 @@ var (
 	// operation — workers, pools and the planner survive — but the
 	// workspace the call ran on is dropped rather than re-pooled.
 	ErrKernelPanic = errors.New("graphblas: kernel panic")
+	// ErrBudgetExceeded reports that an operation was cancelled because its
+	// caller's execution budget ran out — a cost-based bound, distinct from
+	// a wall-clock deadline. It arrives through the same cancellation seam
+	// as any other abort: callers install it as the cancel cause of the
+	// Descriptor.Context (context.WithDeadlineCause / WithCancelCause), and
+	// the returned error wraps both ErrCancelled and this sentinel, so
+	// errors.Is distinguishes "the budget tripped" from "the deadline
+	// expired" (context.DeadlineExceeded) and "the client walked away"
+	// (context.Canceled). Partial progress follows the cancellation
+	// contract: algorithms return their coherent partial results alongside
+	// the error.
+	ErrBudgetExceeded = errors.New("graphblas: execution budget exceeded")
 )

@@ -55,16 +55,20 @@ func NewPanicError(r any) *PanicError {
 }
 
 // CheckContext returns nil while ctx is live and a wrapped ErrCancelled
-// (also matching the context's own error under errors.Is) once it is done.
-// A nil ctx always passes. The live path is allocation-free — it is called
-// on zero-alloc steady-state hot paths — and only the cancelled path builds
-// an error.
+// (also matching the context's cancel cause under errors.Is) once it is
+// done. The cause is context.Cause, not ctx.Err(): a context cancelled
+// with an explicit cause — a serving layer's ErrBudgetExceeded, for
+// example — surfaces that cause through the wrap, while plain timeouts and
+// cancellations keep returning context.DeadlineExceeded / Canceled
+// (Cause falls back to Err when none was set). A nil ctx always passes.
+// The live path is allocation-free — it is called on zero-alloc
+// steady-state hot paths — and only the cancelled path builds an error.
 func CheckContext(ctx context.Context) error {
 	if ctx == nil {
 		return nil
 	}
-	if cause := ctx.Err(); cause != nil {
-		return fmt.Errorf("%w: %w", ErrCancelled, cause)
+	if ctx.Err() != nil {
+		return fmt.Errorf("%w: %w", ErrCancelled, context.Cause(ctx))
 	}
 	return nil
 }

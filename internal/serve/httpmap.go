@@ -12,15 +12,29 @@ import (
 // for queries abandoned by the client before completion.
 const StatusClientClosedRequest = 499
 
+// StatusBudgetExceeded is the non-standard status for queries cancelled
+// by their execution budget. It is deliberately not 504: the deadline the
+// client asked for did NOT pass — the server cut the query off for cost —
+// and the response body still carries the partial result, which a 5xx
+// from the timeout family would invite clients to discard.
+const StatusBudgetExceeded = 598
+
 // HTTPStatus maps a query error onto its transport status code. Ordering
-// matters: ErrCancelled wraps the context cause, so a deadline expiry
-// matches both ErrCancelled and context.DeadlineExceeded — the deadline
-// check runs first so timeouts surface as 504, not 499.
+// matters: ErrCancelled wraps the context cause, so every mid-run
+// cancellation matches ErrCancelled plus its specific cause — the budget
+// check runs before the deadline check (a budget trip is a deadline on
+// the inner run context) and the deadline check before the generic
+// ErrCancelled fallback, so trips surface as 598, timeouts as 504, and
+// only genuinely abandoned queries as 499. The three 429 reasons (queue
+// full, infeasible deadline, client quota) share the status and differ in
+// body detail and Retry-After derivation.
 func HTTPStatus(err error) int {
 	switch {
 	case err == nil:
 		return http.StatusOK
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull),
+		errors.Is(err, ErrInfeasibleDeadline),
+		errors.Is(err, ErrQuotaExceeded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrGraphUnavailable):
 		return http.StatusServiceUnavailable
@@ -28,6 +42,8 @@ func HTTPStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
+	case errors.Is(err, graphblas.ErrBudgetExceeded):
+		return StatusBudgetExceeded
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, graphblas.ErrCancelled):

@@ -15,25 +15,65 @@ import (
 // bucket absorbs everything slower — 2^23 µs ≈ 8.4 s).
 const latBuckets = 24
 
-// algoMetrics is one algorithm's outcome counters and latency histogram.
-// All fields are atomics: workers record concurrently, Snapshot reads
-// without stopping the world.
+// latHist is one power-of-two latency histogram.
+type latHist struct {
+	buckets [latBuckets]atomic.Uint64
+	totalNs atomic.Uint64
+}
+
+func (h *latHist) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.totalNs.Add(uint64(ns))
+	b := 0
+	for us := ns / 1e3; us > 0 && b < latBuckets-1; us >>= 1 {
+		b++
+	}
+	h.buckets[b].Add(1)
+}
+
+// read copies the buckets out, returning the population and total ns.
+func (h *latHist) read(out *[]uint64) (total, totalNs uint64) {
+	*out = make([]uint64, latBuckets)
+	for b := range h.buckets {
+		(*out)[b] = h.buckets[b].Load()
+		total += (*out)[b]
+	}
+	return total, h.totalNs.Load()
+}
+
+// algoMetrics is one algorithm's outcome counters and latency histograms.
+// Queue wait and run time are recorded separately: the run histogram is
+// what Retry-After's p50 drain estimate reads, and queries shed while
+// queued (context dead at claim time) land in the dedicated queueShed
+// outcome without ever touching the run histogram — an overloaded queue
+// must not teach the drain estimator that queries "run" for exactly one
+// queue wait. All fields are atomics: workers record concurrently,
+// Snapshot reads without stopping the world.
 type algoMetrics struct {
 	ok        atomic.Uint64
 	errs      atomic.Uint64 // failures outside the taxonomy below
-	cancelled atomic.Uint64 // client gone (ErrCancelled, not deadline)
-	deadline  atomic.Uint64 // per-query deadline expired
+	cancelled atomic.Uint64 // client gone mid-run (ErrCancelled, not deadline)
+	deadline  atomic.Uint64 // per-query deadline expired mid-run
+	budget    atomic.Uint64 // execution budget tripped mid-run
 	panics    atomic.Uint64 // kernel faults (ErrKernelPanic)
-	totalNs   atomic.Uint64
-	buckets   [latBuckets]atomic.Uint64
+	queueShed atomic.Uint64 // context dead at claim time; never ran
+	run       latHist       // run time of queries that reached a kernel
+	queueWait latHist       // admission-to-claim wait of those same queries
 }
 
-func (m *algoMetrics) observe(d time.Duration, err error) {
+// observeRun records a query that actually ran: its queue wait, its run
+// time, and its outcome.
+func (m *algoMetrics) observeRun(queueD, runD time.Duration, err error) {
 	switch {
 	case err == nil:
 		m.ok.Add(1)
 	case errors.Is(err, graphblas.ErrKernelPanic):
 		m.panics.Add(1)
+	case errors.Is(err, graphblas.ErrBudgetExceeded):
+		m.budget.Add(1)
 	case errors.Is(err, context.DeadlineExceeded):
 		m.deadline.Add(1)
 	case errors.Is(err, graphblas.ErrCancelled):
@@ -41,16 +81,15 @@ func (m *algoMetrics) observe(d time.Duration, err error) {
 	default:
 		m.errs.Add(1)
 	}
-	ns := d.Nanoseconds()
-	if ns < 0 {
-		ns = 0
-	}
-	m.totalNs.Add(uint64(ns))
-	b := 0
-	for us := ns / 1e3; us > 0 && b < latBuckets-1; us >>= 1 {
-		b++
-	}
-	m.buckets[b].Add(1)
+	m.queueWait.observe(queueD)
+	m.run.observe(runD)
+}
+
+// observeQueueShed records a query claimed with a dead context: it waited
+// queueD and then never ran. Kept out of the run histogram by design.
+func (m *algoMetrics) observeQueueShed(queueD time.Duration) {
+	m.queueShed.Add(1)
+	m.queueWait.observe(queueD)
 }
 
 // PlannerMetrics aggregates the direction planner's decision-quality
@@ -99,13 +138,28 @@ func (p *PlannerMetrics) observe(dir graphblas.TraversalDirection, predictedNs, 
 type Metrics struct {
 	algos     map[string]*algoMetrics // fixed key set after newMetrics
 	submitted atomic.Uint64
-	rejected  atomic.Uint64
 	queueHigh atomic.Int64
 	planner   PlannerMetrics
-	queueLen  func() int // bound to the pool's channel by New
+	queueLen  func() int // bound to the scheduler by New
+	// classLens reads the scheduler's per-class depths and aged-claim
+	// count (nil-safe for bare Metrics tests).
+	classLens func() (interactive, batch int, aged uint64)
+	// predictions reads the whole-query predictor's entries for Snapshot.
+	predictions func() map[string]PredictionSnapshot
 	// graphInfos reads the registry's per-graph lifecycle surface for
 	// Snapshot (bound by the Server; nil-safe for bare Metrics tests).
 	graphInfos func() (degraded bool, infos []GraphInfo)
+
+	// Admission shed taxonomy. shedFull is the classic bounded-queue
+	// rejection; shedInfeasible the deadline-feasibility fast-fail;
+	// shedQuota the per-client quota rejection; shedInQueue counts
+	// admitted queries whose context died before a worker claimed them.
+	shedFull       atomic.Uint64
+	shedInfeasible atomic.Uint64
+	shedQuota      atomic.Uint64
+	shedInQueue    atomic.Uint64
+	// budgetTrips counts queries cancelled by their execution budget.
+	budgetTrips atomic.Uint64
 
 	// Lifecycle counters: snapshot refcount transitions, reload outcomes,
 	// and worker self-healing.
@@ -137,22 +191,20 @@ const maxRetryAfterSeconds = 60
 
 // retryAfterSeconds derives the 429 Retry-After hint from live state: the
 // queue's estimated drain time, i.e. queued queries × the algorithm's
-// recent p50 latency ÷ pool width, rounded up to whole seconds and
+// recent p50 run latency ÷ pool width, rounded up to whole seconds and
 // clamped to [minRetryAfterSeconds, maxRetryAfterSeconds]. The p50 comes
-// off the power-of-two latency histogram (bucket b counts queries under
-// 2^b µs, so the estimate is the upper edge of the median bucket). With
-// no completed queries yet the floor stands in.
+// off the power-of-two run-latency histogram (bucket b counts queries
+// under 2^b µs, so the estimate is the upper edge of the median bucket);
+// queue-shed queries never enter it, so an overloaded queue cannot skew
+// the drain estimate toward its own wait times. With no completed queries
+// yet the floor stands in.
 func (m *Metrics) retryAfterSeconds(algo string, queueDepth, workers int) int {
 	a := m.algos[algo]
 	if a == nil {
 		return minRetryAfterSeconds
 	}
-	var counts [latBuckets]uint64
-	var total uint64
-	for b := range a.buckets {
-		counts[b] = a.buckets[b].Load()
-		total += counts[b]
-	}
+	var counts []uint64
+	total, _ := a.run.read(&counts)
 	if total == 0 {
 		return minRetryAfterSeconds
 	}
@@ -207,12 +259,25 @@ type AlgoSnapshot struct {
 	Errors    uint64 `json:"errors"`
 	Cancelled uint64 `json:"cancelled"`
 	Deadline  uint64 `json:"deadline"`
-	Panics    uint64 `json:"panics"`
-	// MeanMS is the mean completed-query latency in milliseconds.
+	// Budget counts queries cancelled mid-run by their execution budget.
+	Budget uint64 `json:"budget"`
+	Panics uint64 `json:"panics"`
+	// QueueShed counts admitted queries whose context died while queued —
+	// claimed and shed without running. They appear in the queue-wait
+	// histogram but never in the run histogram.
+	QueueShed uint64 `json:"queue_shed"`
+	// MeanMS is the mean run latency (kernel time, not queue wait) of
+	// queries that actually ran, in milliseconds.
 	MeanMS float64 `json:"mean_ms"`
-	// LatencyBuckets[b] counts queries with latency < 2^b microseconds;
-	// the last bucket absorbs the overflow.
+	// MeanQueueMS is the mean admission-to-claim wait in milliseconds.
+	MeanQueueMS float64 `json:"mean_queue_ms"`
+	// LatencyBuckets[b] counts ran queries with run latency < 2^b
+	// microseconds; the last bucket absorbs the overflow.
 	LatencyBuckets []uint64 `json:"latency_buckets_us_pow2"`
+	// QueueWaitBuckets is the same power-of-two histogram over queue wait
+	// (ran + queue-shed queries) — the evidence the drain-time estimator
+	// is validated against.
+	QueueWaitBuckets []uint64 `json:"queue_wait_buckets_us_pow2"`
 }
 
 // PlannerSnapshot is the decision-quality section of /metrics.
@@ -230,6 +295,32 @@ type PlannerSnapshot struct {
 	PricedPredictedNs uint64  `json:"priced_predicted_ns"`
 	PricedMeasuredNs  uint64  `json:"priced_measured_ns"`
 	PredictionRatio   float64 `json:"prediction_ratio"`
+}
+
+// AdmissionSnapshot is the overload-robustness section of /metrics: the
+// shed taxonomy, the per-class queue state, and budget enforcement.
+type AdmissionSnapshot struct {
+	// ShedFull counts bounded-queue rejections (the queue had no slot).
+	ShedFull uint64 `json:"shed_full"`
+	// ShedInfeasible counts deadline-feasibility rejections: predicted
+	// queue drain plus the query's own predicted run time exceeded its
+	// deadline, so it was fast-failed instead of admitted to time out.
+	ShedInfeasible uint64 `json:"shed_infeasible"`
+	// ShedQuota counts per-client quota rejections.
+	ShedQuota uint64 `json:"shed_quota"`
+	// ShedInQueue counts admitted queries whose context died while queued
+	// (client gone, or a deadline shorter than the queue wait) — shed at
+	// claim time without burning a kernel.
+	ShedInQueue uint64 `json:"shed_in_queue"`
+	// BudgetTrips counts queries cancelled mid-run by their execution
+	// budget.
+	BudgetTrips uint64 `json:"budget_trips"`
+	// QueueInteractive/QueueBatch are the per-class queue populations
+	// right now; AgedBatchClaims counts batch tasks claimed through the
+	// anti-starvation aging bound while interactive work was waiting.
+	QueueInteractive int    `json:"queue_interactive"`
+	QueueBatch       int    `json:"queue_batch"`
+	AgedBatchClaims  uint64 `json:"aged_batch_claims"`
 }
 
 // LifecycleSnapshot is the graph-lifecycle section of /metrics: snapshot
@@ -261,7 +352,9 @@ type LifecycleSnapshot struct {
 // MetricsSnapshot is the JSON document /metrics serves.
 type MetricsSnapshot struct {
 	Submitted uint64 `json:"submitted"`
-	Rejected  uint64 `json:"rejected"`
+	// Rejected is the total shed count across every admission-time shed
+	// path (full + infeasible + quota); the Admission section splits it.
+	Rejected uint64 `json:"rejected"`
 	// QueueDepth is the admission queue's population right now;
 	// QueueHighWater the deepest it has been.
 	QueueDepth     int   `json:"queue_depth"`
@@ -270,21 +363,40 @@ type MetricsSnapshot struct {
 	// stable across a healthy run (the no-goroutine-leak invariant).
 	ParkedWorkers int                     `json:"parked_workers"`
 	Algorithms    map[string]AlgoSnapshot `json:"algorithms"`
-	Planner       PlannerSnapshot         `json:"planner"`
-	Lifecycle     LifecycleSnapshot       `json:"lifecycle"`
+	Admission     AdmissionSnapshot       `json:"admission"`
+	// Predictions is the whole-query cost predictor, keyed "graph/algo":
+	// the cost-model seed, the measured-runtime EWMA, and the
+	// predicted-vs-measured accuracy ratio.
+	Predictions map[string]PredictionSnapshot `json:"predictions,omitempty"`
+	Planner     PlannerSnapshot               `json:"planner"`
+	Lifecycle   LifecycleSnapshot             `json:"lifecycle"`
 }
 
 // Snapshot captures the counters for /metrics. Safe to call concurrently
 // with serving; individual counters are read atomically (the set is not a
 // consistent cut, which monitoring does not need).
 func (m *Metrics) Snapshot() MetricsSnapshot {
+	adm := AdmissionSnapshot{
+		ShedFull:       m.shedFull.Load(),
+		ShedInfeasible: m.shedInfeasible.Load(),
+		ShedQuota:      m.shedQuota.Load(),
+		ShedInQueue:    m.shedInQueue.Load(),
+		BudgetTrips:    m.budgetTrips.Load(),
+	}
+	if m.classLens != nil {
+		adm.QueueInteractive, adm.QueueBatch, adm.AgedBatchClaims = m.classLens()
+	}
 	s := MetricsSnapshot{
 		Submitted:      m.submitted.Load(),
-		Rejected:       m.rejected.Load(),
+		Rejected:       adm.ShedFull + adm.ShedInfeasible + adm.ShedQuota,
 		QueueDepth:     m.queueLen(),
 		QueueHighWater: m.queueHigh.Load(),
 		ParkedWorkers:  par.ParkedWorkers(),
 		Algorithms:     make(map[string]AlgoSnapshot, len(m.algos)),
+		Admission:      adm,
+	}
+	if m.predictions != nil {
+		s.Predictions = m.predictions()
 	}
 	for name, a := range m.algos {
 		as := AlgoSnapshot{
@@ -292,16 +404,17 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 			Errors:    a.errs.Load(),
 			Cancelled: a.cancelled.Load(),
 			Deadline:  a.deadline.Load(),
+			Budget:    a.budget.Load(),
 			Panics:    a.panics.Load(),
+			QueueShed: a.queueShed.Load(),
 		}
-		var done uint64
-		as.LatencyBuckets = make([]uint64, latBuckets)
-		for b := range a.buckets {
-			as.LatencyBuckets[b] = a.buckets[b].Load()
-			done += as.LatencyBuckets[b]
+		ran, runNs := a.run.read(&as.LatencyBuckets)
+		waited, waitNs := a.queueWait.read(&as.QueueWaitBuckets)
+		if ran > 0 {
+			as.MeanMS = float64(runNs) / float64(ran) / 1e6
 		}
-		if done > 0 {
-			as.MeanMS = float64(a.totalNs.Load()) / float64(done) / 1e6
+		if waited > 0 {
+			as.MeanQueueMS = float64(waitNs) / float64(waited) / 1e6
 		}
 		s.Algorithms[name] = as
 	}

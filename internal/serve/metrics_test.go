@@ -5,10 +5,12 @@ import (
 	"time"
 )
 
-// fillBucket plants n completed queries into the algorithm's latency
-// histogram at bucket b (latency < 2^b µs) without running anything.
+// fillBucket plants n completed queries into the algorithm's run-latency
+// histogram at bucket b (latency < 2^b µs) without running anything. The
+// run histogram — not the queue-wait one — is what retryAfterSeconds
+// reads.
 func fillBucket(m *Metrics, algo string, b int, n uint64) {
-	m.algos[algo].buckets[b].Store(n)
+	m.algos[algo].run.buckets[b].Store(n)
 }
 
 // TestRetryAfterSeconds pins the 429 backoff derivation: drain time =
@@ -105,7 +107,7 @@ func TestRetryAfterMonotonicInDepth(t *testing.T) {
 func TestRetryAfterTracksObservedLatency(t *testing.T) {
 	m := newMetrics([]string{"bfs"})
 	for i := 0; i < 9; i++ {
-		m.algos["bfs"].observe(900*time.Millisecond, nil)
+		m.algos["bfs"].observeRun(0, 900*time.Millisecond, nil)
 	}
 	// 900 ms lands in the bucket spanning up to 2^20 µs: with 9 queued
 	// on 1 worker the drain estimate is ~10 × 1.05 s.

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,7 +32,8 @@ type Config struct {
 	// Model, when non-nil, is the calibrated cost model every query's
 	// planner prices with (loaded from the host-keyed PPTUNE profile, or
 	// fitted at startup). Shared read-only across workers — correctors,
-	// which are mutable, stay per-query.
+	// which are mutable, stay per-query. The same model seeds the
+	// whole-query cost predictor behind deadline-feasibility admission.
 	Model *core.CostModel
 	// RecentQueries sizes the /debug/queries completed-query ring
 	// (default 32).
@@ -47,6 +50,33 @@ type Config struct {
 	// brings them up, and Ready reports false. When off, any initial
 	// load/validate failure refuses to start.
 	DegradedStart bool
+	// BatchAgingBound is the anti-starvation bound for batch-class
+	// queries: whenever batch work is waiting, one batch task is claimed
+	// per bound even if interactive work keeps arriving (default 3s).
+	BatchAgingBound time.Duration
+	// BudgetFactor scales each query's predicted run time into its
+	// execution budget: a query exceeding factor×prediction is cancelled
+	// with graphblas.ErrBudgetExceeded and returns its partial progress
+	// (default 8; negative disables budgets; queries without a prediction
+	// are never budget-bound).
+	BudgetFactor float64
+	// MinBudget floors the per-query budget so a fast prediction cannot
+	// produce a hair-trigger budget: predictions measured on an idle
+	// server understate wall time under contention, and a sub-second
+	// budget would cut off queries whose clock is dominated by scheduling
+	// noise rather than runaway cost (default 1s).
+	MinBudget time.Duration
+	// MaxBudget caps the per-query budget server-wide (default MaxTimeout).
+	MaxBudget time.Duration
+	// QuotaRate and QuotaBurst bound each identified client's admission
+	// rate (token bucket: QuotaRate admissions/s sustained, QuotaBurst in
+	// a burst). Zero disables rate quotas.
+	QuotaRate  float64
+	QuotaBurst float64
+	// MaxInflightPerClient caps one client's concurrently admitted
+	// queries. Zero disables. Clients are identified by Request.ClientID;
+	// anonymous (empty-id) traffic is exempt from both bounds.
+	MaxInflightPerClient int
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +101,18 @@ func (c Config) withDefaults() Config {
 	if c.ValidateTimeout <= 0 {
 		c.ValidateTimeout = 30 * time.Second
 	}
+	if c.BatchAgingBound <= 0 {
+		c.BatchAgingBound = 3 * time.Second
+	}
+	if c.BudgetFactor == 0 {
+		c.BudgetFactor = 8
+	}
+	if c.MinBudget <= 0 {
+		c.MinBudget = time.Second
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = c.MaxTimeout
+	}
 	return c
 }
 
@@ -86,6 +128,14 @@ type task struct {
 	done    chan outcome // buffered(1): the worker never blocks on delivery
 	info    *QueryInfo
 	started time.Time
+
+	// class is the scheduling class index; deadline the query's absolute
+	// deadline (the EDF key); predictedNs the admission-time whole-query
+	// prediction (0 = unknown); seq the scheduler's admission tiebreak.
+	class       int
+	deadline    time.Time
+	predictedNs float64
+	seq         uint64
 }
 
 type outcome struct {
@@ -103,11 +153,15 @@ type QueryInfo struct {
 	Source int    `json:"source"`
 	// Gen is the snapshot generation the query ran on.
 	Gen     uint64    `json:"gen,omitempty"`
+	Class   string    `json:"class"`
 	State   string    `json:"state"` // queued | running | done
 	Status  string    `json:"status,omitempty"`
 	Worker  int       `json:"worker,omitempty"`
 	Started time.Time `json:"started"`
-	// DurationMS is the total queue+run wall clock once done.
+	// QueueMS is the admission-to-claim wait; RunMS the kernel time (zero
+	// for queries shed while queued); DurationMS their sum.
+	QueueMS    float64 `json:"queue_ms,omitempty"`
+	RunMS      float64 `json:"run_ms,omitempty"`
 	DurationMS float64 `json:"duration_ms,omitempty"`
 }
 
@@ -117,8 +171,8 @@ type QueryInfo struct {
 // Workers self-heal: a streak of consecutive kernel faults retires the
 // worker, and the pool replaces it with a fresh goroutine and arena.
 type worker struct {
-	id   int // unique across the server's lifetime (replacements get new ids)
-	slot int // pool position, stable across replacement
+	id      int // unique across the server's lifetime (replacements get new ids)
+	slot    int // pool position, stable across replacement
 	pinned  map[[2]int]*graphblas.Workspace
 	model   *core.CostModel
 	planner *PlannerMetrics
@@ -184,13 +238,15 @@ func (w *worker) pruneStale(r *graphRegistry) {
 	w.shapeEpoch = epoch
 }
 
-// Server is the query service: the snapshot registry, the admission
-// queue, and the self-healing worker pool.
+// Server is the query service: the snapshot registry, the cost-aware
+// admission scheduler, and the self-healing worker pool.
 type Server struct {
 	cfg      Config
 	registry *graphRegistry
 	reloadMu sync.Mutex // serializes Reload passes
-	queue    chan *task
+	sched    *scheduler
+	quotas   *quotas
+	pred     *predictor
 	metrics  *Metrics
 	nextID   atomic.Uint64
 	closed   atomic.Bool
@@ -233,7 +289,9 @@ func NewFromSources(cfg Config, sources []GraphSource) (*Server, error) {
 	}
 	s := &Server{
 		cfg:      cfg,
-		queue:    make(chan *task, cfg.QueueDepth),
+		sched:    newScheduler(cfg.QueueDepth, cfg.BatchAgingBound),
+		quotas:   newQuotas(cfg.QuotaRate, cfg.QuotaBurst, cfg.MaxInflightPerClient),
+		pred:     newPredictor(),
 		metrics:  newMetrics(AlgorithmNames()),
 		inflight: make(map[uint64]*QueryInfo),
 	}
@@ -254,7 +312,9 @@ func NewFromSources(cfg Config, sources []GraphSource) (*Server, error) {
 		s.registry.close()
 		return nil, fmt.Errorf("no graph loaded successfully: %w", firstErr)
 	}
-	s.metrics.queueLen = func() int { return len(s.queue) }
+	s.metrics.queueLen = s.sched.depth
+	s.metrics.classLens = s.sched.classDepths
+	s.metrics.predictions = s.pred.snapshot
 	s.metrics.graphInfos = func() (bool, []GraphInfo) {
 		return s.registry.degraded(), s.registry.infos()
 	}
@@ -320,21 +380,24 @@ func (s *Server) SetReleaseHook(hook func(name string, gen uint64)) {
 }
 
 // RetryAfterSeconds is the backoff hint for a shed query: the admission
-// queue's estimated drain time from the algorithm's recent p50 latency,
-// floored at one second. The HTTP layer puts it in the 429 Retry-After
-// header.
+// queue's estimated drain time from the algorithm's recent p50 run
+// latency, floored at one second. The HTTP layer puts it in the 429
+// Retry-After header; sheds that carry their own prediction-derived hint
+// (infeasible deadline, quota) override it via RetryAfterHint.
 func (s *Server) RetryAfterSeconds(algo string) int {
-	return s.metrics.retryAfterSeconds(algo, len(s.queue), s.cfg.Workers)
+	return s.metrics.retryAfterSeconds(algo, s.sched.depth(), s.cfg.Workers)
 }
 
 // Close stops admission, drains the queue, waits for in-flight queries to
 // finish (each still bounded by its own deadline), and retires every
-// snapshot.
+// snapshot. Safe against concurrent Do: admission goes through the
+// scheduler's mutex, so a racing push observes the close and fails with
+// ErrShuttingDown instead of racing a channel close.
 func (s *Server) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
-	close(s.queue)
+	s.sched.close()
 	s.wg.Wait()
 	s.registry.close()
 }
@@ -363,19 +426,64 @@ func (s *Server) resolve(req Request) (*snapshot, *runner, error) {
 	return snap, r, nil
 }
 
+// predict prices one query in nanoseconds: the per-(graph, algo) EWMA of
+// measured run times when queries have completed, else the calibrated
+// cost model's full-sweep bound times the algorithm's sweep factor. Zero
+// means unknown (untuned server, cold entry) — such queries are admitted
+// unconditionally and run without a budget.
+func (s *Server) predict(snap *snapshot, r *runner) float64 {
+	g := snap.graph
+	return s.pred.predict(g.Name, r.name, func() float64 {
+		return sweepBoundNs(s.cfg.Model, g.Mat.NRows(), g.Mat.NVals()) * r.sweeps
+	})
+}
+
+// budgetFor derives a query's execution budget from its admission-time
+// prediction: factor×predicted, clamped to [MinBudget, MaxBudget]. Zero
+// means no budget (disabled, or no prediction to scale).
+func (s *Server) budgetFor(predictedNs float64) time.Duration {
+	if s.cfg.BudgetFactor < 0 || predictedNs <= 0 {
+		return 0
+	}
+	bud := time.Duration(predictedNs * s.cfg.BudgetFactor)
+	if bud < s.cfg.MinBudget {
+		bud = s.cfg.MinBudget
+	}
+	if bud > s.cfg.MaxBudget {
+		bud = s.cfg.MaxBudget
+	}
+	return bud
+}
+
 // Do admits and runs one query, blocking until it completes, its deadline
 // expires, or ctx (the client's context) is done. Admission is
-// non-blocking: a full queue returns ErrQueueFull immediately. The query
-// holds a reference on its graph snapshot for its whole lifetime, so a
-// concurrent reload can never free the graph under it.
+// non-blocking and cost-aware: a structurally invalid query fails before
+// touching the queue; a query over its client's quota sheds with
+// ErrQuotaExceeded; a query whose deadline the predicted backlog already
+// makes unmeetable sheds with ErrInfeasibleDeadline and an honest
+// Retry-After instead of being admitted to time out in line; a full queue
+// sheds with ErrQueueFull. The admitted query holds a reference on its
+// graph snapshot for its whole lifetime, so a concurrent reload can never
+// free the graph under it.
 func (s *Server) Do(ctx context.Context, req Request) (Result, error) {
 	if s.closed.Load() {
 		return Result{}, ErrShuttingDown
+	}
+	class, ok := classIndex(req.Class)
+	if !ok {
+		return Result{}, fmt.Errorf("%w: unknown class %q", ErrBadRequest, req.Class)
 	}
 	snap, r, err := s.resolve(req)
 	if err != nil {
 		return Result{}, err
 	}
+	s.metrics.submitted.Add(1)
+	if err := s.quotas.admit(req.ClientID, time.Now()); err != nil {
+		snap.release()
+		s.metrics.shedQuota.Add(1)
+		return Result{}, err
+	}
+	// Past this point every exit pairs the quota admission with a release.
 	timeout := req.Timeout
 	if timeout == 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -383,33 +491,56 @@ func (s *Server) Do(ctx context.Context, req Request) (Result, error) {
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
+
+	predicted := s.predict(snap, r)
+	if predicted > 0 {
+		// Feasibility: the backlog this query would wait behind (per-class
+		// predicted ns over the pool width) plus its own predicted run
+		// time must fit its deadline, or admitting it just burns a worker
+		// on a guaranteed timeout. The Retry-After hint is the predicted
+		// overshoot — when the backlog should have drained enough to fit.
+		drain := s.sched.drainNs(class) / float64(s.cfg.Workers)
+		if need := drain + predicted; need > float64(timeout.Nanoseconds()) {
+			s.quotas.release(req.ClientID)
+			snap.release()
+			s.metrics.shedInfeasible.Add(1)
+			over := (need - float64(timeout.Nanoseconds())) / 1e9
+			return Result{}, retryHint(
+				fmt.Errorf("%w: predicted %.0fms backlog + %.0fms run exceeds %v deadline",
+					ErrInfeasibleDeadline, drain/1e6, predicted/1e6, timeout),
+				int(math.Ceil(over)))
+		}
+	}
+
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	qctx, cancel := context.WithTimeout(ctx, timeout)
+	deadline, _ := qctx.Deadline()
 
 	id := s.nextID.Add(1)
 	info := &QueryInfo{
 		ID: id, Graph: req.Graph, Algo: r.name, Source: req.Source, Gen: snap.gen,
-		State: "queued", Started: time.Now(),
+		Class: className(class), State: "queued", Started: time.Now(),
 	}
 	t := &task{
 		id: id, req: req, snap: snap, r: r,
 		ctx: qctx, cancel: cancel,
 		done: make(chan outcome, 1),
 		info: info, started: info.Started,
+		class: class, deadline: deadline, predictedNs: predicted,
 	}
-	s.metrics.submitted.Add(1)
-	select {
-	case s.queue <- t:
-	default:
+	if err := s.sched.push(t); err != nil {
 		cancel()
+		s.quotas.release(req.ClientID)
 		snap.release()
-		s.metrics.rejected.Add(1)
-		return Result{}, ErrQueueFull
+		if errors.Is(err, ErrQueueFull) {
+			s.metrics.shedFull.Add(1)
+		}
+		return Result{}, err
 	}
 	s.trackQueued(info)
-	s.metrics.noteQueueDepth(len(s.queue))
+	s.metrics.noteQueueDepth(s.sched.depth())
 
 	select {
 	case out := <-t.done:
@@ -423,14 +554,18 @@ func (s *Server) Do(ctx context.Context, req Request) (Result, error) {
 	}
 }
 
-// serveLoop is one worker goroutine: take a task, run it under its
-// deadline, deliver the outcome, repeat until the queue closes — or until
-// the worker's fault streak trips the self-healing limit, at which point
-// it retires (releasing its arenas) and hands its pool slot to a fresh
-// worker.
+// serveLoop is one worker goroutine: claim a task from the scheduler, run
+// it under its deadline and budget, deliver the outcome, repeat until the
+// scheduler closes and drains — or until the worker's fault streak trips
+// the self-healing limit, at which point it retires (releasing its
+// arenas) and hands its pool slot to a fresh worker.
 func (s *Server) serveLoop(w *worker) {
 	defer s.wg.Done()
-	for t := range s.queue {
+	for {
+		t, ok := s.sched.pop()
+		if !ok {
+			break
+		}
 		w.pruneStale(s.registry)
 		s.runTask(w, t)
 		if s.cfg.FaultStreakLimit > 0 && w.faultStreak >= s.cfg.FaultStreakLimit {
@@ -470,35 +605,64 @@ func (s *Server) workerIDs() []int {
 func (s *Server) runTask(w *worker, t *task) {
 	defer t.snap.release()
 	defer t.cancel()
-	var out outcome
-	// A query whose context died while queued (client gone, or a
-	// deadline shorter than the queue wait) is cheap to shed here.
+	defer s.quotas.release(t.req.ClientID)
+	claimed := time.Now()
+	queueD := claimed.Sub(t.started)
+
+	// A query whose context died while queued (client gone, or a deadline
+	// shorter than the queue wait) is shed here: it never reaches a
+	// kernel and lands in the dedicated queue-shed outcome, not the run
+	// histogram — so an overloaded queue cannot skew the Retry-After
+	// drain estimate with its own wait times.
 	if err := graphblas.CheckContext(t.ctx); err != nil {
-		out.err = err
-	} else {
-		s.trackRunning(t.info, w.id)
-		payload, err := s.invoke(w, t)
-		if err != nil {
-			out.err = err
-		} else {
-			out.res = Result{
-				ID: t.id, Graph: t.req.Graph, Algo: t.r.name, Source: t.req.Source,
-				Gen: t.snap.gen, Worker: w.id, Payload: payload,
-			}
+		s.metrics.shedInQueue.Add(1)
+		s.metrics.algos[t.r.name].observeQueueShed(queueD)
+		s.trackDone(t.info, queueD, 0, err)
+		t.done <- outcome{err: err}
+		return
+	}
+
+	s.trackRunning(t.info, w.id)
+	// The execution budget starts at claim time, not admission: queue
+	// wait is the scheduler's debt, not the query's. It rides the same
+	// Descriptor.Context seam as the deadline, with ErrBudgetExceeded as
+	// the cancellation cause so the taxonomy distinguishes "you were cut
+	// off for cost" from "your deadline passed".
+	runCtx := t.ctx
+	if bud := s.budgetFor(t.predictedNs); bud > 0 {
+		var budCancel context.CancelFunc
+		runCtx, budCancel = context.WithDeadlineCause(t.ctx, claimed.Add(bud), graphblas.ErrBudgetExceeded)
+		defer budCancel()
+	}
+	payload, err := s.invoke(w, t, runCtx)
+	runD := time.Since(claimed)
+
+	var out outcome
+	out.err = err
+	if err == nil || errors.Is(err, graphblas.ErrBudgetExceeded) {
+		// A budget trip still ships the algorithm's coherent partial
+		// progress (marked Partial) alongside the error — the caller paid
+		// for the work done so far.
+		out.res = Result{
+			ID: t.id, Graph: t.req.Graph, Algo: t.r.name, Source: t.req.Source,
+			Gen: t.snap.gen, Worker: w.id, Partial: err != nil, Payload: payload,
 		}
 	}
 	switch {
 	case out.err == nil:
 		w.faultStreak = 0
+		s.pred.observe(t.req.Graph, t.r.name, t.predictedNs, float64(runD.Nanoseconds()))
+	case errors.Is(out.err, graphblas.ErrBudgetExceeded):
+		s.metrics.budgetTrips.Add(1)
 	case isKernelPanic(out.err):
 		w.faultStreak++
 		s.metrics.noteFaultStreak(w.faultStreak)
 	}
-	d := time.Since(t.started)
-	out.res.Duration = d
-	out.res.DurationMS = float64(d.Nanoseconds()) / 1e6
-	s.metrics.algos[t.r.name].observe(d, out.err)
-	s.trackDone(t.info, d, out.err)
+	total := queueD + runD
+	out.res.Duration = total
+	out.res.DurationMS = float64(total.Nanoseconds()) / 1e6
+	s.metrics.algos[t.r.name].observeRun(queueD, runD, out.err)
+	s.trackDone(t.info, queueD, runD, out.err)
 	t.done <- out
 }
 
@@ -508,8 +672,9 @@ func (s *Server) runTask(w *worker, t *task) {
 // or algorithm bookkeeping) into the same taxonomy instead of killing the
 // worker goroutine. Either way the worker's pinned workspace for that
 // graph shape is dropped — Release discards tainted arenas — so corrupted
-// scratch never serves a later query.
-func (s *Server) invoke(w *worker, t *task) (p Payload, err error) {
+// scratch never serves a later query. ctx is the run context: the query
+// context, possibly tightened by the execution budget.
+func (s *Server) invoke(w *worker, t *task, ctx context.Context) (p Payload, err error) {
 	g := t.snap.graph
 	defer func() {
 		if r := recover(); r != nil {
@@ -519,7 +684,7 @@ func (s *Server) invoke(w *worker, t *task) (p Payload, err error) {
 			w.dropWorkspace(g.Mat.NRows(), g.Mat.NCols())
 		}
 	}()
-	return t.r.run(t.ctx, g, t.req, w)
+	return t.r.run(ctx, g, t.req, w)
 }
 
 func (s *Server) trackQueued(info *QueryInfo) {
@@ -535,12 +700,14 @@ func (s *Server) trackRunning(info *QueryInfo, workerID int) {
 	s.qmu.Unlock()
 }
 
-func (s *Server) trackDone(info *QueryInfo, d time.Duration, err error) {
+func (s *Server) trackDone(info *QueryInfo, queueD, runD time.Duration, err error) {
 	s.qmu.Lock()
 	defer s.qmu.Unlock()
 	delete(s.inflight, info.ID)
 	info.State = "done"
-	info.DurationMS = float64(d.Nanoseconds()) / 1e6
+	info.QueueMS = float64(queueD.Nanoseconds()) / 1e6
+	info.RunMS = float64(runD.Nanoseconds()) / 1e6
+	info.DurationMS = info.QueueMS + info.RunMS
 	if err != nil {
 		info.Status = PublicErrorMessage(err)
 	} else {

@@ -14,22 +14,31 @@ import (
 // Runners receive the worker so they can pin its per-graph workspace and
 // feed its trace records into the shared planner metrics; everything else
 // they allocate per query and own exclusively (the graphblas concurrency
-// contract).
+// contract). Runners build their payload from whatever per-vertex state
+// the algorithm handed back — on cancellation and budget trips that is
+// the documented coherent partial progress, returned alongside the error
+// so the pool can ship it as a Partial result.
 type runner struct {
 	name string
 	// needsSource marks the traversal algorithms that root at a vertex.
 	needsSource bool
-	run         func(ctx context.Context, g *Graph, req Request, w *worker) (Payload, error)
+	// sweeps scales the cost model's full-sweep bound into the whole-query
+	// prediction seed: roughly how many times the algorithm touches the
+	// edge set before converging on typical inputs. Deliberately coarse —
+	// the seed only has to be the right order of magnitude, the measured
+	// EWMA refines it from live traffic.
+	sweeps float64
+	run    func(ctx context.Context, g *Graph, req Request, w *worker) (Payload, error)
 }
 
 // registry is the fixed algorithm set, keyed by query name. Immutable
 // after init, so concurrent lookups need no lock.
 var registry = map[string]*runner{
-	"bfs":       {name: "bfs", needsSource: true, run: runBFS},
-	"parentbfs": {name: "parentbfs", needsSource: true, run: runParentBFS},
-	"sssp":      {name: "sssp", needsSource: true, run: runSSSP},
-	"pagerank":  {name: "pagerank", run: runPageRank},
-	"cc":        {name: "cc", run: runCC},
+	"bfs":       {name: "bfs", needsSource: true, sweeps: 3, run: runBFS},
+	"parentbfs": {name: "parentbfs", needsSource: true, sweeps: 3, run: runParentBFS},
+	"sssp":      {name: "sssp", needsSource: true, sweeps: 8, run: runSSSP},
+	"pagerank":  {name: "pagerank", sweeps: 20, run: runPageRank},
+	"cc":        {name: "cc", sweeps: 8, run: runCC},
 }
 
 // AlgorithmNames lists the registry's query names, sorted.
@@ -62,7 +71,7 @@ func runBFS(ctx context.Context, g *Graph, req Request, w *worker) (Payload, err
 		Context:   ctx,
 		Trace:     plannerTrace(w.planner),
 	})
-	if err != nil {
+	if res.Depths == nil {
 		return Payload{}, err
 	}
 	p := Payload{Reached: res.Visited, Iterations: res.Iterations}
@@ -79,7 +88,7 @@ func runBFS(ctx context.Context, g *Graph, req Request, w *worker) (Payload, err
 	if req.Full {
 		p.Depths = res.Depths
 	}
-	return p, nil
+	return p, err
 }
 
 func runParentBFS(ctx context.Context, g *Graph, req Request, w *worker) (Payload, error) {
@@ -88,7 +97,7 @@ func runParentBFS(ctx context.Context, g *Graph, req Request, w *worker) (Payloa
 		Workspace: w.workspace(g.Mat.NRows(), g.Mat.NCols()),
 		Context:   ctx,
 	})
-	if err != nil {
+	if parents == nil {
 		return Payload{}, err
 	}
 	p := Payload{}
@@ -105,7 +114,7 @@ func runParentBFS(ctx context.Context, g *Graph, req Request, w *worker) (Payloa
 	if req.Full {
 		p.Parents = parents
 	}
-	return p, nil
+	return p, err
 }
 
 func runSSSP(ctx context.Context, g *Graph, req Request, w *worker) (Payload, error) {
@@ -119,7 +128,7 @@ func runSSSP(ctx context.Context, g *Graph, req Request, w *worker) (Payload, er
 		Context:   ctx,
 		Trace:     plannerTrace(w.planner),
 	})
-	if err != nil {
+	if dist == nil {
 		return Payload{}, err
 	}
 	p := Payload{}
@@ -136,7 +145,7 @@ func runSSSP(ctx context.Context, g *Graph, req Request, w *worker) (Payload, er
 	if req.Full {
 		p.Dist = dist
 	}
-	return p, nil
+	return p, err
 }
 
 func runPageRank(ctx context.Context, g *Graph, req Request, w *worker) (Payload, error) {
@@ -145,7 +154,7 @@ func runPageRank(ctx context.Context, g *Graph, req Request, w *worker) (Payload
 		Workspace: w.workspace(g.Mat.NRows(), g.Mat.NCols()),
 		Context:   ctx,
 	})
-	if err != nil {
+	if res.Ranks == nil {
 		return Payload{}, err
 	}
 	p := Payload{Reached: len(res.Ranks), Iterations: res.Iterations}
@@ -159,7 +168,7 @@ func runPageRank(ctx context.Context, g *Graph, req Request, w *worker) (Payload
 	if req.Full {
 		p.Ranks = res.Ranks
 	}
-	return p, nil
+	return p, err
 }
 
 func runCC(ctx context.Context, g *Graph, req Request, w *worker) (Payload, error) {
@@ -167,7 +176,7 @@ func runCC(ctx context.Context, g *Graph, req Request, w *worker) (Payload, erro
 		Workspace: w.workspace(g.Mat.NRows(), g.Mat.NCols()),
 		Context:   ctx,
 	})
-	if err != nil {
+	if labels == nil {
 		return Payload{}, err
 	}
 	p := Payload{Reached: len(labels)}
@@ -184,7 +193,7 @@ func runCC(ctx context.Context, g *Graph, req Request, w *worker) (Payload, erro
 	if req.Full {
 		p.Labels = labels
 	}
-	return p, nil
+	return p, err
 }
 
 func putU32(buf *[4]byte, v uint32) {

@@ -30,16 +30,31 @@
 // kernel panic taints the pinned arena, and the worker drops and replaces
 // it instead of trusting corrupted scratch.
 //
-// Admission is a bounded queue: Submit either enqueues the query or fails
-// fast with ErrQueueFull, which the HTTP layer maps to 429 + Retry-After.
-// Every query runs under a context with a per-query deadline, so overdue
-// or abandoned queries tear down mid-traversal through the cancellation
-// substrate (wrapped graphblas.ErrCancelled; deadline expiries additionally
-// match context.DeadlineExceeded). Metrics counts every outcome, buckets
-// latencies per algorithm, and aggregates the direction planner's
-// decision-quality numbers (push/pull iteration mix, flip counts,
-// predicted-vs-measured nanoseconds) so the calibration loop stays
-// observable in production.
+// Admission is bounded and cost-aware. A whole-query predictor prices
+// each (graph, algorithm) pair — seeded by the calibrated cost model's
+// full-sweep bound, refined by an EWMA of measured run times — and the
+// admission path sheds three ways before a query ever queues: ErrQueueFull
+// when the shared queue is at capacity, ErrInfeasibleDeadline when the
+// predicted backlog plus the query's own predicted run time already
+// exceed its deadline, and ErrQuotaExceeded when the client's token-bucket
+// rate or in-flight cap is spent. All three map to 429 with an honest
+// Retry-After (prediction- or refill-derived where available). Admitted
+// queries wait in a class-aware earliest-deadline-first scheduler —
+// interactive before batch, batch guaranteed one claim per aging bound —
+// and a query whose context dies while queued is shed at claim time
+// without burning a kernel. Every query runs under a context with a
+// per-query deadline plus an execution budget (a configurable multiple of
+// its prediction): overdue, abandoned, or over-budget queries tear down
+// mid-traversal through the cancellation substrate (wrapped
+// graphblas.ErrCancelled; deadline expiries additionally match
+// context.DeadlineExceeded, budget trips graphblas.ErrBudgetExceeded —
+// the latter still shipping the algorithm's partial progress marked
+// Partial). Metrics counts every outcome, buckets queue-wait and
+// run-latency separately per algorithm, exports the predictor's
+// per-(graph, algo) estimates with accuracy ratios, and aggregates the
+// direction planner's decision-quality numbers (push/pull iteration mix,
+// flip counts, predicted-vs-measured nanoseconds) so the calibration
+// loop stays observable in production.
 package serve
 
 import (
@@ -58,6 +73,15 @@ var (
 	// ErrQueueFull reports that the admission queue rejected the query —
 	// shed load and retry later (HTTP 429).
 	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrInfeasibleDeadline reports that the query was shed at admission
+	// because the predicted queue drain plus its own predicted run time
+	// already exceeds its deadline — running it would burn a worker on a
+	// guaranteed timeout (HTTP 429 with a prediction-derived Retry-After).
+	ErrInfeasibleDeadline = errors.New("serve: deadline infeasible under current backlog")
+	// ErrQuotaExceeded reports that the client's per-client quota (token-
+	// bucket admission rate or max in-flight) rejected the query (HTTP 429
+	// with the quota detail and a refill-derived Retry-After).
+	ErrQuotaExceeded = errors.New("serve: client quota exceeded")
 	// ErrShuttingDown reports that the server no longer accepts queries.
 	ErrShuttingDown = errors.New("serve: shutting down")
 	// ErrUnknownGraph reports a query against a graph name that was never
@@ -125,6 +149,15 @@ type Request struct {
 	// Timeout is the per-query deadline; zero means the server default,
 	// and values above the server maximum are clamped to it.
 	Timeout time.Duration `json:"timeout,omitempty"`
+	// Class is the scheduling class: "interactive" (default, claimed
+	// first, earliest-deadline-first) or "batch" (claimed when no
+	// interactive work waits, plus one anti-starvation claim per aging
+	// bound). Any other value is a bad request.
+	Class string `json:"class,omitempty"`
+	// ClientID names the submitting client for per-client quotas
+	// (X-Client-ID on the HTTP surface). Empty is anonymous: admitted
+	// through the shared queue with no per-client bound.
+	ClientID string `json:"client_id,omitempty"`
 	// Full requests the complete per-vertex result arrays in the payload;
 	// by default only the summary (counts, iterations, checksum) returns,
 	// which is what a serving tier actually ships per query.
@@ -145,7 +178,12 @@ type Result struct {
 	// DurationMS mirrors Duration for the JSON surface.
 	DurationMS float64 `json:"duration_ms"`
 	// Worker is the pool worker that served the query.
-	Worker  int     `json:"worker"`
+	Worker int `json:"worker"`
+	// Partial marks a payload cut short by the execution budget: the
+	// per-vertex state is the algorithm's coherent partial progress
+	// (depths discovered so far, distances as valid upper bounds, the
+	// last completed PageRank iterate), not the converged answer.
+	Partial bool    `json:"partial,omitempty"`
 	Payload Payload `json:"result"`
 }
 
